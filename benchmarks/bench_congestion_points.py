@@ -1,0 +1,112 @@
+"""Congestion-point theorems, empirically (§2.2, Appendices F/G).
+
+Sweeps randomized workloads, bins recorded schedules by their maximum
+per-packet congestion point count, and measures replay success:
+
+* preemptive LSTF is perfect whenever max CP <= 2 (Theorem, Appendix G),
+* failures only appear at >= 3 congestion points,
+* simple priorities (Appendix F assignment) are perfect at <= 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import once
+from repro.core.flow import Flow
+from repro.core.replay import RecordedPacket, record_schedule, replay_schedule
+from repro.topology.simple import build_dumbbell, build_parking_lot, build_single_switch
+from repro.transport.udp import install_udp_flows
+import functools
+
+
+def _sweep():
+    results = {"lstf-preemptive": {}, "lstf": {}}
+    for seed in range(12):
+        rng = np.random.default_rng(seed)
+        if seed % 2 == 0:
+            make = functools.partial(
+                build_dumbbell, num_pairs=4, host_bw=100e6, bottleneck_bw=20e6
+            )
+            flows = [
+                Flow(fid=i + 1, src=f"s_{i}", dst=f"d_{i}",
+                     size=int(rng.integers(1_000, 40_000)),
+                     start=float(rng.uniform(0, 0.01)))
+                for i in range(4)
+            ]
+        else:
+            make = functools.partial(build_parking_lot, num_hops=3)
+            flows = [
+                Flow(fid=i + 1, src=f"h_in_{i % 4}", dst=f"h_out_{(i + 1) % 4}",
+                     size=int(rng.integers(1_000, 40_000)),
+                     start=float(rng.uniform(0, 0.01)))
+                for i in range(6)
+            ]
+        net = make()
+        install_udp_flows(net, flows)
+        schedule = record_schedule(net)
+        cp = schedule.max_congestion_points()
+        for mode in results:
+            outcome = replay_schedule(schedule, make, mode=mode)
+            bucket = results[mode].setdefault(cp, [0, 0])
+            bucket[0] += 1
+            bucket[1] += int(outcome.perfect)
+    return results
+
+
+def test_congestion_point_hierarchy(benchmark):
+    results = once(benchmark, _sweep)
+    print()
+    for mode, buckets in results.items():
+        for cp, (runs, perfect) in sorted(buckets.items()):
+            print(f"CP | {mode:16s} | maxCP={cp} | perfect {perfect}/{runs}")
+    # Theorem: preemptive LSTF never fails at <= 2 congestion points.
+    for cp, (runs, perfect) in results["lstf-preemptive"].items():
+        if cp <= 2:
+            assert perfect == runs, f"preemptive LSTF failed at maxCP={cp}"
+
+
+def test_priorities_perfect_at_one_congestion_point(benchmark):
+    """Appendix F: with priority(p) = o(p) - tmin(p, α_p, dest) + T(p, α_p)
+    (the congestion point is known), one congestion point always replays."""
+    make = functools.partial(build_single_switch, num_senders=4,
+                             host_bw=1e9, bottleneck_bw=10e6)
+
+    def run():
+        successes = 0
+        runs = 0
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            net = make()
+            # Single-packet flows: each host sends exactly one packet, so
+            # the shared switch is the only place anything can queue.
+            flows = [
+                Flow(fid=i + 1, src=f"s_{i}", dst="sink",
+                     size=int(rng.integers(300, 1_400)),
+                     start=float(rng.uniform(0, 0.004)))
+                for i in range(4)
+            ]
+            install_udp_flows(net, flows)
+            schedule = record_schedule(net)
+            if schedule.max_congestion_points() > 1:
+                continue
+            runs += 1
+            ref = make()
+
+            def priority(rec: RecordedPacket) -> float:
+                # α_p = SW; remaining tmin from SW includes the SW->sink hop.
+                return (
+                    rec.output_time
+                    - ref.remaining_tmin("SW", rec.dst, rec.size)
+                    + ref.links[("SW", "sink")].tx_time(rec.size)
+                )
+
+            outcome = replay_schedule(schedule, make, mode="priority",
+                                      priority_fn=priority)
+            successes += int(outcome.perfect)
+        return successes, runs
+
+    successes, runs = once(benchmark, run)
+    print(f"\nCP | priorities @ 1 congestion point: perfect {successes}/{runs}")
+    assert runs > 0
+    assert successes == runs

@@ -1,0 +1,63 @@
+"""Extension benches: the paper's stated extensions and open questions.
+
+* Weighted fairness (§3.3's closing remark): per-flow r_est proportional
+  to weights gives weighted shares; compared against weighted FQ.
+* Least information (§5 open question): quantise o(p) before slack
+  initialisation and chart replay degradation — LSTF turns out to be
+  robust to roughly one bottleneck-transmission-time of target error.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import once
+from repro.experiments.fairness import run_weighted_fairness_experiment
+from repro.experiments.information import run_information_experiment
+from repro.experiments.replayability import ReplayScenario, build_recorded_schedule
+
+
+def test_extension_weighted_fairness(benchmark):
+    def run():
+        return {
+            scheme: run_weighted_fairness_experiment(
+                weights=(1.0, 2.0, 4.0), scheme=scheme
+            )
+            for scheme in ("lstf", "fq")
+        }
+
+    results = once(benchmark, run)
+    print()
+    for scheme, (achieved, _normalised, res) in results.items():
+        rates = "/".join(f"{a / 1e6:.2f}" for a in achieved)
+        print(
+            f"EXT-WEIGHTED | {scheme:4s} | achieved {rates} Mbps "
+            f"(weights 1/2/4) | weighted Jain {res.final_fairness:.4f}"
+        )
+        assert res.final_fairness > 0.95
+        assert achieved[0] < achieved[1] < achieved[2]
+
+
+def test_extension_information_bound(benchmark):
+    scenario = ReplayScenario(name="ext/info", duration=0.2, seed=1)
+
+    def run():
+        schedule = build_recorded_schedule(scenario)
+        return run_information_experiment(
+            steps_in_t=(0.0, 0.5, 1.0, 4.0, 16.0, 64.0),
+            scenario=scenario,
+            schedule=schedule,
+        )
+
+    points = once(benchmark, run)
+    print()
+    for p in points:
+        print(
+            f"EXT-INFO | q={p.step_in_t:5.1f}T | overdue {p.fraction_overdue:.4f} "
+            f"| overdue>T {p.fraction_overdue_beyond_t:.4f} "
+            f"| max lateness {p.max_lateness:.2e}s"
+        )
+    exact = points[0].fraction_overdue_beyond_t
+    one_t = next(p for p in points if p.step_in_t == 1.0)
+    coarse = points[-1]
+    # Robust to ~T of target error; collapses when information vanishes.
+    assert one_t.fraction_overdue_beyond_t < exact + 0.02
+    assert coarse.fraction_overdue_beyond_t > one_t.fraction_overdue_beyond_t

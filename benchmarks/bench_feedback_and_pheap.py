@@ -1,0 +1,131 @@
+"""§5 future-work benches: feedback (RED) and the hardware model (p-heap).
+
+* **Incorporating feedback**: the paper leaves open how AQM-style feedback
+  interacts with universality.  This bench runs the FCT workload with RED
+  attached to the router ports, under FIFO and under LSTF with the
+  flow-size slack heuristic, against their drop-tail counterparts: LSTF's
+  FCT advantage should survive the switch of feedback mechanism.
+* **Pipelined heap**: §5 argues LSTF is implementable at line rate because
+  it is just fine-grained priority queueing (p-heap [6, 16]).  The bench
+  shows the p-heap backend is observationally identical to the list-heap
+  LSTF on a full replay and compares their software costs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from benchmarks.conftest import once
+from repro.core.heuristics import FlowSizeSlack
+from repro.schedulers import FifoScheduler, LstfScheduler, PHeapLstfScheduler
+from repro.sim.aqm import RedAqm
+from repro.sim.node import Router
+from repro.topology.internet2 import Internet2Config, build_internet2
+from repro.transport.tcp import install_tcp_flows
+from repro.workload.distributions import BoundedPareto
+from repro.workload.flows import PoissonWorkload, poisson_flows
+
+
+def _fct_run(scheduler_cls, slack_policy, use_red: bool, slack_aware: bool = False):
+    cfg = Internet2Config(edges_per_core=2, bandwidth_scale=0.01)
+    net = build_internet2(cfg)
+    net.install_schedulers(
+        lambda node, _p: None if node.startswith("h") else scheduler_cls()
+    )
+    net.set_buffers(50_000, node_filter=lambda n: isinstance(n, Router))
+    if use_red:
+        rng = random.Random(7)
+        for node in net.routers:
+            for port in node.ports.values():
+                port.set_aqm(
+                    RedAqm(
+                        min_threshold=10_000,
+                        max_threshold=30_000,
+                        weight=0.02,
+                        rng=rng,
+                        idle_bandwidth=port.link.bandwidth,
+                        slack_aware=slack_aware,
+                    )
+                )
+    flows = poisson_flows(
+        hosts=[h.name for h in net.hosts],
+        sizes=BoundedPareto(1.2, 1_500, 1_000_000),
+        workload=PoissonWorkload(0.7, 10e6, duration=0.25, seed=3),
+    )
+    stats = install_tcp_flows(net, flows, slack_policy=slack_policy, min_rto=0.05)
+    net.run(until=10.0)
+    return stats, net.tracer.drops
+
+
+def test_extension_red_feedback(benchmark):
+    def run():
+        return {
+            ("fifo", "droptail"): _fct_run(FifoScheduler, None, use_red=False),
+            ("fifo", "red"): _fct_run(FifoScheduler, None, use_red=True),
+            ("lstf", "droptail"): _fct_run(LstfScheduler, FlowSizeSlack(), use_red=False),
+            ("lstf", "red"): _fct_run(LstfScheduler, FlowSizeSlack(), use_red=True),
+            ("lstf", "red-slk"): _fct_run(
+                LstfScheduler, FlowSizeSlack(), use_red=True, slack_aware=True
+            ),
+        }
+
+    results = once(benchmark, run)
+    print()
+    for (sched, aqm), (stats, drops) in results.items():
+        mice = [
+            fct for fid, fct in stats.fct.items() if stats.flow_size[fid] <= 10_000
+        ]
+        mice_mean = float(np.mean(mice)) if mice else float("nan")
+        print(
+            f"EXT-FEEDBACK | {sched:4s}+{aqm:8s} | mean FCT {stats.mean_fct():.4f} "
+            f"| mice(<=10KB) {mice_mean:.4f} | flows {stats.completed} | drops {drops}"
+        )
+    # The headline: LSTF's FCT edge over FIFO holds under both feedback
+    # regimes (§5's open question, answered empirically for this workload).
+    for aqm in ("droptail", "red"):
+        fifo_stats, _ = results[("fifo", aqm)]
+        lstf_stats, _ = results[("lstf", aqm)]
+        assert lstf_stats.mean_fct() < fifo_stats.mean_fct() * 1.05, aqm
+
+
+def test_extension_pheap_backend(benchmark):
+    """Replay equivalence + relative cost of the p-heap LSTF backend."""
+    import functools
+
+    from repro.core.packet import Packet
+    from repro.core.replay import record_schedule
+    from repro.core.slack import initialize_replay_slack
+    from repro.topology.simple import build_dumbbell
+    from repro.transport.udp import install_udp_flows
+
+    make = functools.partial(build_dumbbell, num_pairs=4)
+    net = make()
+    flows = poisson_flows(
+        hosts=[h.name for h in net.hosts],
+        sizes=BoundedPareto(1.2, 1500, 100_000),
+        workload=PoissonWorkload(0.7, 50e6, duration=0.08, seed=3),
+    )
+    install_udp_flows(net, flows)
+    schedule = record_schedule(net)
+
+    def replay_with(scheduler_cls):
+        replay_net = make()
+        replay_net.install_uniform(scheduler_cls)
+        for rec in schedule.packets:
+            p = Packet(flow_id=rec.flow_id, size=rec.size, src=rec.src,
+                       dst=rec.dst, created=rec.ingress_time, pid=rec.pid)
+            initialize_replay_slack(p, replay_net, rec.output_time)
+            replay_net.inject_at(rec.ingress_time, p)
+        replay_net.run()
+        return {r.pid: r.exit for r in replay_net.tracer.delivered_records()}
+
+    def run_both():
+        return replay_with(LstfScheduler), replay_with(PHeapLstfScheduler)
+
+    list_heap, pheap = once(benchmark, run_both)
+    identical = list_heap == pheap
+    print(f"\nEXT-PHEAP | p-heap replay identical to list-heap LSTF: {identical} "
+          f"({len(pheap)} packets)")
+    assert identical

@@ -1,0 +1,37 @@
+"""Figure 1 — CDF of the LSTF : original queueing-delay ratio (§2.3(6)).
+
+For each original scheduling algorithm on the default Internet2 scenario,
+replays with LSTF and prints the quantiles of the per-packet ratio of
+replay queueing delay to original queueing delay.  The paper's surprise:
+most packets see *less* queueing under LSTF (ratio below 1), because LSTF
+eliminates "wasted waiting".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import once
+from repro.experiments.replayability import ReplayScenario, run_replay
+
+SCHEDULERS = ("random", "fifo", "fq", "sjf", "lifo", "fq+fifo+")
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_fig1_delay_ratio_cdf(benchmark, scheduler):
+    scenario = ReplayScenario(
+        name=f"fig1/{scheduler}", scheduler=scheduler, duration=0.2, seed=1
+    )
+    outcome = once(benchmark, run_replay, scenario, "lstf")
+    ratios = outcome.result.queueing_delay_ratios()
+    quantiles = np.quantile(ratios, [0.1, 0.25, 0.5, 0.75, 0.9, 0.99])
+    print(
+        f"\nFIG1 | {scheduler:9s} | ratio quantiles "
+        f"p10 {quantiles[0]:.3f}  p25 {quantiles[1]:.3f}  p50 {quantiles[2]:.3f}  "
+        f"p75 {quantiles[3]:.3f}  p90 {quantiles[4]:.3f}  p99 {quantiles[5]:.3f} "
+        f"| frac<=1: {float(np.mean(ratios <= 1.0 + 1e-9)):.3f}"
+    )
+    # The figure's shape: the median packet queues no longer than it
+    # originally did.
+    assert quantiles[2] <= 1.1

@@ -1,0 +1,45 @@
+"""Figure 2 — mean flow completion time: FIFO vs SJF vs SRPT vs LSTF (§3.1).
+
+Paper reference (full scale): FIFO 0.288s, SRPT 0.208s, SJF 0.194s,
+LSTF 0.195s — i.e. every size-aware scheme far below FIFO, and LSTF with
+the flow-size slack heuristic indistinguishable from SJF.
+
+At 1/100 scale individual seeds are noisy (a few elephants dominate the
+mean), so the bench averages seeds before asserting the ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import once
+from repro.experiments.fct import FCT_SCHEMES, run_fct_experiment
+from repro.metrics.fct import bucket_mean_fct
+
+SEEDS = (1, 2, 3)
+
+
+def test_fig2_mean_fct(benchmark):
+    def run_all():
+        return [run_fct_experiment(duration=0.3, seed=s) for s in SEEDS]
+
+    per_seed = once(benchmark, run_all)
+    means = {
+        scheme: float(np.mean([r[scheme].mean_fct for r in per_seed]))
+        for scheme in FCT_SCHEMES
+    }
+    print("\nFIG2 | mean FCT over seeds " + str(SEEDS))
+    for scheme, value in means.items():
+        print(f"FIG2 | {scheme:5s} | {value:.4f} s")
+
+    buckets = bucket_mean_fct(per_seed[0]["lstf"].stats)
+    print("FIG2 | lstf per-bucket (seed 1): "
+          + "  ".join(f"{b.label}:{b.mean_fct:.3f}" for b in buckets))
+
+    # The figure's ordering: every size-aware scheme beats FIFO, and LSTF
+    # sits with the size-aware pack rather than with FIFO.
+    assert means["sjf"] < means["fifo"]
+    assert means["srpt"] < means["fifo"]
+    assert means["lstf"] < means["fifo"]
+    best = min(means["sjf"], means["srpt"])
+    assert means["lstf"] - best < 0.5 * (means["fifo"] - best)

@@ -1,0 +1,37 @@
+"""Figure 3 — tail packet delays: FIFO vs LSTF-with-constant-slack (§3.2).
+
+Paper reference (full scale): FIFO mean 0.0780s / 99%ile 0.2142s;
+LSTF mean 0.0786s / 99%ile 0.1958s — the mean barely moves (slightly up),
+the tail comes down.  The bench additionally runs the direct FIFO+
+implementation to confirm the equivalence the slack initialisation is
+supposed to produce.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import once
+from repro.experiments.tail import run_tail_experiment
+
+
+def test_fig3_tail_delays(benchmark):
+    results = once(
+        benchmark,
+        run_tail_experiment,
+        ("fifo", "lstf-constant", "fifo+"),
+        0.7,     # utilization
+        0.3,     # duration
+        1,       # seed
+    )
+    print()
+    for name, res in results.items():
+        print(
+            f"FIG3 | {name:13s} | mean {res.mean:.4f} | p99 {res.p99:.4f} "
+            f"| p99.9 {res.p999:.4f} | max {res.max:.4f}"
+        )
+    fifo = results["fifo"]
+    lstf = results["lstf-constant"]
+    fifo_plus = results["fifo+"]
+    # Tail shrinks; mean stays within a band; FIFO+ tracks LSTF-constant.
+    assert lstf.p99 < fifo.p99
+    assert abs(lstf.mean - fifo.mean) < 0.25 * fifo.mean
+    assert abs(lstf.p99 - fifo_plus.p99) < 0.20 * fifo.p99

@@ -1,0 +1,41 @@
+"""Figure 4 — asymptotic fairness with virtual-clock slacks (§3.3).
+
+Paper reference: Jain index converges to 1.0 with FQ and with LSTF at
+every rate estimate r_est <= r* (even 100x too small), converging slightly
+sooner when r_est is closer to r*; FIFO never converges.
+
+The bench runs the paper's five r_est fractions plus FIFO/FQ baselines
+and prints the fairness trajectory endpoints and convergence times.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import once
+from repro.experiments.fairness import run_fairness_experiment
+
+FRACTIONS = (1.0, 0.5, 0.1, 0.05, 0.01)
+
+
+def test_fig4_fairness_convergence(benchmark):
+    results = once(
+        benchmark,
+        run_fairness_experiment,
+        FRACTIONS,
+        ("fifo", "fq"),
+    )
+    print()
+    for name, res in results.items():
+        t95 = res.time_to_reach(0.95)
+        print(
+            f"FIG4 | {name:10s} | final Jain {res.final_fairness:.4f} "
+            f"| t(0.95) {'never' if t95 is None else f'{t95:.2f}s'}"
+        )
+    assert results["fq"].final_fairness > 0.95
+    for frac in FRACTIONS:
+        assert results[f"lstf@{frac:g}"].final_fairness > 0.95, frac
+    assert results["fifo"].final_fairness < 0.8
+    # Convergence no later for the exact estimate than the roughest one.
+    t_exact = results["lstf@1"].time_to_reach(0.9)
+    t_rough = results["lstf@0.01"].time_to_reach(0.9)
+    assert t_exact is not None and t_rough is not None
+    assert t_exact <= t_rough + 1e-9

@@ -1,0 +1,104 @@
+"""The motivating comparison, §1/§4: "No Silver Bullet" [28] re-run.
+
+Sivaraman et al. showed FQ, CoDel+FQ and CoDel+FIFO trading wins across
+objectives — the observation that raised the UPS question.  This bench
+re-stages that competition on our substrate and adds LSTF configured per
+objective (flow-size slacks for FCT, constant slacks for tail delay):
+the paper's thesis is that the *mechanism* can stay fixed while only the
+slack initialisation changes.
+
+Metrics: mean flow completion time (the FCT objective) and p99
+*in-network* queueing delay (the tail objective) — the sender's own NIC
+backlog is excluded because no in-network scheme can influence it, same
+TCP workload everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import once
+from repro.core.heuristics import ConstantSlack, FlowSizeSlack
+from repro.metrics.delay import percentile
+from repro.schedulers import FifoScheduler, FqScheduler, LstfScheduler
+from repro.sim.aqm import CoDelAqm
+from repro.sim.node import Router
+from repro.topology.internet2 import Internet2Config, build_internet2
+from repro.transport.tcp import install_tcp_flows
+from repro.workload.distributions import BoundedPareto
+from repro.workload.flows import PoissonWorkload, poisson_flows
+
+SCHEMES = (
+    ("fq", FqScheduler, None, False),
+    ("codel+fifo", FifoScheduler, None, True),
+    ("codel+fq", FqScheduler, None, True),
+    ("lstf/fct", LstfScheduler, FlowSizeSlack(), False),
+    ("lstf/tail", LstfScheduler, ConstantSlack(1.0), False),
+    # Scheduling and feedback are orthogonal: LSTF composes with CoDel
+    # the same way FIFO/FQ do, which is the fair tail-objective matchup
+    # (CoDel's tail win comes from shedding load, not from ordering).
+    ("codel+lstf/tail", LstfScheduler, ConstantSlack(1.0), True),
+)
+
+
+def _run(scheduler_cls, slack_policy, use_codel: bool):
+    cfg = Internet2Config(edges_per_core=2, bandwidth_scale=0.01)
+    net = build_internet2(cfg)
+    net.install_schedulers(
+        lambda node, _p: None if node.startswith("h") else scheduler_cls()
+    )
+    net.set_buffers(50_000, node_filter=lambda n: isinstance(n, Router))
+    if use_codel:
+        for node in net.routers:
+            for port in node.ports.values():
+                port.set_aqm(CoDelAqm(target=0.005, interval=0.05))
+    flows = poisson_flows(
+        hosts=[h.name for h in net.hosts],
+        sizes=BoundedPareto(1.2, 1_500, 1_000_000),
+        workload=PoissonWorkload(0.7, 10e6, duration=0.25, seed=5),
+    )
+    stats = install_tcp_flows(net, flows, slack_policy=slack_policy, min_rto=0.05)
+    net.run(until=10.0)
+    in_network_waits = [
+        sum(rec.hop_waits[1:])  # hop 0 is the sender's own uplink
+        for rec in net.tracer.delivered_records()
+        if rec.size > 64
+    ]
+    return stats.mean_fct(), percentile(in_network_waits, 99), stats.completed
+
+
+def test_no_silver_bullet_and_lstf_universality(benchmark):
+    def run_all():
+        return {
+            name: _run(cls, policy, codel)
+            for name, cls, policy, codel in SCHEMES
+        }
+
+    results = once(benchmark, run_all)
+    print()
+    for name, (fct, p99, flows) in results.items():
+        print(
+            f"NSB | {name:11s} | mean FCT {fct:.4f}s | p99 delay {p99:.4f}s "
+            f"| flows {flows}"
+        )
+    baselines = {
+        k: v for k, v in results.items()
+        if k in ("fq", "codel+fifo", "codel+fq")
+    }
+    best_fct = min(v[0] for v in baselines.values())
+    # The paper's practical-universality thesis: one mechanism (LSTF),
+    # reconfigured only at the ingress, competes with the per-objective
+    # winner on that objective.
+    assert results["lstf/fct"][0] <= best_fct * 1.15
+    # Among pure scheduling disciplines (no load shedding), tail-configured
+    # LSTF has the best tail.
+    assert results["lstf/tail"][1] <= results["fq"][1]
+    # Finding (documented in EXPERIMENTS.md): CoDel's sojourn signal
+    # assumes FIFO heads — under LSTF the locally-oldest packets are *not*
+    # at the head, so CoDel rarely engages and the combination degenerates
+    # to plain LSTF.  The tail crown stays with codel+fifo, whose win
+    # comes from shedding load, something no scheduler alone can do.
+    assert (
+        abs(results["codel+lstf/tail"][1] - results["lstf/tail"][1])
+        < 0.2 * results["lstf/tail"][1]
+    )

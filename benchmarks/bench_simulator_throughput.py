@@ -1,0 +1,71 @@
+"""Simulator micro-benchmarks: event throughput and replay cost.
+
+Not a paper artefact — these quantify the substrate itself, so regressions
+in the hot path (heap ops, port state machine, LSTF keying) are visible.
+Unlike the experiment benches these use several rounds, since run-to-run
+timing is the whole point.
+"""
+
+from __future__ import annotations
+
+from repro.core.packet import Packet
+from repro.schedulers.lstf import LstfScheduler
+from repro.sim.engine import Engine
+from repro.sim.network import Network
+from repro.units import MBPS
+
+
+def test_engine_event_throughput(benchmark):
+    def run():
+        engine = Engine()
+        count = 10_000
+
+        def tick():
+            nonlocal count
+            count -= 1
+            if count:
+                engine.schedule(1e-6, tick)
+
+        engine.schedule(0.0, tick)
+        engine.run()
+        return engine.events_processed
+
+    processed = benchmark(run)
+    assert processed == 10_000
+
+
+def test_bottleneck_port_throughput(benchmark):
+    def run():
+        net = Network()
+        net.add_host("a")
+        net.add_host("b")
+        net.add_link("a", "b", 8 * MBPS, 1e-5)
+        for k in range(2_000):
+            net.inject_at(k * 1e-6, Packet(1, 1000, "a", "b", 0.0))
+        net.run()
+        return net.tracer.delivered_count()
+
+    delivered = benchmark(run)
+    assert delivered == 2_000
+
+
+def test_lstf_scheduler_ops(benchmark):
+    net = Network()
+    net.add_host("a")
+    net.add_host("b")
+    net.add_link("a", "b", 8 * MBPS, 0.0)
+    port = net.nodes["a"].ports["b"]
+
+    def run():
+        sched = LstfScheduler()
+        sched.attach(port)
+        packets = [Packet(1, 1000, "a", "b", 0.0) for _ in range(1_000)]
+        for i, p in enumerate(packets):
+            p.slack = (i * 7919) % 1000 / 1000.0
+            p.enqueue_time = 0.0
+            sched.push(p, 0.0)
+        while len(sched):
+            sched.pop(1.0)
+        return True
+
+    assert benchmark(run)

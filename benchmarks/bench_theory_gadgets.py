@@ -1,0 +1,63 @@
+"""Appendix constructions (Figures 5, 6, 7) as executable benchmarks.
+
+Each run re-derives a theorem from the paper on the live simulator:
+
+* Figure 6: the priority cycle — all six static priority orderings fail,
+  LSTF replays perfectly.
+* Figure 7: three congestion points — LSTF (preemptive or not) fails,
+  the omniscient UPS succeeds.
+* Figure 5: black-box impossibility — identical header inputs, opposite
+  required decisions; every deterministic candidate fails one case.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import once
+from repro.theory.blackbox import blackbox_gadget
+from repro.theory.lstf_failure import lstf_three_congestion_gadget
+from repro.theory.priority_cycle import all_priority_orderings_fail, priority_cycle_gadget
+
+
+def test_figure6_priority_cycle(benchmark):
+    def run():
+        gadget = priority_cycle_gadget()
+        return gadget.replay("lstf").perfect, all_priority_orderings_fail(gadget)
+
+    lstf_perfect, priorities_fail = once(benchmark, run)
+    print(f"\nFIG6 | LSTF perfect: {lstf_perfect} | all 6 priority orders fail: {priorities_fail}")
+    assert lstf_perfect and priorities_fail
+
+
+def test_figure7_three_congestion_points(benchmark):
+    def run():
+        gadget = lstf_three_congestion_gadget()
+        return {
+            mode: gadget.replay(mode).perfect
+            for mode in ("lstf", "lstf-preemptive", "edf", "omniscient")
+        }
+
+    outcomes = once(benchmark, run)
+    print(f"\nFIG7 | replay perfect by mode: {outcomes}")
+    assert not outcomes["lstf"]
+    assert not outcomes["lstf-preemptive"]
+    assert not outcomes["edf"]
+    assert outcomes["omniscient"]
+
+
+def test_figure5_blackbox_impossibility(benchmark):
+    def run():
+        verdicts = {}
+        for mode in ("lstf", "edf", "priority"):
+            verdicts[mode] = [
+                blackbox_gadget(case).replay(mode).perfect for case in (1, 2)
+            ]
+        verdicts["omniscient"] = [
+            blackbox_gadget(case).replay("omniscient").perfect for case in (1, 2)
+        ]
+        return verdicts
+
+    verdicts = once(benchmark, run)
+    print(f"\nFIG5 | per-mode (case1, case2) perfection: {verdicts}")
+    for mode in ("lstf", "edf", "priority"):
+        assert not all(verdicts[mode]), mode
+    assert all(verdicts["omniscient"])

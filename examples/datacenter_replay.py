@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Datacenter scenario: replaying an incast burst on a fat-tree.
+
+Incast — many servers answering one aggregator at once — is the classic
+datacenter stress pattern (the pFabric workload the paper's Table 1
+"Datacenter" row builds on).  This example:
+
+1. builds a k=4 fat-tree at 1/100 scale,
+2. fires a 15-server incast into one host plus background pairwise
+   traffic, scheduled FIFO (the recorded original),
+3. replays with LSTF and with the omniscient UPS, and
+4. reports the replay quality and where the congestion points were.
+
+Run:  python examples/datacenter_replay.py
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro import (
+    BoundedPareto,
+    Flow,
+    FatTreeConfig,
+    PoissonWorkload,
+    build_fattree,
+    install_udp_flows,
+    poisson_flows,
+    record_schedule,
+    replay_schedule,
+)
+
+
+def main() -> None:
+    cfg = FatTreeConfig(k=4, bandwidth_scale=0.01)  # 16 hosts, 100 Mbps links
+    make_net = functools.partial(build_fattree, cfg)
+    network = make_net()
+    hosts = [h.name for h in network.hosts]
+    aggregator = hosts[0]
+
+    # The incast: every other host sends a 30 kB response to the aggregator
+    # within a 1 ms window.
+    incast = [
+        Flow(fid=1000 + i, src=src, dst=aggregator, size=30_000,
+             start=0.001 + i * 1e-5)
+        for i, src in enumerate(hosts[1:])
+    ]
+    # Plus light background traffic between the other hosts.
+    background = poisson_flows(
+        hosts=hosts[1:],
+        sizes=BoundedPareto(alpha=1.2, low=1_500, high=200_000),
+        workload=PoissonWorkload(
+            utilization=0.2,
+            reference_bandwidth=cfg.bottleneck_bw,
+            duration=0.05,
+            seed=7,
+        ),
+    )
+    install_udp_flows(network, incast + background)
+
+    schedule = record_schedule(network, description="fat-tree incast")
+    histogram = schedule.congestion_point_histogram()
+    print(f"recorded {len(schedule)} packets (incast of {len(incast)} flows "
+          f"into {aggregator})")
+    print(f"congestion points per packet: {histogram}")
+    print(f"max congestion points: {schedule.max_congestion_points()}")
+
+    for mode in ("lstf", "omniscient"):
+        result = replay_schedule(schedule, make_net, mode=mode)
+        print(f"  {result.summary()}")
+
+    print(
+        "\nExpected shape: the burst plus background traffic pushes many "
+        "packets to 3+ congestion\npoints — beyond LSTF's perfect-replay "
+        "regime — yet well under 1% of packets end up more\nthan one "
+        "transmission time late, while the omniscient replay stays perfect."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: record a schedule, replay it with LSTF, judge the result.
+
+This walks the paper's core experiment (§2.3) end to end on a small
+dumbbell network:
+
+1. build a topology and an open-loop UDP workload,
+2. run it under FIFO and *record* the schedule {(path(p), i(p), o(p))},
+3. replay the same packets on a fresh network where every port runs
+   LSTF, with slack headers initialised from the recorded output times,
+4. report how many packets missed their original targets.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro import (
+    BoundedPareto,
+    PoissonWorkload,
+    build_dumbbell,
+    install_udp_flows,
+    poisson_flows,
+    record_schedule,
+    replay_schedule,
+)
+
+
+def main() -> None:
+    # A fresh-network factory: replay must start from empty queues on an
+    # identical topology, so the experiment owns a builder, not a network.
+    make_network = functools.partial(build_dumbbell, num_pairs=4)
+
+    # --- 1. workload -----------------------------------------------------
+    network = make_network()
+    flows = poisson_flows(
+        hosts=[h.name for h in network.hosts],
+        sizes=BoundedPareto(alpha=1.2, low=1_500, high=100_000),
+        workload=PoissonWorkload(
+            utilization=0.7,
+            reference_bandwidth=50e6,  # the dumbbell bottleneck
+            duration=0.1,
+            seed=42,
+        ),
+    )
+    print(f"generated {len(flows)} flows over {len(network.hosts)} hosts")
+
+    # --- 2. record the original (FIFO) schedule ---------------------------
+    install_udp_flows(network, flows)
+    schedule = record_schedule(network, description="dumbbell/FIFO/70%")
+    print(
+        f"recorded {len(schedule)} packets; "
+        f"congestion points per packet: {schedule.congestion_point_histogram()}"
+    )
+
+    # --- 3 + 4. replay under candidate UPSes ------------------------------
+    for mode in ("lstf", "edf", "priority", "omniscient"):
+        result = replay_schedule(schedule, make_network, mode=mode)
+        verdict = "PERFECT" if result.perfect else f"max lateness {result.max_lateness:.2e}s"
+        print(f"  {result.summary():70s} [{verdict}]")
+
+    print(
+        "\nExpected shape: omniscient replay is perfect (Appendix B), LSTF "
+        "and EDF agree (Appendix E)\nand miss few targets, while static "
+        "priorities do noticeably worse."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works in offline environments whose
+setuptools cannot do PEP 660 editable installs (no ``wheel`` package).
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Universal Packet Scheduling' (NSDI 2016): LSTF "
+        "replay and practical objectives on a from-scratch discrete-event "
+        "network simulator"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "networkx"],
+)

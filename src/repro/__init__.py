@@ -1,0 +1,180 @@
+"""repro — a reproduction of *Universal Packet Scheduling* (NSDI 2016).
+
+Mittal, Agarwal, Ratnasamy, Shenker asked whether one packet scheduling
+algorithm can replace all others, answered "almost", and identified Least
+Slack Time First (LSTF) as the near-universal candidate.  This package
+rebuilds their entire evaluation stack in pure Python:
+
+* a deterministic store-and-forward network simulator (:mod:`repro.sim`),
+* the scheduler zoo (:mod:`repro.schedulers`) — FIFO, LIFO, Random, SJF,
+  SRPT, FQ, DRR, FIFO+, static priorities, LSTF, network-EDF, omniscient,
+* the record/replay machinery of §2 (:mod:`repro.core.replay`),
+* the practical slack heuristics of §3 (:mod:`repro.core.heuristics`),
+* the paper's topologies, workloads, transports, metrics, the appendix
+  counter-example gadgets (:mod:`repro.theory`), and experiment drivers
+  for every table and figure (:mod:`repro.experiments`).
+
+Quick taste (see ``examples/quickstart.py`` for the narrated version)::
+
+    from repro import (
+        build_dumbbell, poisson_flows, install_udp_flows, record_schedule,
+        replay_schedule, PoissonWorkload, BoundedPareto,
+    )
+
+    make_net = lambda: build_dumbbell(num_pairs=4)
+    net = make_net()
+    flows = poisson_flows(
+        hosts=[h.name for h in net.hosts],
+        sizes=BoundedPareto(),
+        workload=PoissonWorkload(0.7, 50e6, duration=0.1),
+    )
+    install_udp_flows(net, flows)
+    schedule = record_schedule(net)          # the original (FIFO) schedule
+    result = replay_schedule(schedule, make_net, mode="lstf")
+    print(result.summary())
+"""
+
+from repro.core.flow import Flow
+from repro.core.heuristics import (
+    ConstantSlack,
+    FlowSizeSlack,
+    SlackPolicy,
+    VirtualClockSlack,
+)
+from repro.core.packet import Packet
+from repro.core.replay import (
+    REPLAY_MODES,
+    RecordedPacket,
+    RecordedSchedule,
+    ReplayResult,
+    record_schedule,
+    replay_schedule,
+)
+from repro.core.slack import initialize_replay_slack, replay_slack
+from repro.core.trace_io import load_schedule, save_schedule
+from repro.errors import (
+    ConfigurationError,
+    ReplayError,
+    ReproError,
+    RoutingError,
+    SchedulerError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.schedulers import (
+    DrrScheduler,
+    EdfScheduler,
+    FifoPlusScheduler,
+    FifoScheduler,
+    FqScheduler,
+    LifoScheduler,
+    LstfScheduler,
+    OmniscientScheduler,
+    PriorityScheduler,
+    RandomScheduler,
+    Scheduler,
+    SjfScheduler,
+    SrptScheduler,
+    TimetableScheduler,
+    make_scheduler,
+    scheduler_names,
+)
+from repro.schedulers.pheap import PHeap, PHeapLstfScheduler
+from repro.sim.aqm import CoDelAqm, RedAqm
+from repro.sim.engine import Engine
+from repro.sim.network import Network
+from repro.topology import (
+    FatTreeConfig,
+    Internet2Config,
+    RocketFuelConfig,
+    build_dumbbell,
+    build_fattree,
+    build_internet2,
+    build_linear,
+    build_parking_lot,
+    build_rocketfuel,
+    build_single_switch,
+)
+from repro.transport.tcp import TcpStats, install_tcp_flows
+from repro.transport.udp import install_udp_flows
+from repro.workload.distributions import (
+    BoundedPareto,
+    EmpiricalCdf,
+    ExponentialSize,
+    datacenter_distribution,
+    internet_distribution,
+    web_search_distribution,
+)
+from repro.workload.flows import PoissonWorkload, long_lived_flows, poisson_flows
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoundedPareto",
+    "CoDelAqm",
+    "ConfigurationError",
+    "ConstantSlack",
+    "DrrScheduler",
+    "EdfScheduler",
+    "EmpiricalCdf",
+    "Engine",
+    "ExponentialSize",
+    "FatTreeConfig",
+    "FifoPlusScheduler",
+    "FifoScheduler",
+    "Flow",
+    "FlowSizeSlack",
+    "FqScheduler",
+    "Internet2Config",
+    "LifoScheduler",
+    "LstfScheduler",
+    "Network",
+    "OmniscientScheduler",
+    "PHeap",
+    "PHeapLstfScheduler",
+    "Packet",
+    "PoissonWorkload",
+    "PriorityScheduler",
+    "REPLAY_MODES",
+    "RandomScheduler",
+    "RedAqm",
+    "RecordedPacket",
+    "RecordedSchedule",
+    "ReplayError",
+    "ReplayResult",
+    "ReproError",
+    "RocketFuelConfig",
+    "RoutingError",
+    "Scheduler",
+    "SchedulerError",
+    "SimulationError",
+    "SjfScheduler",
+    "SlackPolicy",
+    "SrptScheduler",
+    "TcpStats",
+    "TimetableScheduler",
+    "VirtualClockSlack",
+    "WorkloadError",
+    "build_dumbbell",
+    "build_fattree",
+    "build_internet2",
+    "build_linear",
+    "build_parking_lot",
+    "build_rocketfuel",
+    "build_single_switch",
+    "datacenter_distribution",
+    "initialize_replay_slack",
+    "install_tcp_flows",
+    "install_udp_flows",
+    "internet_distribution",
+    "load_schedule",
+    "long_lived_flows",
+    "make_scheduler",
+    "poisson_flows",
+    "record_schedule",
+    "replay_schedule",
+    "replay_slack",
+    "save_schedule",
+    "scheduler_names",
+    "web_search_distribution",
+]

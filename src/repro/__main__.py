@@ -1,0 +1,8 @@
+"""``python -m repro`` — regenerate the paper's artefacts from the shell."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""ASCII reporting: tables and plots in the paper's format."""
+
+from repro.analysis.tables import Table
+from repro.analysis.plots import ascii_cdf, ascii_series
+
+__all__ = ["Table", "ascii_cdf", "ascii_series"]

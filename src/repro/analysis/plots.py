@@ -1,0 +1,53 @@
+"""ASCII plots: CDFs and time series, for terminal-friendly figures."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_cdf", "ascii_series"]
+
+
+def ascii_cdf(
+    samples: Iterable[float],
+    title: str = "",
+    width: int = 50,
+    points: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0),
+) -> str:
+    """Render an empirical CDF as quantile rows with bars.
+
+    Each row shows ``P(X <= value) = q`` for the requested quantiles.
+    """
+    data = np.sort(np.asarray(list(samples), dtype=float))
+    if data.size == 0:
+        raise ValueError("cannot plot an empty CDF")
+    lines = [title] if title else []
+    for q in points:
+        value = float(np.quantile(data, min(q, 1.0)))
+        bar = "#" * max(1, int(round(q * width)))
+        lines.append(f"  p{int(q * 100):3d}  {value:12.6g}  |{bar}")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    x: Sequence[float],
+    y: Sequence[float],
+    title: str = "",
+    width: int = 50,
+    max_rows: int = 20,
+) -> str:
+    """Render a time series as one bar per (down-sampled) x value."""
+    xs = np.asarray(list(x), dtype=float)
+    ys = np.asarray(list(y), dtype=float)
+    if xs.size != ys.size or xs.size == 0:
+        raise ValueError("x and y must be equal-length, non-empty")
+    if xs.size > max_rows:
+        idx = np.linspace(0, xs.size - 1, max_rows).astype(int)
+        xs, ys = xs[idx], ys[idx]
+    top = float(ys.max()) or 1.0
+    lines = [title] if title else []
+    for xv, yv in zip(xs, ys):
+        bar = "#" * int(round(width * yv / top))
+        lines.append(f"  {xv:10.6g}  {yv:10.6g}  |{bar}")
+    return "\n".join(lines)

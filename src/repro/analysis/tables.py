@@ -1,0 +1,60 @@
+"""Minimal ASCII table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["Table"]
+
+
+class Table:
+    """Accumulate rows, render aligned columns.
+
+    >>> t = Table(["name", "value"])
+    >>> t.add_row(["alpha", 1.5])
+    >>> print(t.render())
+    name   | value
+    -------+------
+    alpha  | 1.5
+    """
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        self.title = title
+        self._headers = [str(h) for h in headers]
+        self._rows: list[list[str]] = []
+
+    def add_row(self, cells: Sequence[object]) -> None:
+        row = [self._format(c) for c in cells]
+        if len(row) != len(self._headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self._headers)} columns"
+            )
+        self._rows.append(row)
+
+    @staticmethod
+    def _format(cell: object) -> str:
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) < 1e-3 or abs(cell) >= 1e5:
+                return f"{cell:.3g}"
+            return f"{cell:.4f}".rstrip("0").rstrip(".")
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self._headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt(self._headers).replace(" | ", "  | "))
+        lines.append("-+-".join("-" * (w + 1) for w in widths).rstrip("-") + "-")
+        lines.extend(fmt(r) for r in self._rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,220 @@
+"""Command-line interface: regenerate any paper artefact from the shell.
+
+Examples::
+
+    python -m repro table1                   # all 14 Table 1 rows
+    python -m repro table1 --rows 1 12 13    # a subset
+    python -m repro fig1                     # delay-ratio quantiles
+    python -m repro fig2                     # FCT comparison
+    python -m repro fig3                     # tail latency
+    python -m repro fig4                     # fairness convergence
+    python -m repro gadgets                  # Figures 5/6/7 theorems
+    python -m repro info                     # §5 quantisation extension
+    python -m repro weighted                 # §3.3 weighted fairness
+
+Shared flags: ``--duration`` (workload horizon, seconds), ``--seed``,
+``--scale`` (bandwidth scale; 0.01 default, 1.0 = the paper's full
+bandwidths — expect long runtimes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.tables import Table
+
+__all__ = ["main"]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--duration", type=float, default=0.2,
+                        help="workload duration in simulated seconds")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--scale", type=float, default=0.01,
+                        help="bandwidth scale (1.0 = paper's full scale)")
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.replayability import run_replay, table1_scenarios
+
+    scenarios = table1_scenarios(
+        duration=args.duration, seed=args.seed, bandwidth_scale=args.scale
+    )
+    if args.rows:
+        scenarios = [scenarios[i] for i in args.rows]
+    table = Table(
+        ["scenario", "packets", "overdue", "overdue > T"],
+        title="Table 1 — LSTF replayability",
+    )
+    for scenario in scenarios:
+        outcome = run_replay(scenario)
+        table.add_row(
+            [
+                scenario.name,
+                outcome.result.num_packets,
+                outcome.fraction_overdue,
+                outcome.fraction_overdue_beyond_t,
+            ]
+        )
+        print(f"  done: {scenario.name}", file=sys.stderr)
+    print(table.render())
+    return 0
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.experiments.replayability import ReplayScenario, run_replay
+
+    table = Table(
+        ["original", "p10", "p50", "p90", "p99", "frac <= 1"],
+        title="Figure 1 — LSTF:original queueing delay ratio",
+    )
+    for scheduler in ("random", "fifo", "fq", "sjf", "lifo", "fq+fifo+"):
+        scenario = ReplayScenario(
+            name=f"fig1/{scheduler}", scheduler=scheduler,
+            duration=args.duration, seed=args.seed, bandwidth_scale=args.scale,
+        )
+        ratios = run_replay(scenario).result.queueing_delay_ratios()
+        q = np.quantile(ratios, [0.1, 0.5, 0.9, 0.99])
+        table.add_row([scheduler, q[0], q[1], q[2], q[3],
+                       float(np.mean(ratios <= 1.0 + 1e-9))])
+    print(table.render())
+    return 0
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    from repro.experiments.fct import run_fct_experiment
+
+    results = run_fct_experiment(
+        duration=max(args.duration, 0.2), seed=args.seed, bandwidth_scale=args.scale
+    )
+    table = Table(["scheme", "flows", "mean FCT (s)"],
+                  title="Figure 2 — mean flow completion time")
+    for name, res in results.items():
+        table.add_row([name, res.stats.completed, res.mean_fct])
+    print(table.render())
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    from repro.experiments.tail import run_tail_experiment
+
+    results = run_tail_experiment(
+        schemes=("fifo", "lstf-constant", "fifo+"),
+        duration=max(args.duration, 0.2), seed=args.seed,
+        bandwidth_scale=args.scale,
+    )
+    table = Table(["scheme", "mean (s)", "p99 (s)", "p99.9 (s)"],
+                  title="Figure 3 — tail packet delays")
+    for name, res in results.items():
+        table.add_row([name, res.mean, res.p99, res.p999])
+    print(table.render())
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.experiments.fairness import run_fairness_experiment
+
+    results = run_fairness_experiment(seed=args.seed)
+    table = Table(["scheme", "final Jain", "t(0.95) s"],
+                  title="Figure 4 — convergence to fairness")
+    for name, res in results.items():
+        table.add_row([name, res.final_fairness, res.time_to_reach(0.95) or "never"])
+    print(table.render())
+    return 0
+
+
+def _cmd_gadgets(_args: argparse.Namespace) -> int:
+    from repro.theory.blackbox import blackbox_gadget
+    from repro.theory.lstf_failure import lstf_three_congestion_gadget
+    from repro.theory.priority_cycle import (
+        all_priority_orderings_fail,
+        priority_cycle_gadget,
+    )
+
+    table = Table(["construction", "claim", "holds"],
+                  title="Appendix counter-examples")
+    pc = priority_cycle_gadget()
+    table.add_row(["Figure 6", "all static priority orderings fail",
+                   all_priority_orderings_fail(pc)])
+    table.add_row(["Figure 6", "LSTF replays perfectly", pc.replay("lstf").perfect])
+    f7 = lstf_three_congestion_gadget()
+    table.add_row(["Figure 7", "LSTF fails at 3 congestion points",
+                   not f7.replay("lstf").perfect])
+    table.add_row(["Figure 7", "omniscient replay perfect",
+                   f7.replay("omniscient").perfect])
+    lstf_both = all(blackbox_gadget(c).replay("lstf").perfect for c in (1, 2))
+    omni_both = all(blackbox_gadget(c).replay("omniscient").perfect for c in (1, 2))
+    table.add_row(["Figure 5", "LSTF fails at least one case", not lstf_both])
+    table.add_row(["Figure 5", "omniscient passes both cases", omni_both])
+    print(table.render())
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.experiments.information import run_information_experiment
+    from repro.experiments.replayability import ReplayScenario
+
+    scenario = ReplayScenario(
+        name="cli/info", duration=args.duration, seed=args.seed,
+        bandwidth_scale=args.scale,
+    )
+    table = Table(["quantisation (T)", "overdue", "overdue > T", "max lateness (s)"],
+                  title="§5 extension — replay vs information precision")
+    for point in run_information_experiment(scenario=scenario):
+        table.add_row([point.step_in_t, point.fraction_overdue,
+                       point.fraction_overdue_beyond_t, point.max_lateness])
+    print(table.render())
+    return 0
+
+
+def _cmd_weighted(args: argparse.Namespace) -> int:
+    from repro.experiments.fairness import run_weighted_fairness_experiment
+
+    table = Table(["scheme", "rates (Mbps, weights 1/2/4)", "weighted Jain"],
+                  title="§3.3 extension — weighted fairness")
+    for scheme in ("lstf", "fq"):
+        achieved, _norm, res = run_weighted_fairness_experiment(
+            weights=(1.0, 2.0, 4.0), scheme=scheme, seed=args.seed
+        )
+        rates = "/".join(f"{a / 1e6:.2f}" for a in achieved)
+        table.add_row([scheme, rates, res.final_fairness])
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artefacts from 'Universal Packet Scheduling' (NSDI 2016).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="Table 1: LSTF replayability rows")
+    p.add_argument("--rows", type=int, nargs="*", default=None,
+                   help="row indices (0-based) to run; default all 14")
+    _add_common(p)
+    p.set_defaults(fn=_cmd_table1)
+
+    for name, fn, needs_common in (
+        ("fig1", _cmd_fig1, True),
+        ("fig2", _cmd_fig2, True),
+        ("fig3", _cmd_fig3, True),
+        ("fig4", _cmd_fig4, True),
+        ("gadgets", _cmd_gadgets, False),
+        ("info", _cmd_info, True),
+        ("weighted", _cmd_weighted, True),
+    ):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        if needs_common:
+            _add_common(p)
+        p.set_defaults(fn=fn)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)

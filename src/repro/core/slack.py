@@ -1,0 +1,70 @@
+"""Slack algebra (§2.1 and Appendix A/D).
+
+The central quantity of the paper: a packet's **slack** is the total
+queueing time it can still absorb without missing its target output time,
+
+    slack(p) = o(p) − i(p) − tmin(p, src(p), dest(p))
+
+initialised at the ingress from black-box information only (the desired
+output time and the path).  ``tmin`` is the uncongested last-bit traversal
+time: per-link serialisation plus propagation, summed along the path
+(store-and-forward).
+
+Routers then maintain the invariant of Appendix D,
+
+    slack(p, α, t) = o(p) − t − tmin(p, α, dest(p)) + T(p, α)
+
+by rewriting the header on every dequeue (see
+:class:`repro.schedulers.lstf.LstfScheduler`).  The functions here cover
+the ingress side and the bookkeeping the replay engine needs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import ReplayError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.packet import Packet
+    from repro.sim.network import Network
+
+__all__ = ["initialize_replay_slack", "path_tmin", "remaining_tmin", "replay_slack"]
+
+
+def path_tmin(network: "Network", size: int, path: Iterable[str]) -> float:
+    """Uncongested last-bit traversal time of a ``size``-byte packet along
+    ``path`` (a sequence of node names)."""
+    return network.path_tmin(size, path)
+
+
+def remaining_tmin(network: "Network", node: str, dst: str, size: int) -> float:
+    """``tmin(p, α, dest)``: uncongested time from node ``α`` to delivery."""
+    return network.remaining_tmin(node, dst, size)
+
+
+def replay_slack(network: "Network", size: int, src: str, dst: str,
+                 ingress_time: float, output_time: float) -> float:
+    """The ingress slack assignment for replay: ``o(p) − i(p) − tmin``.
+
+    A negative result means the requested output time is faster than the
+    uncongested traversal — no scheduler can achieve it, so the recorded
+    schedule and the replay topology disagree.
+    """
+    slack = output_time - ingress_time - network.tmin(src, dst, size)
+    if slack < -1e-9:
+        raise ReplayError(
+            f"target output time {output_time!r} for a {size}B packet "
+            f"{src!r}->{dst!r} entering at {ingress_time!r} is below the "
+            f"uncongested traversal time; the schedule is not viable on "
+            "this topology"
+        )
+    return max(slack, 0.0)
+
+
+def initialize_replay_slack(packet: "Packet", network: "Network", output_time: float) -> None:
+    """Stamp a packet's header for LSTF replay of a recorded schedule."""
+    packet.slack = replay_slack(
+        network, packet.size, packet.src, packet.dst, packet.created, output_time
+    )
+    packet.deadline = output_time

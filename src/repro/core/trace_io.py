@@ -1,0 +1,98 @@
+"""Persistence for recorded schedules.
+
+Recording a large original schedule is the expensive half of a replay
+experiment (the ``repro_why`` of this reproduction: "large replay traces
+slow").  These helpers serialise a
+:class:`~repro.core.replay.RecordedSchedule` to a compact JSON document so
+a trace can be recorded once and replayed under many candidate UPSes,
+parameter sweeps, or future scheduler implementations.
+
+Format: a versioned JSON object with schedule metadata and one row per
+packet.  JSON keeps traces diffable and language-neutral; gzip (used
+automatically for ``.gz`` paths) brings the size within ~2x of a binary
+encoding.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import IO
+
+from repro.core.replay import RecordedPacket, RecordedSchedule
+from repro.errors import ReplayError
+
+__all__ = ["load_schedule", "save_schedule"]
+
+FORMAT_VERSION = 1
+
+
+def _open(path: Path, mode: str) -> IO:
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def save_schedule(schedule: RecordedSchedule, path: str | Path) -> None:
+    """Write a recorded schedule to ``path`` (gzipped iff it ends ``.gz``)."""
+    path = Path(path)
+    document = {
+        "format": "repro.recorded_schedule",
+        "version": FORMAT_VERSION,
+        "description": schedule.description,
+        "threshold": schedule.threshold,
+        "packets": [
+            {
+                "pid": p.pid,
+                "flow_id": p.flow_id,
+                "flow_size": p.flow_size,
+                "size": p.size,
+                "src": p.src,
+                "dst": p.dst,
+                "i": p.ingress_time,
+                "o": p.output_time,
+                "path": list(p.path),
+                "hop_tx": list(p.hop_tx),
+                "hop_waits": list(p.hop_waits),
+            }
+            for p in schedule.packets
+        ],
+    }
+    with _open(path, "w") as fh:
+        json.dump(document, fh)
+
+
+def load_schedule(path: str | Path) -> RecordedSchedule:
+    """Read a schedule previously written by :func:`save_schedule`."""
+    path = Path(path)
+    with _open(path, "r") as fh:
+        document = json.load(fh)
+    if document.get("format") != "repro.recorded_schedule":
+        raise ReplayError(f"{path} is not a recorded-schedule file")
+    if document.get("version") != FORMAT_VERSION:
+        raise ReplayError(
+            f"{path} uses format version {document.get('version')!r}; this "
+            f"library reads version {FORMAT_VERSION}"
+        )
+    packets = [
+        RecordedPacket(
+            pid=row["pid"],
+            flow_id=row["flow_id"],
+            flow_size=row["flow_size"],
+            size=row["size"],
+            src=row["src"],
+            dst=row["dst"],
+            ingress_time=row["i"],
+            output_time=row["o"],
+            path=tuple(row["path"]),
+            hop_tx=tuple(row["hop_tx"]),
+            hop_waits=tuple(row["hop_waits"]),
+        )
+        for row in document["packets"]
+    ]
+    return RecordedSchedule(
+        packets,
+        threshold=document["threshold"],
+        description=document.get("description", ""),
+    )

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish configuration mistakes from runtime events.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation object was built or wired incorrectly.
+
+    Examples: adding a duplicate node, linking a node to itself, installing
+    a scheduler after the simulation has started, or requesting a route
+    between disconnected nodes.
+    """
+
+
+class RoutingError(ConfigurationError):
+    """No route exists between the requested endpoints."""
+
+
+class SimulationError(ReproError):
+    """An invariant was violated while the event loop was running."""
+
+
+class SchedulerError(ReproError):
+    """A scheduler was used in a way its contract forbids.
+
+    Examples: popping from an empty queue, or feeding an omniscient
+    scheduler a packet that carries no per-hop timetable.
+    """
+
+
+class ReplayError(ReproError):
+    """A recorded schedule cannot be replayed as requested.
+
+    Examples: replaying onto a topology that is missing nodes the recorded
+    paths traverse, or asking for a replay mode that needs per-hop times
+    when only black-box information was recorded.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload generator received unsatisfiable parameters."""

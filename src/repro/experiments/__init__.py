@@ -1,0 +1,45 @@
+"""Experiment orchestration: one module per paper artefact.
+
+Every module exposes a laptop-scale ``run_*`` entry point used by both the
+``examples/`` scripts and the ``benchmarks/`` harness, and accepts
+parameters that restore the paper's full scale (see DESIGN.md for the
+scaling argument: all bandwidth ratios, utilisations, and scheduler logic
+are preserved; only the event count shrinks).
+
+* :mod:`repro.experiments.replayability` — Table 1, Figure 1, the §2.3(7)
+  priority comparison and the §2.3(5) preemption ablation.
+* :mod:`repro.experiments.fct` — Figure 2 (mean FCT vs SJF/SRPT/FIFO).
+* :mod:`repro.experiments.tail` — Figure 3 (tail delays vs FIFO).
+* :mod:`repro.experiments.fairness` — Figure 4 (convergence to fairness).
+"""
+
+from repro.experiments.replayability import (
+    ReplayOutcome,
+    ReplayScenario,
+    run_replay,
+    table1_scenarios,
+)
+from repro.experiments.fct import FctExperimentResult, run_fct_experiment
+from repro.experiments.tail import TailExperimentResult, run_tail_experiment
+from repro.experiments.fairness import (
+    FairnessExperimentResult,
+    run_fairness_experiment,
+    run_weighted_fairness_experiment,
+)
+from repro.experiments.information import QuantisationPoint, run_information_experiment
+
+__all__ = [
+    "FairnessExperimentResult",
+    "FctExperimentResult",
+    "QuantisationPoint",
+    "ReplayOutcome",
+    "ReplayScenario",
+    "TailExperimentResult",
+    "run_fairness_experiment",
+    "run_fct_experiment",
+    "run_information_experiment",
+    "run_replay",
+    "run_tail_experiment",
+    "run_weighted_fairness_experiment",
+    "table1_scenarios",
+]

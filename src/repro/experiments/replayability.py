@@ -1,0 +1,258 @@
+"""Replayability experiments: Table 1, Figure 1, and the §2.3 ablations.
+
+A :class:`ReplayScenario` names one Table 1 row: a topology variant, an
+"original" scheduling algorithm, and a load level.  :func:`run_replay`
+records the original schedule under that configuration and replays it with
+a candidate UPS, returning the two Table 1 columns (fraction overdue, and
+overdue by more than one bottleneck transmission time ``T``) plus the
+queueing-delay ratios behind Figure 1.
+
+Scale: the defaults run every scenario at 1/100th of the paper's
+bandwidths on a 20-host Internet2 (2 edge routers per core router instead
+of 10).  Utilisation — the quantity the paper sweeps — is set against each
+scenario's bottleneck, so scheduling behaviour is preserved; see
+DESIGN.md.  Passing ``bandwidth_scale=1.0, edges_per_core=10,
+duration=...`` reproduces the full-scale setup if you have the hours.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.core.replay import (
+    RecordedSchedule,
+    ReplayResult,
+    record_schedule,
+    replay_schedule,
+)
+from repro.errors import ConfigurationError
+from repro.schedulers import (
+    FifoPlusScheduler,
+    FifoScheduler,
+    FqScheduler,
+    LifoScheduler,
+    RandomScheduler,
+    SjfScheduler,
+)
+from repro.sim.network import Network
+from repro.topology.fattree import FatTreeConfig, build_fattree
+from repro.topology.internet2 import Internet2Config, build_internet2
+from repro.topology.rocketfuel import RocketFuelConfig, build_rocketfuel
+from repro.transport.udp import install_udp_flows
+from repro.units import GBPS
+from repro.workload.distributions import BoundedPareto, SizeDistribution
+from repro.workload.flows import PoissonWorkload, poisson_flows
+
+__all__ = ["ReplayOutcome", "ReplayScenario", "run_replay", "table1_scenarios"]
+
+TOPOLOGIES = ("i2-1g-10g", "i2-1g-1g", "i2-10g-10g", "rocketfuel", "fattree")
+ORIGINALS = ("random", "fifo", "fq", "sjf", "lifo", "fq+fifo+")
+
+
+@dataclass(frozen=True, slots=True)
+class ReplayScenario:
+    """One Table 1 row."""
+
+    name: str
+    topology: str = "i2-1g-10g"
+    scheduler: str = "random"
+    utilization: float = 0.7
+    duration: float = 0.25
+    seed: int = 1
+    bandwidth_scale: float = 0.01
+    edges_per_core: int = 2
+    rocketfuel_hosts: int = 20
+    fattree_k: int = 4
+    max_flow_bytes: int = 1_000_000
+
+    def with_(self, **kwargs) -> "ReplayScenario":
+        return replace(self, **kwargs)
+
+
+def _size_distribution(scenario: ReplayScenario) -> SizeDistribution:
+    """Heavy-tailed sizes, truncated so laptop-scale runs stay bounded."""
+    return BoundedPareto(alpha=1.2, low=1_500, high=scenario.max_flow_bytes)
+
+
+def _i2_config(scenario: ReplayScenario) -> Internet2Config:
+    base = Internet2Config(
+        edges_per_core=scenario.edges_per_core,
+        bandwidth_scale=scenario.bandwidth_scale,
+    )
+    if scenario.topology == "i2-1g-1g":
+        return replace(base, host_bw=1 * GBPS)
+    if scenario.topology == "i2-10g-10g":
+        return replace(base, access_bw=10 * GBPS)
+    return base
+
+
+def topology_factory(scenario: ReplayScenario) -> Callable[[], Network]:
+    """A zero-argument builder for the scenario's topology."""
+    if scenario.topology.startswith("i2"):
+        cfg = _i2_config(scenario)
+        return lambda: build_internet2(cfg)
+    if scenario.topology == "rocketfuel":
+        cfg = RocketFuelConfig(
+            num_hosts=scenario.rocketfuel_hosts,
+            bandwidth_scale=scenario.bandwidth_scale,
+        )
+        return lambda: build_rocketfuel(cfg)
+    if scenario.topology == "fattree":
+        cfg = FatTreeConfig(
+            k=scenario.fattree_k, bandwidth_scale=scenario.bandwidth_scale
+        )
+        return lambda: build_fattree(cfg)
+    raise ConfigurationError(
+        f"unknown topology {scenario.topology!r}; choose from {TOPOLOGIES}"
+    )
+
+
+def reference_bandwidth(scenario: ReplayScenario) -> float:
+    """The bandwidth ``utilization`` is measured against (the bottleneck a
+    typical packet crosses — access links normally, the slow core links
+    when the access network outruns the core)."""
+    scale = scenario.bandwidth_scale
+    if scenario.topology == "i2-10g-10g":
+        cfg = _i2_config(scenario)
+        return cfg.core_bw_slow * scale
+    if scenario.topology.startswith("i2"):
+        cfg = _i2_config(scenario)
+        return min(cfg.access_bw, cfg.host_bw) * scale
+    if scenario.topology == "rocketfuel":
+        cfg = RocketFuelConfig(bandwidth_scale=scale)
+        return min(cfg.access_bw, cfg.core_bw_slow) * scale
+    if scenario.topology == "fattree":
+        return FatTreeConfig(k=scenario.fattree_k, bandwidth_scale=scale).bottleneck_bw
+    raise ConfigurationError(f"unknown topology {scenario.topology!r}")
+
+
+def _original_scheduler_factory(scenario: ReplayScenario):
+    """Per-port scheduler factory for the *original* run (router ports
+    only; host uplinks stay FIFO, i.e. the natural pacing of a NIC)."""
+    rng = random.Random(scenario.seed)
+    kind = scenario.scheduler
+
+    makers = {
+        "random": lambda: RandomScheduler(rng),
+        "fifo": FifoScheduler,
+        "fq": FqScheduler,
+        "sjf": SjfScheduler,
+        "lifo": LifoScheduler,
+    }
+
+    if kind in makers:
+        make = makers[kind]
+
+        def factory(node: str, _neighbor: str):
+            if node.startswith("h"):  # host uplink: keep FIFO
+                return None
+            return make()
+
+        return factory
+
+    if kind == "fq+fifo+":
+        # §2.3: half the routers run FIFO+, the other half fair queueing.
+        # The split must be deterministic across processes (str.hash is
+        # salted), so key it on a stable digest of the node name.
+        def factory(node: str, _neighbor: str):
+            if node.startswith("h"):
+                return None
+            stable = sum(node.encode())
+            return FqScheduler() if stable % 2 == 0 else FifoPlusScheduler()
+
+        return factory
+
+    raise ConfigurationError(
+        f"unknown original scheduler {kind!r}; choose from {ORIGINALS}"
+    )
+
+
+@dataclass(slots=True)
+class ReplayOutcome:
+    """A Table 1 row's worth of results."""
+
+    scenario: ReplayScenario
+    mode: str
+    schedule: RecordedSchedule
+    result: ReplayResult
+
+    @property
+    def fraction_overdue(self) -> float:
+        return self.result.fraction_overdue
+
+    @property
+    def fraction_overdue_beyond_t(self) -> float:
+        return self.result.fraction_overdue_beyond_threshold
+
+    def row(self) -> tuple[str, str, str, int, float, float]:
+        s = self.scenario
+        return (
+            s.topology,
+            f"{s.utilization:.0%}",
+            s.scheduler,
+            len(self.schedule),
+            self.fraction_overdue,
+            self.fraction_overdue_beyond_t,
+        )
+
+
+def build_recorded_schedule(scenario: ReplayScenario) -> RecordedSchedule:
+    """Record the original schedule for a scenario (no replay)."""
+    factory = topology_factory(scenario)
+    network = factory()
+    network.install_schedulers(_original_scheduler_factory(scenario))
+    flows = poisson_flows(
+        hosts=[h.name for h in network.hosts],
+        sizes=_size_distribution(scenario),
+        workload=PoissonWorkload(
+            utilization=scenario.utilization,
+            reference_bandwidth=reference_bandwidth(scenario),
+            duration=scenario.duration,
+            seed=scenario.seed,
+        ),
+    )
+    install_udp_flows(network, flows)
+    return record_schedule(network, description=scenario.name)
+
+
+def run_replay(
+    scenario: ReplayScenario,
+    mode: str = "lstf",
+    schedule: RecordedSchedule | None = None,
+    **replay_kwargs,
+) -> ReplayOutcome:
+    """Record (or reuse) the original schedule and replay it under ``mode``."""
+    if schedule is None:
+        schedule = build_recorded_schedule(scenario)
+    result = replay_schedule(
+        schedule, topology_factory(scenario), mode=mode, **replay_kwargs
+    )
+    return ReplayOutcome(scenario=scenario, mode=mode, schedule=schedule, result=result)
+
+
+def table1_scenarios(
+    duration: float = 0.25, seed: int = 1, bandwidth_scale: float = 0.01
+) -> list[ReplayScenario]:
+    """The thirteen rows of Table 1, in the paper's order."""
+    base = ReplayScenario(
+        name="", duration=duration, seed=seed, bandwidth_scale=bandwidth_scale
+    )
+    rows = [
+        base.with_(name="I2 1G-10G / 70% / Random"),
+        base.with_(name="I2 1G-10G / 10% / Random", utilization=0.10),
+        base.with_(name="I2 1G-10G / 30% / Random", utilization=0.30),
+        base.with_(name="I2 1G-10G / 50% / Random", utilization=0.50),
+        base.with_(name="I2 1G-10G / 90% / Random", utilization=0.90),
+        base.with_(name="I2 1G-1G / 70% / Random", topology="i2-1g-1g"),
+        base.with_(name="I2 10G-10G / 70% / Random", topology="i2-10g-10g"),
+        base.with_(name="RocketFuel / 70% / Random", topology="rocketfuel"),
+        base.with_(name="Datacenter / 70% / Random", topology="fattree"),
+        base.with_(name="I2 1G-10G / 70% / FIFO", scheduler="fifo"),
+        base.with_(name="I2 1G-10G / 70% / FQ", scheduler="fq"),
+        base.with_(name="I2 1G-10G / 70% / SJF", scheduler="sjf"),
+        base.with_(name="I2 1G-10G / 70% / LIFO", scheduler="lifo"),
+        base.with_(name="I2 1G-10G / 70% / FQ+FIFO+", scheduler="fq+fifo+"),
+    ]
+    return rows

@@ -1,0 +1,28 @@
+"""Evaluation metrics for the paper's tables and figures."""
+
+from repro.metrics.fct import FctBucket, bucket_mean_fct, mean_fct
+from repro.metrics.delay import (
+    ccdf,
+    cdf,
+    packet_delays,
+    percentile,
+    queueing_delays,
+)
+from repro.metrics.fairness import jain_index, throughput_timeseries, fairness_timeseries
+from repro.metrics.congestion import congestion_point_histogram, max_congestion_points
+
+__all__ = [
+    "FctBucket",
+    "bucket_mean_fct",
+    "ccdf",
+    "cdf",
+    "congestion_point_histogram",
+    "fairness_timeseries",
+    "jain_index",
+    "max_congestion_points",
+    "mean_fct",
+    "packet_delays",
+    "percentile",
+    "queueing_delays",
+    "throughput_timeseries",
+]

@@ -1,0 +1,40 @@
+"""Congestion-point analysis (§2.2).
+
+A congestion point is "a node where a packet is forced to wait during a
+given schedule".  The count per packet is the paper's central structural
+parameter: priorities replay ≤ 1, LSTF replays ≤ 2, nothing replays 3+ in
+general.  These helpers summarise the counts over a recorded schedule or
+a live tracer.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.replay import RecordedSchedule
+from repro.sim.tracer import Tracer
+
+__all__ = ["congestion_point_histogram", "max_congestion_points"]
+
+_Source = Union[Tracer, RecordedSchedule]
+
+
+def _wait_lists(source: _Source):
+    if isinstance(source, RecordedSchedule):
+        return (p.hop_waits for p in source.packets)
+    return (rec.hop_waits for rec in source.delivered_records())
+
+
+def congestion_point_histogram(source: _Source, epsilon: float = 1e-12) -> dict[int, int]:
+    """Map congestion-point count -> number of packets with that count."""
+    hist: dict[int, int] = {}
+    for waits in _wait_lists(source):
+        c = sum(1 for w in waits if w > epsilon)
+        hist[c] = hist.get(c, 0) + 1
+    return dict(sorted(hist.items()))
+
+
+def max_congestion_points(source: _Source, epsilon: float = 1e-12) -> int:
+    """Largest per-packet congestion point count in the schedule."""
+    hist = congestion_point_histogram(source, epsilon)
+    return max(hist) if hist else 0

@@ -1,0 +1,76 @@
+"""Fairness metrics (Figure 4).
+
+Figure 4 plots Jain's fairness index [17] over time, computed "from the
+throughput each flow receives per millisecond".  We reconstruct per-flow
+delivered-byte time series from the tracer and evaluate the index per
+interval over the set of flows that have started.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.sim.tracer import Tracer
+
+__all__ = ["fairness_timeseries", "jain_index", "throughput_timeseries"]
+
+
+def jain_index(rates: Iterable[float]) -> float:
+    """Jain's fairness index: ``(Σx)² / (n·Σx²)``; 1.0 is perfectly fair."""
+    x = np.asarray(list(rates), dtype=float)
+    if x.size == 0:
+        raise ValueError("fairness index needs at least one rate")
+    if np.any(x < 0):
+        raise ValueError("rates must be non-negative")
+    total_sq = float(x.sum()) ** 2
+    denom = x.size * float((x * x).sum())
+    if denom == 0.0:
+        return 0.0
+    return total_sq / denom
+
+
+def throughput_timeseries(
+    tracer: Tracer,
+    flow_ids: Sequence[int],
+    interval: float,
+    horizon: float,
+    data_only: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Delivered bits/second per flow per interval.
+
+    Returns ``(times, rates)`` where ``times`` has one entry per interval
+    end and ``rates`` has shape ``(num_intervals, num_flows)``.
+    """
+    if interval <= 0 or horizon <= 0:
+        raise ValueError("interval and horizon must be positive")
+    index = {fid: k for k, fid in enumerate(flow_ids)}
+    num_bins = int(np.ceil(horizon / interval))
+    bytes_per_bin = np.zeros((num_bins, len(flow_ids)))
+    for rec in tracer.delivered_records():
+        col = index.get(rec.flow_id)
+        if col is None or (data_only and rec.size <= 64):
+            continue
+        b = int(rec.exit / interval)
+        if b < num_bins:
+            bytes_per_bin[b, col] += rec.size
+    times = (np.arange(num_bins) + 1) * interval
+    return times, bytes_per_bin * 8.0 / interval
+
+
+def fairness_timeseries(
+    tracer: Tracer,
+    flow_ids: Sequence[int],
+    interval: float,
+    horizon: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Jain index per interval over *all* flows (Figure 4's y-axis).
+
+    Matching the paper's methodology, the index is computed over the full
+    flow set from the start; it therefore only reaches 1.0 once every flow
+    has started and converged to its fair share.
+    """
+    times, rates = throughput_timeseries(tracer, flow_ids, interval, horizon)
+    fairness = np.array([jain_index(r) if r.any() else 0.0 for r in rates])
+    return times, fairness

@@ -1,0 +1,105 @@
+"""Packet schedulers.
+
+One class per algorithm the paper records, replays, or compares against:
+
+===============  =========================================================
+Class            Paper role
+===============  =========================================================
+FifoScheduler    baseline original schedule; FCT/tail comparison baseline
+LifoScheduler    hard-to-replay original (large slack skew)
+RandomScheduler  default "completely arbitrary" original schedule (§2.3)
+SjfScheduler     shortest-job-first original / FCT benchmark (Figure 2)
+SrptScheduler    SRPT with starvation prevention, FCT benchmark (Figure 2)
+FqScheduler      fair queueing [12] original / fairness baseline (Figure 4)
+DrrScheduler     deficit round robin — ablation baseline for FQ
+FifoPlusScheduler FIFO+ [11] — the tail-latency scheme LSTF emulates (§3.2)
+PriorityScheduler simple (static) priorities — the near-UPS candidate that
+                 fails beyond one congestion point (§2.2, Appendix F)
+LstfScheduler    Least Slack Time First — the near-universal scheduler
+EdfScheduler     network-wide EDF, provably equivalent to LSTF (Appendix E)
+OmniscientScheduler per-hop timetable priorities — the perfect UPS under
+                 omniscient header initialisation (Appendix B)
+TimetableScheduler oracle scheduler that exactly reproduces a hand-written
+                 schedule; builds the theory gadgets of Appendices C, F, G
+===============  =========================================================
+
+Use :func:`make_scheduler` to construct schedulers by name (handy for
+experiment configs), or instantiate the classes directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.schedulers.base import Scheduler
+from repro.schedulers.fifo import FifoScheduler
+from repro.schedulers.lifo import LifoScheduler
+from repro.schedulers.random_sched import RandomScheduler
+from repro.schedulers.priority import PriorityScheduler
+from repro.schedulers.sjf import SjfScheduler
+from repro.schedulers.srpt import SrptScheduler
+from repro.schedulers.fq import FqScheduler
+from repro.schedulers.drr import DrrScheduler
+from repro.schedulers.fifo_plus import FifoPlusScheduler
+from repro.schedulers.lstf import LstfScheduler
+from repro.schedulers.pheap import PHeap, PHeapLstfScheduler
+from repro.schedulers.edf import EdfScheduler
+from repro.schedulers.omniscient import OmniscientScheduler
+from repro.schedulers.timetable import TimetableScheduler
+
+__all__ = [
+    "DrrScheduler",
+    "EdfScheduler",
+    "FifoPlusScheduler",
+    "FifoScheduler",
+    "FqScheduler",
+    "LifoScheduler",
+    "LstfScheduler",
+    "OmniscientScheduler",
+    "PHeap",
+    "PHeapLstfScheduler",
+    "PriorityScheduler",
+    "RandomScheduler",
+    "Scheduler",
+    "SjfScheduler",
+    "SrptScheduler",
+    "TimetableScheduler",
+    "make_scheduler",
+    "scheduler_names",
+]
+
+_REGISTRY: dict[str, Callable[..., Scheduler]] = {
+    "fifo": FifoScheduler,
+    "lifo": LifoScheduler,
+    "random": RandomScheduler,
+    "priority": PriorityScheduler,
+    "sjf": SjfScheduler,
+    "srpt": SrptScheduler,
+    "fq": FqScheduler,
+    "drr": DrrScheduler,
+    "fifo+": FifoPlusScheduler,
+    "lstf": LstfScheduler,
+    "lstf-pheap": PHeapLstfScheduler,
+    "edf": EdfScheduler,
+    "omniscient": OmniscientScheduler,
+}
+
+
+def scheduler_names() -> list[str]:
+    """Names accepted by :func:`make_scheduler`."""
+    return sorted(_REGISTRY)
+
+
+def make_scheduler(name: str, **kwargs) -> Scheduler:
+    """Construct a scheduler by registry name.
+
+    >>> make_scheduler("fifo").name
+    'fifo'
+    """
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; choose from {scheduler_names()}"
+        ) from None
+    return factory(**kwargs)

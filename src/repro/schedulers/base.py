@@ -1,0 +1,106 @@
+"""Scheduler interface.
+
+A scheduler owns the set of packets queued at one output port and decides
+which packet the port transmits next.  The contract:
+
+* :meth:`push` / :meth:`pop` — called by the port with the current time.
+  ``pop`` may return ``None`` only for non-work-conserving schedulers (the
+  theory gadgets' :class:`~repro.schedulers.timetable.TimetableScheduler`);
+  in that case :meth:`earliest_release` says when to try again.
+* :meth:`drop_victim` — on buffer overflow, which packet to sacrifice.
+  The default is the arriving packet (tail drop).  LSTF overrides this to
+  drop the queued packet with the highest remaining slack, as §3 specifies.
+* :meth:`preemption_key` — static urgency key for schedulers that support
+  the preemptive port (smaller is more urgent); ``None`` disables
+  preemption support.
+
+Determinism: every scheduler breaks ties FIFO via a monotone push counter,
+so identical inputs produce identical schedules.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import SchedulerError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.packet import Packet
+    from repro.sim.port import Port
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler:
+    """Abstract base for per-port packet schedulers."""
+
+    #: Registry/display name; subclasses override.
+    name = "base"
+
+    def __init__(self) -> None:
+        self._port: "Port | None" = None
+        self._push_seq = 0
+
+    # --- wiring -------------------------------------------------------------
+
+    def attach(self, port: "Port") -> None:
+        """Bind this scheduler to its port.
+
+        Called once when the port is created.  Schedulers that need
+        topology information (EDF) or link parameters (LSTF's ``T(p, α)``
+        term) grab them here.
+        """
+        if self._port is not None and self._port is not port:
+            raise SchedulerError(
+                f"{self.name} scheduler is already attached to a port; "
+                "schedulers are per-port objects and cannot be shared"
+            )
+        self._port = port
+
+    @property
+    def port(self) -> "Port":
+        if self._port is None:
+            raise SchedulerError(f"{self.name} scheduler is not attached to a port")
+        return self._port
+
+    def _next_seq(self) -> int:
+        self._push_seq += 1
+        return self._push_seq
+
+    # --- queue operations (subclass responsibility) ---------------------------
+
+    def push(self, packet: "Packet", now: float) -> None:
+        raise NotImplementedError
+
+    def pop(self, now: float) -> Optional["Packet"]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    # --- optional behaviours ---------------------------------------------------
+
+    def earliest_release(self, now: float) -> float | None:
+        """Next time a ``pop`` could succeed, for non-work-conserving
+        schedulers that just returned ``None`` despite a non-empty queue.
+
+        Work-conserving schedulers (everything except the timetable oracle)
+        never need this and return ``None``.
+        """
+        return None
+
+    def drop_victim(self, arriving: "Packet", now: float) -> "Packet":
+        """Choose the packet to drop when the port buffer is full.
+
+        Returning ``arriving`` means "don't admit the new packet".
+        Returning a queued packet means the scheduler has *already removed*
+        that packet from its queue and the port should admit ``arriving``.
+        """
+        return arriving
+
+    def preemption_key(self, packet: "Packet") -> float | None:
+        """Static urgency key for preemptive service; ``None`` = unsupported."""
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} len={len(self)}>"

@@ -1,0 +1,61 @@
+"""Network-wide Earliest Deadline First (Appendix E).
+
+EDF keeps the packet header *static*: it carries only the target output
+time ``o(p)`` (``packet.deadline``).  Each router α derives a local
+priority from static topology knowledge:
+
+    priority(p, α) = o(p) − tmin(p, α, dest(p)) + T(p, α)
+
+Appendix E proves this is *equivalent* to LSTF — both pick the same packet
+at every instant — because ``slack(p, α, t) = priority(p, α) − t`` and the
+``−t`` shift is common to all queued packets.  The property test
+``tests/schedulers/test_edf_lstf_equivalence.py`` exercises this theorem
+end-to-end on random networks.
+
+The router-side ``tmin`` lookups are served by the network's routing/
+``remaining_tmin`` API and memoised per (destination, size).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from repro.core.packet import Packet
+from repro.schedulers.base import Scheduler
+
+__all__ = ["EdfScheduler"]
+
+
+class EdfScheduler(Scheduler):
+    """Serve the packet with the earliest locally derived deadline."""
+
+    name = "edf"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._heap: list[tuple[float, int, Packet]] = []
+        self._tmin_cache: dict[tuple[str, int], float] = {}
+
+    def _local_priority(self, packet: Packet) -> float:
+        key = (packet.dst, packet.size)
+        remaining = self._tmin_cache.get(key)
+        if remaining is None:
+            network = self.port.node.network
+            remaining = network.remaining_tmin(self.port.node.name, packet.dst, packet.size)
+            self._tmin_cache[key] = remaining
+        return packet.deadline - remaining + self.port.link.tx_time(packet.size)
+
+    def preemption_key(self, packet: Packet) -> float:
+        return self._local_priority(packet)
+
+    def push(self, packet: Packet, now: float) -> None:
+        heapq.heappush(self._heap, (self._local_priority(packet), self._next_seq(), packet))
+
+    def pop(self, now: float) -> Optional[Packet]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)

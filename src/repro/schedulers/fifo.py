@@ -1,0 +1,32 @@
+"""First-in, first-out scheduling — the drop-tail baseline."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.core.packet import Packet
+from repro.schedulers.base import Scheduler
+
+__all__ = ["FifoScheduler"]
+
+
+class FifoScheduler(Scheduler):
+    """Serve packets in arrival order."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue: deque[Packet] = deque()
+
+    def push(self, packet: Packet, now: float) -> None:
+        self._queue.append(packet)
+
+    def pop(self, now: float) -> Optional[Packet]:
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)

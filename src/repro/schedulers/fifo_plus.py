@@ -1,0 +1,52 @@
+"""FIFO+ (Clark, Shenker, Zhang [11]).
+
+FIFO+ reduces tail packet delay in multi-hop networks by prioritising
+packets according to the queueing delay they have already accumulated
+upstream: a packet that waited a long time earlier in its path is served
+as if it had arrived correspondingly earlier.
+
+§3.2 observes that FIFO+ is exactly LSTF with a *constant* initial slack:
+with every packet starting from the same slack budget, the packet with the
+least remaining slack is precisely the one that has waited the most.  We
+implement it directly from the accumulated-wait field the ports maintain
+(``packet.queue_wait``), ordering by
+
+    key(p) = te − queue_wait(p)
+
+(the "virtual arrival time" had the packet not been delayed upstream),
+which reproduces the constant-slack LSTF order without needing a slack
+policy at the ingress.  At the first hop this degrades to plain FIFO,
+matching the original algorithm.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from repro.core.packet import Packet
+from repro.schedulers.base import Scheduler
+
+__all__ = ["FifoPlusScheduler"]
+
+
+class FifoPlusScheduler(Scheduler):
+    """Serve packets in order of upstream-wait-adjusted arrival time."""
+
+    name = "fifo+"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._heap: list[tuple[float, int, Packet]] = []
+
+    def push(self, packet: Packet, now: float) -> None:
+        key = packet.enqueue_time - packet.queue_wait
+        heapq.heappush(self._heap, (key, self._next_seq(), packet))
+
+    def pop(self, now: float) -> Optional[Packet]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,108 @@
+"""Least Slack Time First — the paper's near-universal scheduler.
+
+Semantics (§2.1 and Appendix D).  A packet arrives at a port at local time
+``te`` carrying header slack ``s`` — the queueing time it can still absorb
+without missing its target output time.  While it waits, its slack drains
+at unit rate, and the paper ranks packets by the remaining slack of the
+*last bit at the moment it would finish transmitting*:
+
+    slack(p, α, t) = s − (t − te) + T(p, α)
+
+Because ``t`` is common to every queued packet at the instant a decision is
+made, the ordering is equivalent to ordering by the **static key**
+
+    key(p) = s + te + T(p, α)
+
+which lets us keep an ordinary binary heap instead of re-keying the queue
+as time advances.  On dequeue at time ``td`` the router rewrites the header
+with the slack the packet has left — "the previous slack time minus how
+much time it waited in the queue" (§2.2):
+
+    s' = s − (td − te)
+
+This same static key doubles as the preemption key for the preemptive
+variant used in the theory results (DESIGN.md §5): keys never change while
+a packet sits at a port, so "least remaining slack" comparisons between the
+in-service packet and new arrivals are just key comparisons.
+
+Drop policy: §3 specifies that with finite buffers "packets with the
+highest slack are dropped when the buffer is full", implemented in
+:meth:`LstfScheduler.drop_victim`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from repro.core.packet import Packet
+from repro.schedulers.base import Scheduler
+
+__all__ = ["LstfScheduler"]
+
+
+class LstfScheduler(Scheduler):
+    """Serve the packet with the least remaining slack."""
+
+    name = "lstf"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._heap: list[tuple[float, int, Packet]] = []
+        self._size = 0
+        # Pids lazily removed by drop_victim.  Local state on purpose: a
+        # shared packet flag would be corrupted by other schedulers on the
+        # packet's path (see SrptScheduler for the same reasoning).
+        self._evicted: set[int] = set()
+
+    # --- keys ---------------------------------------------------------------
+
+    def _key(self, packet: Packet) -> float:
+        # slack + arrival time at this port + transmission time here.
+        return packet.slack + packet.enqueue_time + self.port.link.tx_time(packet.size)
+
+    def preemption_key(self, packet: Packet) -> float:
+        return self._key(packet)
+
+    # --- queue operations ------------------------------------------------------
+
+    def push(self, packet: Packet, now: float) -> None:
+        heapq.heappush(self._heap, (self._key(packet), self._next_seq(), packet))
+        self._size += 1
+
+    def pop(self, now: float) -> Optional[Packet]:
+        heap = self._heap
+        while heap and heap[0][2].pid in self._evicted:
+            self._evicted.discard(heap[0][2].pid)
+            heapq.heappop(heap)  # lazily discard drop victims
+        if not heap:
+            return None
+        packet = heapq.heappop(heap)[2]
+        self._size -= 1
+        # Dynamic packet state: charge the wait at this hop to the header.
+        packet.slack -= now - packet.enqueue_time
+        return packet
+
+    def __len__(self) -> int:
+        return self._size
+
+    # --- finite buffers ----------------------------------------------------------
+
+    def drop_victim(self, arriving: Packet, now: float) -> Packet:
+        """Drop the packet with the *highest* remaining slack (§3).
+
+        The arriving packet participates in the comparison: if it has the
+        largest slack of all, it is the victim itself.  The scan is O(n)
+        but only runs on buffer overflow, which is rare in the regimes the
+        experiments operate in.
+        """
+        live = [e for e in self._heap if e[2].pid not in self._evicted]
+        if not live:
+            return arriving
+        worst_key, _seq, worst = max(live, key=lambda e: (e[0], e[1]))
+        arriving_key = self._key(arriving)
+        if arriving_key >= worst_key:
+            return arriving
+        self._evicted.add(worst.pid)  # lazy removal; pop() skips it
+        self._size -= 1
+        return worst

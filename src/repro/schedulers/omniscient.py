@@ -1,0 +1,64 @@
+"""Omniscient per-hop priority scheduling (Appendix B).
+
+Under *omniscient* header initialisation the ingress writes an
+n-dimensional vector into the header of packet ``p`` whose i-th element is
+``o(p, α_i)`` — the time the i-th hop on ``path(p)`` scheduled the packet
+in the original run.  Each router pops the head of the vector and uses it
+as a static priority.  Appendix B proves this replays *any* viable
+schedule perfectly; the property tests use that theorem as an oracle for
+the whole simulator (if omniscient replay is ever late, the bug is ours).
+
+Implementation detail: rather than mutating the header vector we index it
+with ``packet.path_pos``, the hop counter the nodes maintain — identical
+semantics, cheaper bookkeeping.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from repro.core.packet import Packet
+from repro.errors import SchedulerError
+from repro.schedulers.base import Scheduler
+
+__all__ = ["OmniscientScheduler"]
+
+
+class OmniscientScheduler(Scheduler):
+    """Serve packets by their recorded per-hop output times."""
+
+    name = "omniscient"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._heap: list[tuple[float, int, Packet]] = []
+
+    def _key(self, packet: Packet) -> float:
+        if packet.hop_times is None:
+            raise SchedulerError(
+                f"packet {packet.pid} carries no per-hop timetable; omniscient "
+                "replay requires record_schedule() output with hop times"
+            )
+        try:
+            return packet.hop_times[packet.path_pos]
+        except IndexError:
+            raise SchedulerError(
+                f"packet {packet.pid} is at hop {packet.path_pos} but its "
+                f"timetable has only {len(packet.hop_times)} entries — the "
+                "replay topology routed it differently than the recording"
+            ) from None
+
+    def preemption_key(self, packet: Packet) -> float:
+        return self._key(packet)
+
+    def push(self, packet: Packet, now: float) -> None:
+        heapq.heappush(self._heap, (self._key(packet), self._next_seq(), packet))
+
+    def pop(self, now: float) -> Optional[Packet]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,46 @@
+"""Static priority scheduling.
+
+"Simple priority scheduling is where the ingress assigns priority values to
+the packets and the routers simply schedule packets based on these static
+priority values" (§2.2).  Smaller ``packet.priority`` is served first; ties
+break FIFO.
+
+This is the near-UPS candidate the paper proves can replay schedules with
+at most one congestion point per packet and fails at two (Appendix F — see
+:mod:`repro.theory.priority_cycle` for the executable counter-example).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from repro.core.packet import Packet
+from repro.schedulers.base import Scheduler
+
+__all__ = ["PriorityScheduler"]
+
+
+class PriorityScheduler(Scheduler):
+    """Serve the packet with the smallest static ``priority`` header."""
+
+    name = "priority"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._heap: list[tuple[float, int, Packet]] = []
+
+    def push(self, packet: Packet, now: float) -> None:
+        heapq.heappush(self._heap, (packet.priority, self._next_seq(), packet))
+
+    def pop(self, now: float) -> Optional[Packet]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def preemption_key(self, packet: Packet) -> float:
+        """Priorities are static, so they double as preemption keys."""
+        return packet.priority

@@ -1,0 +1,64 @@
+"""Shortest Remaining Processing Time with starvation prevention.
+
+Figure 2's second FCT benchmark.  Each packet carries the bytes that
+remained unacknowledged in its flow when it was sent
+(``packet.remaining_flow``).  Starvation prevention follows footnote 8 of
+the paper: "the router always schedules the earliest arriving packet of
+the flow which contains the highest priority packet".
+
+Implementation: a lazy min-heap keyed by ``remaining_flow`` identifies the
+highest-priority *flow*; the packet actually served is the head of that
+flow's FIFO.  Heap entries whose packet has already been served (because it
+was the earliest of its flow at some earlier pop) are discarded lazily.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Optional
+
+from repro.core.packet import Packet
+from repro.schedulers.base import Scheduler
+
+__all__ = ["SrptScheduler"]
+
+
+class SrptScheduler(Scheduler):
+    """SRPT over flows, FIFO within a flow (starvation-free)."""
+
+    name = "srpt"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._heap: list[tuple[int, int, Packet]] = []
+        self._flow_fifo: dict[int, deque[Packet]] = {}
+        # Pids currently queued *here*.  Lazy heap deletion must use local
+        # state: a shared packet flag would be reset when the packet is
+        # pushed at its next hop, resurrecting stale entries in this heap.
+        self._queued: set[int] = set()
+
+    def push(self, packet: Packet, now: float) -> None:
+        heapq.heappush(self._heap, (packet.remaining_flow, self._next_seq(), packet))
+        self._flow_fifo.setdefault(packet.flow_id, deque()).append(packet)
+        self._queued.add(packet.pid)
+
+    def pop(self, now: float) -> Optional[Packet]:
+        if not self._queued:
+            return None
+        heap = self._heap
+        # Discard heap entries for packets already served as "earliest of
+        # their flow" during previous pops.
+        while heap and heap[0][2].pid not in self._queued:
+            heapq.heappop(heap)
+        assert heap, "membership set says non-empty but heap drained"
+        best_flow = heap[0][2].flow_id
+        fifo = self._flow_fifo[best_flow]
+        packet = fifo.popleft()
+        if not fifo:
+            del self._flow_fifo[best_flow]
+        self._queued.discard(packet.pid)
+        return packet
+
+    def __len__(self) -> int:
+        return len(self._queued)

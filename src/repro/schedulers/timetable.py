@@ -1,0 +1,74 @@
+"""Timetable (oracle) scheduling for the theory gadgets.
+
+The paper's definition of the *original* scheduling algorithms is maximally
+permissive: they "need not be work-conserving or deterministic and may even
+involve oracles that know about future packet arrivals" (§2.1).  The
+counter-examples of Appendices C, F and G exploit that freedom — they are
+specified as explicit tables of (arrival time, scheduling time) per node.
+
+:class:`TimetableScheduler` realises such a table: each packet has a fixed
+release time at this node and is transmitted exactly then, never earlier.
+It is deliberately *non*-work-conserving; the port cooperates through the
+:meth:`earliest_release` hook.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from repro.core.packet import Packet
+from repro.errors import SchedulerError
+from repro.schedulers.base import Scheduler
+from repro.units import TIME_EPSILON
+
+__all__ = ["TimetableScheduler"]
+
+
+class TimetableScheduler(Scheduler):
+    """Transmit each packet at a preordained time.
+
+    Parameters
+    ----------
+    timetable:
+        Maps packet pid to the time its transmission must start at this
+        node.  Every packet pushed here must appear in the table.
+    """
+
+    name = "timetable"
+
+    def __init__(self, timetable: dict[int, float]) -> None:
+        super().__init__()
+        self._timetable = dict(timetable)
+        self._heap: list[tuple[float, int, Packet]] = []
+
+    def push(self, packet: Packet, now: float) -> None:
+        try:
+            release = self._timetable[packet.pid]
+        except KeyError:
+            raise SchedulerError(
+                f"packet {packet.pid} has no entry in this node's timetable"
+            ) from None
+        if release < now - TIME_EPSILON:
+            raise SchedulerError(
+                f"packet {packet.pid} arrived at {now:.9f}, after its "
+                f"timetabled transmission time {release:.9f}; the gadget's "
+                "original schedule is infeasible"
+            )
+        heapq.heappush(self._heap, (release, self._next_seq(), packet))
+
+    def pop(self, now: float) -> Optional[Packet]:
+        if not self._heap:
+            return None
+        release = self._heap[0][0]
+        if release > now + TIME_EPSILON:
+            return None  # nothing due yet; port will retry at earliest_release
+        return heapq.heappop(self._heap)[2]
+
+    def earliest_release(self, now: float) -> float | None:
+        if not self._heap:
+            return None
+        return max(self._heap[0][0], now)
+
+    def __len__(self) -> int:
+        return len(self._heap)

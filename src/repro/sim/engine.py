@@ -1,0 +1,152 @@
+"""Deterministic discrete-event engine.
+
+The engine is a binary heap of ``(time, sequence, callback, args)`` entries.
+The monotonically increasing sequence number breaks ties between events
+scheduled for the same instant, which makes every run fully deterministic —
+a hard requirement for the record/replay experiments, where the recorded
+schedule must be byte-for-byte repeatable.
+
+Events are cancellable: :meth:`Engine.schedule` returns an
+:class:`EventHandle` whose :meth:`~EventHandle.cancel` marks the heap entry
+dead (lazy deletion), which is how TCP retransmission timers are restarted
+and how preemptive ports abort an in-flight transmission-complete event.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["Engine", "EventHandle"]
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event."""
+
+    __slots__ = ("time", "_callback", "_args")
+
+    def __init__(self, time: float, callback: Callable[..., None], args: tuple):
+        self.time = time
+        self._callback = callback
+        self._args = args
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._callback = None
+        self._args = ()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._callback is None
+
+    def _fire(self) -> None:
+        if self._callback is not None:
+            self._callback(*self._args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time:.9f} {state}>"
+
+
+class Engine:
+    """Event loop with a virtual clock.
+
+    Typical use::
+
+        engine = Engine()
+        engine.schedule(1.5, my_callback, arg1, arg2)
+        engine.run(until=10.0)
+    """
+
+    __slots__ = ("now", "_heap", "_seq", "_events_processed", "_stopped", "_deferred")
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, EventHandle]] = []
+        self._seq: int = 0
+        self._events_processed: int = 0
+        self._stopped: bool = False
+        self._deferred: list[Callable[[], None]] = []
+
+    # --- scheduling -------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        return self.schedule_at(self.now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time!r} < now={self.now!r}"
+            )
+        handle = EventHandle(time, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, handle))
+        return handle
+
+    def defer(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after every event at the *current* timestamp.
+
+        This is the engine's two-phase semantics: within one instant, first
+        all arrivals/completions fire (heap events), then deferred
+        decisions run (FIFO).  Ports defer their "pick the next packet to
+        transmit" step so that a scheduling decision at time *t* sees every
+        packet that arrived at *t* — the simultaneity convention the
+        paper's model (and its counter-example constructions) assume.
+        Deferred callbacks may schedule new events and defer further
+        callbacks, but must not rewind the clock.
+        """
+        self._deferred.append(callback)
+
+    # --- execution --------------------------------------------------------
+
+    def run(self, until: float | None = None) -> None:
+        """Process events in time order.
+
+        Runs until the heap and deferred queue drain, or (if ``until`` is
+        given) until the next event would fire strictly after ``until``; in
+        that case the clock is advanced to ``until`` and the pending events
+        stay queued.
+        """
+        self._stopped = False
+        heap = self._heap
+        deferred = self._deferred
+        while (heap or deferred) and not self._stopped:
+            # Flush decisions once no further event shares this timestamp.
+            if deferred and (not heap or heap[0][0] > self.now):
+                callback = deferred.pop(0)
+                callback()
+                continue
+            time, _seq, handle = heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(heap)
+            if handle.cancelled:
+                continue
+            self.now = time
+            self._events_processed += 1
+            handle._fire()
+        if until is not None and self.now < until:
+            self.now = until
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the currently executing event returns."""
+        self._stopped = True
+
+    # --- introspection ----------------------------------------------------
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._heap)
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events that have fired since construction."""
+        return self._events_processed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Engine now={self.now:.9f} pending={len(self._heap)}>"

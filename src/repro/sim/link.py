@@ -1,0 +1,60 @@
+"""Point-to-point links.
+
+A :class:`Link` is a unidirectional pipe with a bandwidth and a propagation
+delay.  Bidirectional connectivity is modelled by the network installing
+one link (and therefore one output port) in each direction.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.units import tx_time
+
+__all__ = ["Link"]
+
+
+class Link:
+    """A unidirectional link from ``src`` to ``dst``.
+
+    Parameters
+    ----------
+    src, dst:
+        Node names at the two ends.
+    bandwidth:
+        Bits per second.  ``math.inf`` is allowed (zero transmission time),
+        used by the theory gadgets to model "uncongested" routers.
+    propagation:
+        One-way propagation delay, seconds.
+    """
+
+    __slots__ = ("src", "dst", "bandwidth", "propagation")
+
+    def __init__(self, src: str, dst: str, bandwidth: float, propagation: float) -> None:
+        if bandwidth <= 0:
+            raise ConfigurationError(
+                f"link {src}->{dst}: bandwidth must be positive, got {bandwidth!r}"
+            )
+        if propagation < 0 or math.isnan(propagation):
+            raise ConfigurationError(
+                f"link {src}->{dst}: propagation must be >= 0, got {propagation!r}"
+            )
+        self.src = src
+        self.dst = dst
+        self.bandwidth = bandwidth
+        self.propagation = propagation
+
+    def tx_time(self, size_bytes: float) -> float:
+        """Serialisation delay of a packet of ``size_bytes`` on this link."""
+        return tx_time(size_bytes, self.bandwidth)
+
+    def traversal_time(self, size_bytes: float) -> float:
+        """Uncongested last-bit traversal time: transmit + propagate."""
+        return self.tx_time(size_bytes) + self.propagation
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Link {self.src}->{self.dst} bw={self.bandwidth:.3g}bps "
+            f"prop={self.propagation:.3g}s>"
+        )

@@ -1,0 +1,119 @@
+"""Nodes: store-and-forward routers and end hosts.
+
+Hosts are the *ingress* of the paper's model: packet headers (slack,
+priority, deadline, omniscient timetable) are initialised when a packet is
+injected at its source host, and the host's uplink port participates in
+scheduling like any router port (DESIGN.md §5).  Hosts also carry the
+transport agents (UDP sinks, TCP senders/receivers) for the closed-loop
+experiments of §3.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Protocol
+
+from repro.errors import ConfigurationError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.packet import Packet
+    from repro.sim.network import Network
+    from repro.sim.port import Port
+
+__all__ = ["Host", "Node", "Router"]
+
+
+class _Agent(Protocol):
+    def on_packet(self, packet: "Packet") -> None: ...
+
+
+class Node:
+    """Base store-and-forward node."""
+
+    kind = "node"
+
+    def __init__(self, name: str, network: "Network") -> None:
+        self.name = name
+        self.network = network
+        self.ports: dict[str, "Port"] = {}
+
+    # --- data path ----------------------------------------------------------
+
+    def receive(self, packet: "Packet") -> None:
+        """Last bit of ``packet`` has arrived here."""
+        packet.path_pos += 1
+        network = self.network
+        network.tracer.on_hop(packet, self.name)
+        if packet.dst == self.name:
+            network.tracer.on_exit(packet, network.engine.now)
+            self.deliver(packet)
+        else:
+            self.forward(packet)
+
+    def forward(self, packet: "Packet") -> None:
+        next_hop = self.network.next_hop(self.name, packet.dst)
+        self.ports[next_hop].enqueue(packet)
+
+    def deliver(self, packet: "Packet") -> None:
+        raise SimulationError(
+            f"{self.kind} {self.name!r} received a packet addressed to itself; "
+            "only hosts terminate traffic"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} ports={sorted(self.ports)}>"
+
+
+class Router(Node):
+    """An interior store-and-forward switch."""
+
+    kind = "router"
+
+
+class Host(Node):
+    """An end host: traffic source, traffic sink, transport agent carrier."""
+
+    kind = "host"
+
+    def __init__(self, name: str, network: "Network") -> None:
+        super().__init__(name, network)
+        self._senders: dict[int, _Agent] = {}
+        self._receivers: dict[int, _Agent] = {}
+        self.on_deliver: Callable[["Packet"], None] | None = None
+
+    # --- injection ------------------------------------------------------------
+
+    def inject(self, packet: "Packet") -> None:
+        """Enter ``packet`` into the network now (its ingress time ``i(p)``)."""
+        if packet.src != self.name:
+            raise ConfigurationError(
+                f"packet {packet.pid} has src={packet.src!r} but was injected at "
+                f"{self.name!r}"
+            )
+        if packet.dst == self.name:
+            raise ConfigurationError(f"packet {packet.pid} addressed to its own source")
+        packet.created = self.network.engine.now
+        packet.path_pos = 0
+        self.network.tracer.on_created(packet, self.name)
+        self.forward(packet)
+
+    # --- transport agents --------------------------------------------------------
+
+    def register_sender(self, flow_id: int, agent: _Agent) -> None:
+        if flow_id in self._senders:
+            raise ConfigurationError(f"flow {flow_id} already has a sender on {self.name}")
+        self._senders[flow_id] = agent
+
+    def register_receiver(self, flow_id: int, agent: _Agent) -> None:
+        if flow_id in self._receivers:
+            raise ConfigurationError(f"flow {flow_id} already has a receiver on {self.name}")
+        self._receivers[flow_id] = agent
+
+    def deliver(self, packet: "Packet") -> None:
+        agents = self._senders if packet.is_ack else self._receivers
+        agent = agents.get(packet.flow_id)
+        if agent is not None:
+            agent.on_packet(packet)
+        elif self.on_deliver is not None:
+            self.on_deliver(packet)
+        # Otherwise the host is a plain sink: the tracer has already
+        # recorded the exit, which is all the open-loop experiments need.

@@ -1,0 +1,355 @@
+"""Output ports.
+
+A :class:`Port` is the attachment point of one unidirectional link to its
+transmitting node.  It owns a scheduler, a (possibly finite) byte buffer,
+and the busy/idle state machine of the transmitter:
+
+* ``enqueue`` — a fully received packet is handed to the scheduler (after
+  the drop policy has made room if the buffer is full),
+* when the transmitter is idle and the scheduler offers a packet, the port
+  occupies the link for the serialisation delay and then, one propagation
+  delay later, delivers the packet to the node at the far end
+  (store-and-forward: the next node sees the packet only when its last bit
+  has arrived).
+
+Non-work-conserving schedulers (the timetable oracle used by the theory
+gadgets) may decline to hand over a packet; the port then schedules a
+wake-up at ``scheduler.earliest_release``.
+
+:class:`PreemptivePort` implements the preemptive service model the
+theoretical results assume for the candidate UPS (§2.1 footnote 3): if a
+packet with a strictly smaller static urgency key arrives while another is
+being transmitted, the transmission is paused and resumed later with its
+remaining serialisation time intact.  Slack continues to drain while a
+packet is paused — only time spent actually transmitting is "free"
+(Appendix D).  It works with any scheduler exposing ``preemption_key``
+(LSTF, EDF, static priorities, omniscient).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.units import TIME_EPSILON
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.packet import Packet
+    from repro.schedulers.base import Scheduler
+    from repro.sim.link import Link
+    from repro.sim.node import Node
+
+__all__ = ["Port", "PreemptivePort"]
+
+
+class Port:
+    """Non-preemptive output port (the default service model)."""
+
+    def __init__(
+        self,
+        node: "Node",
+        link: "Link",
+        scheduler: "Scheduler",
+        buffer_bytes: float = math.inf,
+    ) -> None:
+        if buffer_bytes <= 0:
+            raise ConfigurationError(
+                f"port {link.src}->{link.dst}: buffer must be positive bytes or inf"
+            )
+        self.node = node
+        self.link = link
+        self.scheduler = scheduler
+        self.buffer_bytes = buffer_bytes
+        self.buffered = 0
+        self.busy = False
+        self.aqm = None  # optional RedAqm (see repro.sim.aqm)
+        self._wakeup = None
+        self._decision_pending = False
+        self._dst_node: "Node | None" = None  # resolved lazily from the network
+        scheduler.attach(self)
+
+    # --- wiring -----------------------------------------------------------
+
+    @property
+    def engine(self):
+        return self.node.network.engine
+
+    def _peer(self) -> "Node":
+        if self._dst_node is None:
+            self._dst_node = self.node.network.nodes[self.link.dst]
+        return self._dst_node
+
+    def set_scheduler(self, scheduler: "Scheduler") -> None:
+        """Swap the scheduling discipline.  Only legal on an empty, idle port."""
+        if self.busy or len(self.scheduler):
+            raise ConfigurationError(
+                f"cannot replace scheduler on active port {self.link.src}->{self.link.dst}"
+            )
+        scheduler.attach(self)
+        self.scheduler = scheduler
+
+    def set_buffer(self, buffer_bytes: float) -> None:
+        if buffer_bytes <= 0:
+            raise ConfigurationError("buffer must be positive bytes or inf")
+        self.buffer_bytes = buffer_bytes
+
+    def set_aqm(self, aqm) -> None:
+        """Attach an active queue manager (early-drop decisions on arrival)."""
+        self.aqm = aqm
+
+    # --- data path ----------------------------------------------------------
+
+    def enqueue(self, packet: "Packet") -> None:
+        """Admit a fully received packet; apply the drop policy if full."""
+        now = self.engine.now
+        tracer = self.node.network.tracer
+        if (
+            not self.busy
+            and len(self.scheduler) == 0
+            and self.link.propagation == 0.0
+            and self.link.tx_time(packet.size) == 0.0
+        ):
+            # Infinitely fast idle hop: never a contention point; deliver
+            # synchronously so the packet is visible at its next real
+            # queue within the event that produced it (the simultaneity
+            # convention — see Engine.defer).
+            packet.enqueue_time = now
+            tracer.on_tx_start(packet, 0.0, now)
+            self._peer().receive(packet)
+            return
+        if self.aqm is not None and self.aqm.should_drop(packet, self.buffered, now):
+            if getattr(self.aqm, "slack_aware", False):
+                # Early-drop the scheduler's victim (highest remaining
+                # slack under LSTF) instead of the arrival.
+                victim = self.scheduler.drop_victim(packet, now)
+                tracer.on_drop(victim, self.node.name)
+                if victim is packet:
+                    return
+                self.buffered -= victim.size
+            else:
+                tracer.on_drop(packet, self.node.name)
+                return
+        while self.buffered + packet.size > self.buffer_bytes:
+            victim = self.scheduler.drop_victim(packet, now)
+            tracer.on_drop(victim, self.node.name)
+            if victim is packet:
+                return
+            self.buffered -= victim.size
+        packet.enqueue_time = now
+        self.scheduler.push(packet, now)
+        self.buffered += packet.size
+        if not self.busy:
+            self._request_decision()
+
+    def _request_decision(self) -> None:
+        """Defer the next service decision to the end of this timestamp.
+
+        All packets arriving at the current instant must be queued before
+        the scheduler chooses (the paper's simultaneity convention); the
+        engine's two-phase loop guarantees that for deferred callbacks.
+        """
+        if self._decision_pending:
+            return
+        self._decision_pending = True
+        self.engine.defer(self._decide)
+
+    def _decide(self) -> None:
+        self._decision_pending = False
+        self._try_send()
+
+    def _try_send(self) -> None:
+        while not self.busy and len(self.scheduler):
+            now = self.engine.now
+            packet = self.scheduler.pop(now)
+            if packet is None:
+                self._arm_wakeup(now)
+                return
+            self.buffered -= packet.size
+            wait = now - packet.enqueue_time
+            if (
+                self.aqm is not None
+                and getattr(self.aqm, "dequeue_side", False)
+                and self.aqm.on_dequeue(packet, wait, now)
+            ):
+                # Dequeue-side AQM (CoDel): head drop, try the next packet.
+                self.node.network.tracer.on_drop(packet, self.node.name)
+                continue
+            packet.queue_wait += wait
+            self.node.network.tracer.on_tx_start(packet, wait, now)
+            tx = self.link.tx_time(packet.size)
+            if tx == 0.0 and self.link.propagation == 0.0:
+                # Infinitely fast hop: deliver synchronously.  Routing
+                # same-instant traversals through the event heap would let
+                # a packet arriving at time t lose a tie against a
+                # transmit-completion at t purely by event-creation order;
+                # the theory gadgets (and common sense) require arrivals at
+                # t to be visible to scheduling decisions at t.
+                self._peer().receive(packet)
+                continue
+            self.busy = True
+            self.engine.schedule(tx, self._tx_done, packet)
+            return
+
+    def _tx_done(self, packet: "Packet") -> None:
+        self.busy = False
+        if self.link.propagation == 0.0:
+            self._peer().receive(packet)
+        else:
+            self.engine.schedule(self.link.propagation, self._peer().receive, packet)
+        if len(self.scheduler):
+            self._request_decision()
+        elif self.aqm is not None:
+            self.aqm.on_idle(self.engine.now)
+
+    # --- non-work-conserving support --------------------------------------
+
+    def _arm_wakeup(self, now: float) -> None:
+        release = self.scheduler.earliest_release(now)
+        if release is None:
+            raise SimulationError(
+                f"scheduler {self.scheduler.name} at {self.link.src}->"
+                f"{self.link.dst} returned no packet and no release time "
+                f"despite holding {len(self.scheduler)} packets"
+            )
+        if self._wakeup is not None and not self._wakeup.cancelled:
+            if self._wakeup.time <= release + TIME_EPSILON:
+                return
+            self._wakeup.cancel()
+        self._wakeup = self.engine.schedule_at(max(release, now), self._on_wakeup)
+
+    def _on_wakeup(self) -> None:
+        self._wakeup = None
+        self._request_decision()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Port {self.link.src}->{self.link.dst} sched={self.scheduler.name} "
+            f"queued={len(self.scheduler)} busy={self.busy}>"
+        )
+
+
+class _PreemptedState:
+    """Remaining work and accounting for a packet at a preemptive port."""
+
+    __slots__ = ("remaining_tx", "first_service")
+
+    def __init__(self, remaining_tx: float) -> None:
+        self.remaining_tx = remaining_tx
+        self.first_service: float | None = None
+
+
+class PreemptivePort(Port):
+    """Preemptive-resume service ordered by the scheduler's static keys.
+
+    The attached scheduler is consulted only for ``preemption_key`` (and
+    for header rewriting conventions); the port keeps its own heap so that
+    pausing and resuming does not disturb the scheduler's queue invariants.
+    Finite buffers are deliberately unsupported — preemption is used only
+    by the replay/theory machinery, which runs dropless.
+    """
+
+    def __init__(self, node, link, scheduler, buffer_bytes: float = math.inf) -> None:
+        if not math.isinf(buffer_bytes):
+            raise ConfigurationError("PreemptivePort does not support finite buffers")
+        super().__init__(node, link, scheduler, buffer_bytes)
+        self._heap: list[tuple[float, int, "Packet"]] = []
+        self._seq = 0
+        self._state: dict[int, _PreemptedState] = {}
+        self._current: "Packet | None" = None
+        self._current_key = math.inf
+        self._serve_start = 0.0
+        self._done_handle = None
+
+    # --- data path ------------------------------------------------------------
+
+    def enqueue(self, packet: "Packet") -> None:
+        now = self.engine.now
+        if self.link.tx_time(packet.size) == 0.0 and self.link.propagation == 0.0:
+            # Infinitely fast hop: never a contention point; deliver
+            # synchronously (same rationale as Port._try_send).
+            packet.enqueue_time = now
+            self.node.network.tracer.on_tx_start(packet, 0.0, now)
+            self._peer().receive(packet)
+            return
+        packet.enqueue_time = now  # must precede the key: LSTF keys use it
+        key = self.scheduler.preemption_key(packet)
+        if key is None:
+            raise ConfigurationError(
+                f"scheduler {self.scheduler.name} does not support preemption"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (key, self._seq, packet))
+        self._state[packet.pid] = _PreemptedState(self.link.tx_time(packet.size))
+        self._request_decision()
+
+    def _decide(self) -> None:
+        self._decision_pending = False
+        self._consider(self.engine.now)
+
+    def _consider(self, now: float) -> None:
+        if self._current is None:
+            self._start_best(now)
+            return
+        if self._heap and self._heap[0][0] < self._current_key - TIME_EPSILON:
+            self._preempt(now)
+            self._start_best(now)
+
+    def _preempt(self, now: float) -> None:
+        packet = self._current
+        assert packet is not None and self._done_handle is not None
+        self._done_handle.cancel()
+        state = self._state[packet.pid]
+        state.remaining_tx -= now - self._serve_start
+        self._seq += 1
+        heapq.heappush(self._heap, (self._current_key, self._seq, packet))
+        self._current = None
+
+    def _start_best(self, now: float) -> None:
+        if not self._heap:
+            return
+        key, _seq, packet = heapq.heappop(self._heap)
+        state = self._state[packet.pid]
+        if state.first_service is None:
+            state.first_service = now
+            wait = now - packet.enqueue_time
+            self.node.network.tracer.on_tx_start(packet, wait, now)
+        self._current = packet
+        self._current_key = key
+        self._serve_start = now
+        self.busy = True
+        self._done_handle = self.engine.schedule(state.remaining_tx, self._finish, packet)
+
+    def _finish(self, packet: "Packet") -> None:
+        now = self.engine.now
+        self._current = None
+        self._current_key = math.inf
+        self.busy = False
+        del self._state[packet.pid]
+        # Header/accounting update: everything between arrival and last-bit
+        # departure except the serialisation time itself was "waiting"
+        # (Appendix D: slack drains whenever the last bit is not on the wire).
+        total_wait = (now - packet.enqueue_time) - self.link.tx_time(packet.size)
+        packet.queue_wait += total_wait
+        self._apply_dynamic_state(packet, total_wait)
+        if self.link.propagation == 0.0:
+            self._peer().receive(packet)
+        else:
+            self.engine.schedule(self.link.propagation, self._peer().receive, packet)
+        if self._heap:
+            self._request_decision()
+
+    def _apply_dynamic_state(self, packet: "Packet", total_wait: float) -> None:
+        """Rewrite dynamic headers the way the scheduler's discipline requires."""
+        if self.scheduler.name == "lstf":
+            packet.slack -= total_wait
+
+    def _try_send(self) -> None:  # pragma: no cover - defensive
+        raise SimulationError("PreemptivePort manages its own service loop")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PreemptivePort {self.link.src}->{self.link.dst} "
+            f"sched={self.scheduler.name} queued={len(self._heap)} busy={self.busy}>"
+        )

@@ -1,0 +1,146 @@
+"""Per-packet tracing.
+
+The tracer records, for every packet, the quantities the paper's analysis
+is built on (Appendix A notation in parentheses):
+
+* ``created`` — ingress arrival time (``i(p)``),
+* ``exit`` — last-bit network exit time (``o(p)``),
+* ``path`` — the ordered node names the packet traversed,
+* ``hop_tx`` — per transmitting hop, the time the first bit was scheduled
+  (``o(p, α)``), which feeds the omniscient replay of Appendix B,
+* ``hop_waits`` — per transmitting hop, the queueing delay, which feeds the
+  congestion-point analysis (§2.2) and the queueing-delay-ratio CDF
+  (Figure 1),
+* drop bookkeeping for the finite-buffer experiments of §3.
+
+Records are plain ``__slots__`` objects because millions of packets flow
+through a single experiment.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.packet import Packet
+
+__all__ = ["PacketRecord", "Tracer"]
+
+
+class PacketRecord:
+    """Trace of one packet's traversal."""
+
+    __slots__ = (
+        "pid",
+        "flow_id",
+        "size",
+        "src",
+        "dst",
+        "created",
+        "exit",
+        "path",
+        "hop_tx",
+        "hop_waits",
+        "dropped_at",
+    )
+
+    def __init__(self, packet: "Packet") -> None:
+        self.pid = packet.pid
+        self.flow_id = packet.flow_id
+        self.size = packet.size
+        self.src = packet.src
+        self.dst = packet.dst
+        self.created = packet.created
+        self.exit: float | None = None
+        self.path: list[str] = []
+        self.hop_tx: list[float] = []
+        self.hop_waits: list[float] = []
+        self.dropped_at: str | None = None
+
+    # --- derived quantities ------------------------------------------------
+
+    @property
+    def delivered(self) -> bool:
+        return self.exit is not None
+
+    @property
+    def total_delay(self) -> float:
+        """End-to-end delay; raises if the packet never exited."""
+        if self.exit is None:
+            raise ValueError(f"packet {self.pid} was not delivered")
+        return self.exit - self.created
+
+    @property
+    def total_wait(self) -> float:
+        """Total queueing delay over all hops."""
+        return sum(self.hop_waits)
+
+    def congestion_points(self, epsilon: float = 1e-12) -> int:
+        """Number of hops at which the packet was forced to wait (§2.2)."""
+        return sum(1 for w in self.hop_waits if w > epsilon)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"exit={self.exit:.6f}" if self.exit is not None else "in-flight"
+        if self.dropped_at is not None:
+            state = f"dropped@{self.dropped_at}"
+        return f"<PacketRecord #{self.pid} {self.src}->{self.dst} {state}>"
+
+
+class Tracer:
+    """Collects :class:`PacketRecord` objects for a simulation run."""
+
+    __slots__ = ("records", "drops", "enabled")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.records: dict[int, PacketRecord] = {}
+        self.drops: int = 0
+        self.enabled = enabled
+
+    # --- hooks called by the simulator -------------------------------------
+
+    def on_created(self, packet: "Packet", node: str) -> None:
+        if not self.enabled:
+            return
+        rec = PacketRecord(packet)
+        rec.path.append(node)
+        self.records[packet.pid] = rec
+
+    def on_hop(self, packet: "Packet", node: str) -> None:
+        """Packet fully received (last bit) at an intermediate node."""
+        if not self.enabled:
+            return
+        self.records[packet.pid].path.append(node)
+
+    def on_tx_start(self, packet: "Packet", wait: float, now: float) -> None:
+        """Packet selected for transmission after ``wait`` seconds in queue."""
+        if not self.enabled:
+            return
+        rec = self.records[packet.pid]
+        rec.hop_tx.append(now)
+        rec.hop_waits.append(wait)
+
+    def on_exit(self, packet: "Packet", now: float) -> None:
+        """Last bit of the packet delivered at its destination."""
+        if not self.enabled:
+            return
+        self.records[packet.pid].exit = now
+
+    def on_drop(self, packet: "Packet", node: str) -> None:
+        self.drops += 1
+        if not self.enabled:
+            return
+        rec = self.records.get(packet.pid)
+        if rec is not None:
+            rec.dropped_at = node
+
+    # --- queries ------------------------------------------------------------
+
+    def delivered_records(self) -> Iterable[PacketRecord]:
+        """Records of packets that exited the network."""
+        return (r for r in self.records.values() if r.exit is not None)
+
+    def delivered_count(self) -> int:
+        return sum(1 for r in self.records.values() if r.exit is not None)
+
+    def __len__(self) -> int:
+        return len(self.records)

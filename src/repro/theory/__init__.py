@@ -1,0 +1,45 @@
+"""Executable theory: the paper's counter-example constructions.
+
+The appendices prove the replayability hierarchy with hand-crafted
+networks and oracle schedules.  This subpackage turns each one into a
+runnable gadget on the real simulator:
+
+* :mod:`repro.theory.lstf_failure` — Figure 7 / Appendix G.3: a schedule
+  with three congestion points per packet that LSTF cannot replay.
+* :mod:`repro.theory.priority_cycle` — Figure 6 / Appendix F: a priority
+  cycle no static priority assignment can satisfy (two potential
+  congestion points per packet) — while LSTF replays it exactly.
+* :mod:`repro.theory.blackbox` — Figure 5 / Appendix C: two viable
+  schedules that agree on every black-box attribute of the two critical
+  packets yet demand opposite scheduling decisions, so *no* deterministic
+  black-box UPS exists.
+
+All gadgets share the :class:`~repro.theory.gadgets.Gadget` harness:
+record the oracle schedule with timetable schedulers, then replay it with
+any candidate UPS mode and judge the outcome.
+"""
+
+from repro.theory.gadgets import Gadget, GadgetPacket
+from repro.theory.lstf_failure import lstf_three_congestion_gadget
+from repro.theory.priority_cycle import priority_cycle_gadget
+from repro.theory.blackbox import blackbox_gadget
+from repro.theory.transformation import (
+    BitJob,
+    is_feasible,
+    simulate_bit_lstf,
+    simulate_priority_schedule,
+    transform_to_lstf,
+)
+
+__all__ = [
+    "BitJob",
+    "Gadget",
+    "GadgetPacket",
+    "blackbox_gadget",
+    "is_feasible",
+    "lstf_three_congestion_gadget",
+    "priority_cycle_gadget",
+    "simulate_bit_lstf",
+    "simulate_priority_schedule",
+    "transform_to_lstf",
+]

@@ -1,0 +1,103 @@
+"""Figure 5 / Appendix C: no UPS exists under black-box initialisation.
+
+Two viable schedules ("Case 1" and "Case 2") over the same topology and
+the same input load.  The critical packets ``a`` and ``x`` meet at their
+first congestion point α0, and their black-box attributes —
+``(i(p), o(p), path(p))`` — are *identical in both cases*:
+
+    a: enters at 0, exits at 5, path α0 → α1 → α2
+    x: enters at 0, exits at 4, path α0 → α3 → α4
+
+Yet Case 1 is only replayable if α0 sends ``a`` before ``x``, and Case 2
+only if ``x`` goes before ``a`` (the downstream cross traffic of flows
+B, C, Y, Z is timed to punish the wrong choice).  A deterministic UPS
+initialises headers from black-box attributes alone, so it makes the same
+α0 decision in both cases — and therefore fails at least one.  This module
+provides both cases as gadgets so the argument can be executed against any
+concrete candidate (LSTF, EDF, priorities, ...).
+
+Topology (unidirectional, zero propagation, unit transmission at the five
+congestion points, splitters ``w*`` infinitely fast):
+
+    SA → α0 → w0 → α1 → w1 → α2 → w2 → DA      (flow A)
+    SX → α0,  w0 → α3 → w3 → α4 → w4 → DX      (flow X)
+    SB → α1,  w1 → DB                           (flow B: b1 b2 b3)
+    SC → α2,  w2 → DC                           (flow C: c1 c2)
+    SY → α3,  w3 → DY                           (flow Y: y1 y2)
+    SZ → α4,  w4 → DZ                           (flow Z: z)
+"""
+
+from __future__ import annotations
+
+from repro.sim.network import Network
+from repro.theory.gadgets import Gadget, GadgetPacket, INFINITE_BW, bw_for_tx_time
+
+__all__ = ["blackbox_gadget"]
+
+_CASE_TIMETABLES = {
+    1: {
+        "b0": {"a": 0.0, "x": 1.0},
+        "b1": {"a": 1.0, "b1": 2.0, "b2": 3.0, "b3": 4.0},
+        "b2": {"c1": 2.0, "c2": 3.0, "a": 4.0},
+        "b3": {"x": 2.0, "y1": 3.0, "y2": 4.0},
+        "b4": {"z": 2.0, "x": 3.0},
+    },
+    2: {
+        "b0": {"x": 0.0, "a": 1.0},
+        "b1": {"a": 2.0, "b1": 3.0, "b2": 4.0, "b3": 5.0},
+        "b2": {"c1": 2.0, "c2": 3.0, "a": 4.0},
+        "b3": {"x": 1.0, "y1": 2.0, "y2": 3.0},
+        "b4": {"z": 2.0, "x": 3.0},
+    },
+}
+
+
+def _build_network() -> Network:
+    net = Network()
+    for host in ("SA", "SX", "SB", "SC", "SY", "SZ",
+                 "DA", "DX", "DB", "DC", "DY", "DZ"):
+        net.add_host(host)
+    for router in ("b0", "b1", "b2", "b3", "b4", "w0", "w1", "w2", "w3", "w4"):
+        net.add_router(router)
+
+    unit = bw_for_tx_time(1.0)
+    fast = INFINITE_BW
+    for node, splitter in (("b0", "w0"), ("b1", "w1"), ("b2", "w2"),
+                           ("b3", "w3"), ("b4", "w4")):
+        net.add_link(node, splitter, unit, 0.0, bidirectional=False)
+
+    plumbing = (
+        ("SA", "b0"), ("SX", "b0"),
+        ("w0", "b1"), ("w0", "b3"),
+        ("SB", "b1"), ("w1", "b2"), ("w1", "DB"),
+        ("SC", "b2"), ("w2", "DA"), ("w2", "DC"),
+        ("SY", "b3"), ("w3", "b4"), ("w3", "DY"),
+        ("SZ", "b4"), ("w4", "DX"), ("w4", "DZ"),
+    )
+    for u, v in plumbing:
+        net.add_link(u, v, fast, 0.0, bidirectional=False)
+    return net
+
+
+def blackbox_gadget(case: int) -> Gadget:
+    """Build Case 1 or Case 2 of the Figure 5 construction."""
+    if case not in (1, 2):
+        raise ValueError(f"case must be 1 or 2, got {case!r}")
+    packets = [
+        GadgetPacket("a", "SA", "DA", 0.0),
+        GadgetPacket("x", "SX", "DX", 0.0),
+        GadgetPacket("b1", "SB", "DB", 2.0),
+        GadgetPacket("b2", "SB", "DB", 3.0),
+        GadgetPacket("b3", "SB", "DB", 4.0),
+        GadgetPacket("c1", "SC", "DC", 2.0),
+        GadgetPacket("c2", "SC", "DC", 3.0),
+        GadgetPacket("y1", "SY", "DY", 2.0),
+        GadgetPacket("y2", "SY", "DY", 3.0),
+        GadgetPacket("z", "SZ", "DZ", 2.0),
+    ]
+    return Gadget(
+        name=f"figure-5-blackbox-case-{case}",
+        network_factory=_build_network,
+        packets=packets,
+        timetables=_CASE_TIMETABLES[case],
+    )

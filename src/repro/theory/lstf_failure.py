@@ -1,0 +1,82 @@
+"""Figure 7 / Appendix G.3: LSTF replay failure at three congestion points.
+
+The construction: packet ``a`` crosses three congestion points α0, α1, α2
+(each with transmission time 1).  In the original schedule ``a`` never
+waits until α2, where it queues behind ``d1`` and ``d2``, so its total
+slack is 2.  During the replay LSTF has no way to know the slack should be
+hoarded: ``b`` (slack 1) beats ``a`` at α0, spending one unit of ``a``'s
+slack; ``c1`` (slack 0) beats ``a`` at α1, spending the rest; then ``a``
+and ``c2`` tie with zero slack at α1 and one of them must exit late.
+
+Topology (all figure links are zero-propagation; congestion points have a
+single outgoing wire feeding an infinitely fast splitter that fans out to
+the egresses, so contention is modelled faithfully):
+
+    SA → α0 → w0 → α1 → w1 → α2 → w2 → DA
+    SB → α0,  w0 → DB
+    SC → α1,  w1 → DC
+    SD → α2,  w2 → DD
+
+Original schedule (arrival, tx-start), exactly the figure's table:
+
+    α0: a(0,0), b(0,1)
+    α1: a(1,1), c1(2,2), c2(3,3)
+    α2: d1(2,2), d2(3,3), a(2,4)
+"""
+
+from __future__ import annotations
+
+from repro.sim.network import Network
+from repro.theory.gadgets import Gadget, GadgetPacket, INFINITE_BW, bw_for_tx_time
+
+__all__ = ["lstf_three_congestion_gadget"]
+
+
+def _build_network() -> Network:
+    net = Network()
+    for host in ("SA", "SB", "SC", "SD", "DA", "DB", "DC", "DD"):
+        net.add_host(host)
+    for router in ("a0", "a1", "a2", "w0", "w1", "w2"):
+        net.add_router(router)
+
+    unit = bw_for_tx_time(1.0)
+    fast = INFINITE_BW
+    # Single outgoing wire per congestion point (the contended resource).
+    net.add_link("a0", "w0", unit, 0.0, bidirectional=False)
+    net.add_link("a1", "w1", unit, 0.0, bidirectional=False)
+    net.add_link("a2", "w2", unit, 0.0, bidirectional=False)
+    # Uncongested plumbing.
+    net.add_link("SA", "a0", fast, 0.0, bidirectional=False)
+    net.add_link("SB", "a0", fast, 0.0, bidirectional=False)
+    net.add_link("SC", "a1", fast, 0.0, bidirectional=False)
+    net.add_link("SD", "a2", fast, 0.0, bidirectional=False)
+    net.add_link("w0", "a1", fast, 0.0, bidirectional=False)
+    net.add_link("w0", "DB", fast, 0.0, bidirectional=False)
+    net.add_link("w1", "a2", fast, 0.0, bidirectional=False)
+    net.add_link("w1", "DC", fast, 0.0, bidirectional=False)
+    net.add_link("w2", "DA", fast, 0.0, bidirectional=False)
+    net.add_link("w2", "DD", fast, 0.0, bidirectional=False)
+    return net
+
+
+def lstf_three_congestion_gadget() -> Gadget:
+    """The Figure 7 gadget, ready to record and replay."""
+    packets = [
+        GadgetPacket("a", "SA", "DA", 0.0),
+        GadgetPacket("b", "SB", "DB", 0.0),
+        GadgetPacket("c1", "SC", "DC", 2.0),
+        GadgetPacket("c2", "SC", "DC", 3.0),
+        GadgetPacket("d1", "SD", "DD", 2.0),
+        GadgetPacket("d2", "SD", "DD", 3.0),
+    ]
+    timetables = {
+        "a0": {"a": 0.0, "b": 1.0},
+        "a1": {"a": 1.0, "c1": 2.0, "c2": 3.0},
+        "a2": {"d1": 2.0, "d2": 3.0, "a": 4.0},
+    }
+    return Gadget(
+        name="figure-7-lstf-three-congestion-points",
+        network_factory=_build_network,
+        packets=packets,
+        timetables=timetables,
+    )

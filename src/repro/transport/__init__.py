@@ -1,0 +1,12 @@
+"""Transport layer: open-loop UDP and a simplified closed-loop TCP."""
+
+from repro.transport.udp import UdpSource, install_udp_flows
+from repro.transport.tcp import TcpReceiver, TcpSender, install_tcp_flows
+
+__all__ = [
+    "TcpReceiver",
+    "TcpSender",
+    "UdpSource",
+    "install_tcp_flows",
+    "install_udp_flows",
+]

@@ -1,0 +1,70 @@
+"""Open-loop UDP sources.
+
+A UDP flow's segments all become available at the flow's start time; the
+source host's uplink port then clocks them out back to back, exactly like
+an ns-2 CBR/UDP source at line rate.  This open-loop behaviour is what
+makes the §2 replay experiments well-posed: the packet arrival process
+``{(p, i(p), path(p))}`` is identical in the original and replayed runs
+because nothing feeds back from the network to the senders.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.flow import Flow
+from repro.core.heuristics import SlackPolicy
+from repro.core.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.network import Network
+
+__all__ = ["UdpSource", "install_udp_flows"]
+
+
+class UdpSource:
+    """Injects one flow's segments at its start time."""
+
+    def __init__(
+        self,
+        network: "Network",
+        flow: Flow,
+        slack_policy: SlackPolicy | None = None,
+    ) -> None:
+        self._network = network
+        self._flow = flow
+        self._slack_policy = slack_policy
+        network.engine.schedule_at(flow.start, self._emit)
+
+    def _emit(self) -> None:
+        flow = self._flow
+        network = self._network
+        host = network.host(flow.src)
+        now = network.engine.now
+        remaining = flow.size
+        offset = 0
+        for size in flow.segment_sizes():
+            packet = Packet(
+                flow_id=flow.fid,
+                size=size,
+                src=flow.src,
+                dst=flow.dst,
+                created=now,
+                seq=offset,
+            )
+            packet.flow_size = flow.size
+            packet.remaining_flow = remaining
+            if self._slack_policy is not None:
+                self._slack_policy.assign(packet, flow, now)
+            host.inject(packet)
+            offset += size
+            remaining -= size
+
+
+def install_udp_flows(
+    network: "Network",
+    flows: Sequence[Flow],
+    slack_policy: SlackPolicy | None = None,
+) -> list[UdpSource]:
+    """Attach a :class:`UdpSource` for every flow.  Returns the sources."""
+    return [UdpSource(network, flow, slack_policy) for flow in flows]

@@ -1,0 +1,29 @@
+"""Workload generation: flow arrival processes and size distributions."""
+
+from repro.workload.distributions import (
+    BoundedPareto,
+    EmpiricalCdf,
+    ExponentialSize,
+    SizeDistribution,
+    datacenter_distribution,
+    internet_distribution,
+    web_search_distribution,
+)
+from repro.workload.flows import (
+    PoissonWorkload,
+    long_lived_flows,
+    poisson_flows,
+)
+
+__all__ = [
+    "BoundedPareto",
+    "EmpiricalCdf",
+    "ExponentialSize",
+    "PoissonWorkload",
+    "SizeDistribution",
+    "datacenter_distribution",
+    "internet_distribution",
+    "long_lived_flows",
+    "poisson_flows",
+    "web_search_distribution",
+]

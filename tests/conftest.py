@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.packet import Packet, reset_packet_ids
+from repro.sim.network import Network
+from repro.units import MBPS
+
+
+@pytest.fixture(autouse=True)
+def _fresh_packet_ids():
+    """Reset the global packet-id counter so tests see stable pids."""
+    reset_packet_ids()
+    yield
+    reset_packet_ids()
+
+
+@pytest.fixture
+def two_host_net() -> Network:
+    """``a -> SW -> b`` with a 8 Mbps bottleneck (1000 B = 1 ms)."""
+    net = Network()
+    net.add_host("a")
+    net.add_host("b")
+    net.add_router("SW")
+    net.add_link("a", "SW", 1000 * MBPS, 0.0)
+    net.add_link("SW", "b", 8 * MBPS, 0.0)
+    return net
+
+
+def make_packet(
+    src: str = "a",
+    dst: str = "b",
+    size: int = 1000,
+    created: float = 0.0,
+    flow_id: int = 1,
+    **attrs,
+) -> Packet:
+    """Convenience packet builder for unit tests."""
+    packet = Packet(flow_id=flow_id, size=size, src=src, dst=dst, created=created)
+    for name, value in attrs.items():
+        setattr(packet, name, value)
+    return packet

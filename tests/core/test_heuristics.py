@@ -1,0 +1,98 @@
+"""Unit tests for the §3 slack-initialisation heuristics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flow import Flow
+from repro.core.heuristics import ConstantSlack, FlowSizeSlack, VirtualClockSlack
+from repro.errors import WorkloadError
+from tests.conftest import make_packet
+
+
+def _flow(fid=1, weight=1.0):
+    return Flow(fid, "a", "b", 10_000, 0.0, weight=weight)
+
+
+class TestConstantSlack:
+    def test_assigns_uniform_value(self):
+        policy = ConstantSlack(2.5)
+        p1, p2 = make_packet(), make_packet()
+        policy.assign(p1, _flow(), 0.0)
+        policy.assign(p2, _flow(2), 9.0)
+        assert p1.slack == p2.slack == 2.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(WorkloadError):
+            ConstantSlack(-1.0)
+
+
+class TestFlowSizeSlack:
+    def test_scales_with_flow_size(self):
+        policy = FlowSizeSlack(d=2.0)
+        p = make_packet(flow_size=5000)
+        policy.assign(p, _flow(), 0.0)
+        assert p.slack == pytest.approx(10_000.0)
+
+    def test_orders_flows_like_sjf(self):
+        policy = FlowSizeSlack()
+        small = make_packet(flow_size=1_000)
+        big = make_packet(flow_size=100_000)
+        policy.assign(small, _flow(1), 0.0)
+        policy.assign(big, _flow(2), 0.0)
+        assert small.slack < big.slack
+
+    def test_rejects_nonpositive_d(self):
+        with pytest.raises(WorkloadError):
+            FlowSizeSlack(d=0.0)
+
+
+class TestVirtualClockSlack:
+    def test_first_packet_gets_zero_slack(self):
+        policy = VirtualClockSlack(rate_estimate=8e6)
+        p = make_packet(size=1000)
+        policy.assign(p, _flow(), 0.0)
+        assert p.slack == 0.0
+
+    def test_recurrence_accumulates_when_sending_fast(self):
+        """Back-to-back sends at twice r_est build slack linearly."""
+        policy = VirtualClockSlack(rate_estimate=8e6)  # 1000B spacing = 1ms
+        flow = _flow()
+        slacks = []
+        for i in range(4):
+            p = make_packet(size=1000)
+            policy.assign(p, flow, i * 0.5e-3)  # sending every 0.5 ms
+            slacks.append(p.slack)
+        assert slacks == pytest.approx([0.0, 0.5e-3, 1.0e-3, 1.5e-3])
+
+    def test_recurrence_clamps_at_zero_when_sending_slow(self):
+        policy = VirtualClockSlack(rate_estimate=8e6)
+        flow = _flow()
+        p1 = make_packet(size=1000)
+        policy.assign(p1, flow, 0.0)
+        p2 = make_packet(size=1000)
+        policy.assign(p2, flow, 0.010)  # far later than the 1ms spacing
+        assert p2.slack == 0.0
+
+    def test_flows_tracked_independently(self):
+        policy = VirtualClockSlack(rate_estimate=8e6)
+        fast, slow = _flow(1), _flow(2)
+        for i in range(3):
+            p = make_packet(size=1000)
+            policy.assign(p, fast, i * 0.1e-3)
+        probe = make_packet(size=1000)
+        policy.assign(probe, slow, 0.2e-3)
+        assert probe.slack == 0.0  # slow flow's first packet
+
+    def test_weight_scales_entitlement(self):
+        heavy = VirtualClockSlack(rate_estimate=8e6)
+        flow = _flow(1, weight=2.0)  # entitled to 2x => spacing 0.5ms
+        p1 = make_packet(size=1000)
+        heavy.assign(p1, flow, 0.0)
+        p2 = make_packet(size=1000)
+        heavy.assign(p2, flow, 0.5e-3)
+        assert p2.slack == pytest.approx(0.0)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(WorkloadError):
+            VirtualClockSlack(rate_estimate=0.0)

@@ -1,0 +1,84 @@
+"""Tests for recorded-schedule persistence."""
+
+from __future__ import annotations
+
+import functools
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.replay import record_schedule, replay_schedule
+from repro.core.trace_io import load_schedule, save_schedule
+from repro.errors import ReplayError
+from repro.topology.simple import build_dumbbell
+from repro.transport.udp import install_udp_flows
+from repro.workload.distributions import BoundedPareto
+from repro.workload.flows import PoissonWorkload, poisson_flows
+
+
+@pytest.fixture
+def schedule_and_factory():
+    make = functools.partial(build_dumbbell, num_pairs=3)
+    net = make()
+    flows = poisson_flows(
+        hosts=[h.name for h in net.hosts],
+        sizes=BoundedPareto(1.2, 1500, 40_000),
+        workload=PoissonWorkload(0.6, 50e6, duration=0.03, seed=8),
+    )
+    install_udp_flows(net, flows)
+    return record_schedule(net, description="io-test"), make
+
+
+def test_round_trip_preserves_everything(tmp_path, schedule_and_factory):
+    schedule, _make = schedule_and_factory
+    path = tmp_path / "trace.json"
+    save_schedule(schedule, path)
+    loaded = load_schedule(path)
+    assert len(loaded) == len(schedule)
+    assert loaded.threshold == schedule.threshold
+    assert loaded.description == "io-test"
+    for a, b in zip(schedule.packets, loaded.packets):
+        assert (a.pid, a.src, a.dst, a.size, a.flow_id) == (
+            b.pid, b.src, b.dst, b.size, b.flow_id
+        )
+        assert a.ingress_time == b.ingress_time
+        assert a.output_time == b.output_time
+        assert a.path == b.path
+        assert a.hop_tx == b.hop_tx
+        assert a.hop_waits == b.hop_waits
+
+
+def test_gzip_round_trip(tmp_path, schedule_and_factory):
+    schedule, _make = schedule_and_factory
+    path = tmp_path / "trace.json.gz"
+    save_schedule(schedule, path)
+    assert load_schedule(path).packets[0].pid == schedule.packets[0].pid
+
+
+def test_replay_from_loaded_schedule_is_identical(tmp_path, schedule_and_factory):
+    schedule, make = schedule_and_factory
+    path = tmp_path / "trace.json"
+    save_schedule(schedule, path)
+    loaded = load_schedule(path)
+    direct = replay_schedule(schedule, make, mode="lstf")
+    from_disk = replay_schedule(loaded, make, mode="lstf")
+    assert np.array_equal(direct.lateness, from_disk.lateness)
+
+
+def test_rejects_foreign_json(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text(json.dumps({"hello": "world"}))
+    with pytest.raises(ReplayError):
+        load_schedule(path)
+
+
+def test_rejects_future_version(tmp_path, schedule_and_factory):
+    schedule, _make = schedule_and_factory
+    path = tmp_path / "trace.json"
+    save_schedule(schedule, path)
+    doc = json.loads(path.read_text())
+    doc["version"] = 99
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ReplayError):
+        load_schedule(path)

@@ -1,0 +1,42 @@
+"""Unit tests for congestion-point analysis (§2.2 support)."""
+
+from __future__ import annotations
+
+from repro.core.replay import record_schedule
+from repro.metrics.congestion import congestion_point_histogram, max_congestion_points
+from repro.sim.network import Network
+from repro.units import MBPS
+from tests.conftest import make_packet
+
+
+def _congested_net():
+    net = Network()
+    net.add_host("a")
+    net.add_host("b")
+    net.add_router("SW")
+    net.add_link("a", "SW", 8 * MBPS, 0.0)
+    net.add_link("SW", "b", 8 * MBPS, 0.0)
+    for _ in range(3):
+        net.inject_at(0.0, make_packet())
+    return net
+
+
+def test_histogram_from_tracer():
+    net = _congested_net()
+    net.run()
+    hist = congestion_point_histogram(net.tracer)
+    assert sum(hist.values()) == 3
+    assert hist.get(0) == 1  # first packet never waits
+
+
+def test_histogram_from_recorded_schedule():
+    net = _congested_net()
+    schedule = record_schedule(net)
+    assert congestion_point_histogram(schedule) == congestion_point_histogram(net.tracer)
+    assert max_congestion_points(schedule) == max(congestion_point_histogram(schedule))
+
+
+def test_empty_source():
+    net = Network()
+    net.add_host("a")
+    assert max_congestion_points(net.tracer) == 0

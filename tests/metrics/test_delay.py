@@ -1,0 +1,63 @@
+"""Unit tests for delay distribution metrics (Figures 1 and 3 support)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.delay import ccdf, cdf, packet_delays, percentile, queueing_delays
+from repro.sim.network import Network
+from repro.units import MBPS
+from tests.conftest import make_packet
+
+
+def test_cdf_is_monotone_and_normalised():
+    values, probs = cdf([3.0, 1.0, 2.0, 2.0])
+    assert list(values) == [1.0, 2.0, 2.0, 3.0]
+    assert probs[-1] == pytest.approx(1.0)
+    assert np.all(np.diff(probs) >= 0)
+
+
+def test_cdf_rejects_empty():
+    with pytest.raises(ValueError):
+        cdf([])
+
+
+def test_ccdf_complements_cdf():
+    values, tail = ccdf([1.0, 2.0, 3.0, 4.0])
+    assert tail[0] == pytest.approx(1.0)
+    assert tail[-1] == pytest.approx(1.0 / 4.0)
+
+
+def test_percentile():
+    samples = list(range(1, 101))
+    assert percentile(samples, 99) == pytest.approx(99.01)
+    assert percentile(samples, 50) == pytest.approx(50.5)
+
+
+def test_packet_delays_from_tracer_skips_acks():
+    net = Network()
+    net.add_host("a")
+    net.add_host("b")
+    net.add_link("a", "b", 8 * MBPS, 0.001)
+    data = make_packet(size=1000)
+    ack = make_packet(size=40, is_ack=True)
+    net.inject_at(0.0, data)
+    net.inject_at(0.0, ack)
+    net.run()
+    assert len(packet_delays(net.tracer)) == 1
+    assert len(packet_delays(net.tracer, data_only=False)) == 2
+
+
+def test_queueing_delays_from_tracer():
+    net = Network()
+    net.add_host("a")
+    net.add_host("b")
+    net.add_link("a", "b", 8 * MBPS, 0.0)
+    p1, p2 = make_packet(), make_packet()
+    net.inject_at(0.0, p1)
+    net.inject_at(0.0, p2)
+    net.run()
+    waits = sorted(queueing_delays(net.tracer))
+    assert waits[0] == pytest.approx(0.0)
+    assert waits[1] == pytest.approx(0.001)

@@ -1,0 +1,64 @@
+"""Unit tests for Jain fairness metrics (Figure 4 support)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.fairness import fairness_timeseries, jain_index, throughput_timeseries
+from repro.sim.network import Network
+from repro.units import MBPS
+from tests.conftest import make_packet
+
+
+def test_jain_perfectly_fair():
+    assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+
+def test_jain_single_hog():
+    # One of n flows gets everything -> index = 1/n.
+    assert jain_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+
+def test_jain_bounds_and_errors():
+    assert jain_index([0.0, 0.0]) == 0.0
+    with pytest.raises(ValueError):
+        jain_index([])
+    with pytest.raises(ValueError):
+        jain_index([-1.0, 2.0])
+
+
+def _delivering_net():
+    net = Network()
+    net.add_host("a")
+    net.add_host("b")
+    net.add_link("a", "b", 80 * MBPS, 0.0)
+    return net
+
+
+def test_throughput_timeseries_bins_delivered_bytes():
+    net = _delivering_net()
+    for k in range(4):
+        p = make_packet(flow_id=1 + (k % 2), size=1000)
+        net.inject_at(k * 0.01, p)
+    net.run()
+    times, rates = throughput_timeseries(net.tracer, [1, 2], interval=0.02, horizon=0.04)
+    assert rates.shape == (2, 2)
+    # each bin holds one packet per flow: 1000B / 0.02s = 400 kbit/s
+    assert rates[0, 0] == pytest.approx(1000 * 8 / 0.02)
+
+
+def test_fairness_timeseries_reaches_one_for_equal_flows():
+    net = _delivering_net()
+    for k in range(10):
+        for fid in (1, 2):
+            net.inject_at(k * 0.001, make_packet(flow_id=fid, size=1000))
+    net.run()
+    _times, fairness = fairness_timeseries(net.tracer, [1, 2], 0.005, 0.01)
+    assert fairness[-1] == pytest.approx(1.0)
+
+
+def test_throughput_rejects_bad_intervals():
+    net = _delivering_net()
+    with pytest.raises(ValueError):
+        throughput_timeseries(net.tracer, [1], 0.0, 1.0)

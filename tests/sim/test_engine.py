@@ -1,0 +1,153 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    order = []
+    engine.schedule(2.0, order.append, "late")
+    engine.schedule(1.0, order.append, "early")
+    engine.schedule(3.0, order.append, "last")
+    engine.run()
+    assert order == ["early", "late", "last"]
+    assert engine.now == 3.0
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    engine = Engine()
+    order = []
+    for tag in ("first", "second", "third"):
+        engine.schedule(1.0, order.append, tag)
+    engine.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_schedule_at_absolute_time():
+    engine = Engine()
+    seen = []
+    engine.schedule_at(5.0, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [5.0]
+
+
+def test_cannot_schedule_in_the_past():
+    engine = Engine()
+    engine.schedule(1.0, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(0.5, lambda: None)
+
+
+def test_cancelled_events_do_not_fire():
+    engine = Engine()
+    fired = []
+    handle = engine.schedule(1.0, fired.append, "x")
+    handle.cancel()
+    assert handle.cancelled
+    engine.run()
+    assert fired == []
+    handle.cancel()  # idempotent
+
+
+def test_run_until_stops_clock_at_bound():
+    engine = Engine()
+    fired = []
+    engine.schedule(1.0, fired.append, "a")
+    engine.schedule(10.0, fired.append, "b")
+    engine.run(until=5.0)
+    assert fired == ["a"]
+    assert engine.now == 5.0
+    engine.run()
+    assert fired == ["a", "b"]
+
+
+def test_events_scheduled_during_run_are_processed():
+    engine = Engine()
+    fired = []
+
+    def chain():
+        fired.append(engine.now)
+        if engine.now < 3.0:
+            engine.schedule(1.0, chain)
+
+    engine.schedule(1.0, chain)
+    engine.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_stop_halts_processing():
+    engine = Engine()
+    fired = []
+    engine.schedule(1.0, lambda: (fired.append("a"), engine.stop()))
+    engine.schedule(2.0, fired.append, "b")
+    engine.run()
+    assert fired == ["a"]
+    engine.run()
+    assert fired == ["a", "b"]
+
+
+def test_pending_and_processed_counters():
+    engine = Engine()
+    engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    assert engine.pending_events == 2
+    engine.run()
+    assert engine.pending_events == 0
+    assert engine.events_processed == 2
+
+
+class TestDeferredPhase:
+    """The two-phase (events, then decisions) semantics of Engine.defer."""
+
+    def test_deferred_runs_after_all_same_time_events(self):
+        engine = Engine()
+        order = []
+        engine.schedule(1.0, lambda: (order.append("ev1"), engine.defer(lambda: order.append("dec"))))
+        engine.schedule(1.0, order.append, "ev2")
+        engine.schedule(2.0, order.append, "later")
+        engine.run()
+        assert order == ["ev1", "ev2", "dec", "later"]
+
+    def test_deferred_callbacks_flush_fifo(self):
+        engine = Engine()
+        order = []
+        engine.schedule(1.0, lambda: (engine.defer(lambda: order.append("d1")),
+                                      engine.defer(lambda: order.append("d2"))))
+        engine.run()
+        assert order == ["d1", "d2"]
+
+    def test_deferred_may_defer_more_work_same_instant(self):
+        engine = Engine()
+        order = []
+
+        def second():
+            order.append(("second", engine.now))
+
+        def first():
+            order.append(("first", engine.now))
+            engine.defer(second)
+
+        engine.schedule(1.0, engine.defer, first)
+        engine.run()
+        assert order == [("first", 1.0), ("second", 1.0)]
+
+    def test_deferred_flushes_before_clock_advances(self):
+        engine = Engine()
+        order = []
+        engine.schedule(1.0, lambda: engine.defer(lambda: order.append(engine.now)))
+        engine.schedule(1.5, lambda: order.append(engine.now))
+        engine.run()
+        assert order == [1.0, 1.5]
+
+    def test_deferred_drains_when_heap_empties(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(1.0, lambda: engine.defer(lambda: seen.append("done")))
+        engine.run()
+        assert seen == ["done"]

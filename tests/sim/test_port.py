@@ -1,0 +1,138 @@
+"""Unit tests for the non-preemptive output port."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.schedulers import FifoScheduler, LstfScheduler, TimetableScheduler
+from repro.sim.network import Network
+from repro.units import MBPS
+from tests.conftest import make_packet
+
+
+def _simple_net(bottleneck_bw=8 * MBPS, prop=0.0, host_bw=8000 * MBPS):
+    net = Network()
+    net.add_host("a")
+    net.add_host("b")
+    net.add_router("SW")
+    net.add_link("a", "SW", host_bw, 0.0)
+    net.add_link("SW", "b", bottleneck_bw, prop)
+    return net
+
+
+def test_store_and_forward_timing():
+    """1000 B at 8 Mbps = 1 ms serialisation, plus propagation."""
+    net = _simple_net(prop=0.004)
+    p = make_packet()
+    net.inject_at(0.0, p)
+    net.run()
+    rec = net.tracer.records[p.pid]
+    # host tx (1000B @ 8Gbps = 1us) + SW tx (1ms) + prop (4ms)
+    assert rec.exit == pytest.approx(1e-6 + 0.001 + 0.004)
+
+
+def test_back_to_back_packets_serialise():
+    net = _simple_net()
+    packets = [make_packet(created=0.0) for _ in range(3)]
+    for p in packets:
+        net.inject_at(0.0, p)
+    net.run()
+    exits = sorted(net.tracer.records[p.pid].exit for p in packets)
+    assert exits[1] - exits[0] == pytest.approx(0.001)
+    assert exits[2] - exits[1] == pytest.approx(0.001)
+
+
+def test_queue_wait_accounting():
+    net = _simple_net()
+    first = make_packet()
+    second = make_packet()
+    net.inject_at(0.0, first)
+    net.inject_at(0.0, second)
+    net.run()
+    rec2 = net.tracer.records[second.pid]
+    # Second packet waits one transmission time at SW (and a hair at the host).
+    assert sum(rec2.hop_waits) == pytest.approx(0.001 + 1e-6, rel=1e-3)
+    assert rec2.congestion_points() == 2
+
+
+def test_tail_drop_on_full_buffer():
+    net = _simple_net()
+    net.nodes["SW"].ports["b"].set_buffer(2500)  # room for two 1000B packets
+    packets = [make_packet() for _ in range(4)]
+    for p in packets:
+        net.inject_at(0.0, p)
+    net.run()
+    delivered = net.tracer.delivered_count()
+    # One transmits immediately, two queue, one is tail-dropped.
+    assert delivered == 3
+    assert net.tracer.drops == 1
+    dropped = [r for r in net.tracer.records.values() if r.dropped_at]
+    assert dropped and dropped[0].dropped_at == "SW"
+
+
+def test_lstf_drop_victim_is_highest_slack():
+    net = _simple_net()
+    net.install_uniform(LstfScheduler)
+    net.nodes["SW"].ports["b"].set_buffer(2500)
+    urgent = [make_packet(slack=0.0) for _ in range(3)]
+    lax = make_packet(slack=99.0)
+    # Arrival order: two urgent, one lax, one urgent; buffer fits 2 queued.
+    net.inject_at(0.0, urgent[0])
+    net.inject_at(0.0, urgent[1])
+    net.inject_at(0.0, lax)
+    net.inject_at(0.0, urgent[2])
+    net.run()
+    lax_rec = net.tracer.records[lax.pid]
+    assert lax_rec.dropped_at == "SW"
+    assert all(net.tracer.records[p.pid].delivered for p in urgent)
+
+
+def test_buffer_rejects_nonpositive():
+    net = _simple_net()
+    with pytest.raises(ConfigurationError):
+        net.nodes["SW"].ports["b"].set_buffer(0)
+
+
+def test_cannot_swap_scheduler_on_active_port():
+    net = _simple_net()
+    port = net.nodes["SW"].ports["b"]
+    net.inject_at(0.0, make_packet())
+    net.inject_at(0.0, make_packet())
+    net.engine.run(until=0.0005)  # first packet in flight, second queued
+    with pytest.raises(ConfigurationError):
+        port.set_scheduler(FifoScheduler())
+
+
+def test_timetable_port_waits_for_release_time():
+    """A non-work-conserving scheduler keeps the port idle until release."""
+    net = _simple_net()
+    p = make_packet()
+    sw_port = net.nodes["SW"].ports["b"]
+    sw_port.set_scheduler(TimetableScheduler({p.pid: 0.005}))
+    net.inject_at(0.0, p)
+    net.run()
+    rec = net.tracer.records[p.pid]
+    assert rec.exit == pytest.approx(0.005 + 0.001)
+    # The wait before transmission is the idle-until-release time.
+    assert max(rec.hop_waits) == pytest.approx(0.005, rel=1e-3)
+
+
+def test_zero_delay_link_is_synchronous():
+    """Packets cross infinitely fast links within the producing event."""
+    import math
+
+    net = Network()
+    net.add_host("a")
+    net.add_host("b")
+    net.add_router("R1")
+    net.add_router("R2")
+    net.add_link("a", "R1", math.inf, 0.0)
+    net.add_link("R1", "R2", math.inf, 0.0)
+    net.add_link("R2", "b", 8 * MBPS, 0.0)
+    p = make_packet()
+    net.inject_at(0.0, p)
+    net.run()
+    rec = net.tracer.records[p.pid]
+    assert rec.exit == pytest.approx(0.001)
+    assert rec.path == ["a", "R1", "R2", "b"]

@@ -1,0 +1,71 @@
+"""Unit tests for packet tracing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.network import Network
+from repro.units import MBPS
+from tests.conftest import make_packet
+
+
+def _net():
+    net = Network()
+    net.add_host("a")
+    net.add_host("b")
+    net.add_router("SW")
+    net.add_link("a", "SW", 80 * MBPS, 0.0)
+    net.add_link("SW", "b", 8 * MBPS, 0.0)
+    return net
+
+
+def test_record_lifecycle():
+    net = _net()
+    p = make_packet()
+    net.inject_at(0.0, p)
+    net.run()
+    rec = net.tracer.records[p.pid]
+    assert rec.delivered
+    assert rec.path == ["a", "SW", "b"]
+    assert len(rec.hop_tx) == 2  # a and SW transmit; b only receives
+    assert rec.total_delay == pytest.approx(rec.exit - rec.created)
+
+
+def test_total_delay_raises_for_undelivered():
+    net = _net()
+    p = make_packet()
+    net.inject_at(0.0, p)
+    net.run(until=1e-5)  # still in flight
+    rec = net.tracer.records[p.pid]
+    assert not rec.delivered
+    with pytest.raises(ValueError):
+        _ = rec.total_delay
+
+
+def test_congestion_points_counts_positive_waits():
+    net = _net()
+    first, second, third = (make_packet() for _ in range(3))
+    for p in (first, second, third):
+        net.inject_at(0.0, p)
+    net.run()
+    assert net.tracer.records[first.pid].congestion_points() == 0
+    assert net.tracer.records[third.pid].congestion_points() >= 1
+
+
+def test_disabled_tracer_records_nothing():
+    net = _net()
+    net.tracer.enabled = False
+    net.inject_at(0.0, make_packet())
+    net.run()
+    assert len(net.tracer) == 0
+
+
+def test_delivered_records_iterates_only_exited():
+    net = _net()
+    p1, p2 = make_packet(), make_packet()
+    net.inject_at(0.0, p1)
+    net.inject_at(5.0, p2)
+    net.run(until=1.0)
+    delivered = list(net.tracer.delivered_records())
+    assert [r.pid for r in delivered] == [p1.pid]
+    assert net.tracer.delivered_count() == 1

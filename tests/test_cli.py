@@ -1,0 +1,42 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_lists_all_commands():
+    parser = build_parser()
+    sub = next(
+        a for a in parser._actions if isinstance(a, type(parser._subparsers._group_actions[0]))
+    )
+    commands = set(sub.choices)
+    assert {"table1", "fig1", "fig2", "fig3", "fig4", "gadgets", "info",
+            "weighted"} <= commands
+
+
+def test_gadgets_command(capsys):
+    assert main(["gadgets"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 6" in out and "Figure 7" in out and "Figure 5" in out
+    assert "False" not in out  # every claim holds
+
+
+def test_table1_single_row(capsys):
+    assert main(["table1", "--rows", "0", "--duration", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "Random" in out
+    assert "overdue" in out
+
+
+def test_info_command(capsys):
+    assert main(["info", "--duration", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "quantisation" in out
+
+
+def test_requires_a_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,49 @@
+"""Smoke tests: the example scripts run and print their expected shapes.
+
+Only the two fastest examples run in-process here (the full set is
+exercised manually / by CI at longer horizons); this guards against the
+examples drifting out of sync with the library API.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run("quickstart.py", capsys)
+    assert "recorded" in out
+    assert "replay[omniscient]" in out
+    assert "PERFECT" in out
+
+
+def test_theory_counterexamples(capsys):
+    out = _run("theory_counterexamples.py", capsys)
+    assert "all 6 priority orderings fail? True" in out
+    assert "LSTF replay perfect?           True" in out  # figure 6
+    assert "omniscient" in out
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["replay_experiment.py", "fct_comparison.py", "tail_latency.py",
+     "fairness_convergence.py"],
+)
+def test_other_examples_importable(name):
+    """The remaining examples at least parse and expose a main()."""
+    source = (EXAMPLES / name).read_text()
+    code = compile(source, name, "exec")
+    namespace: dict = {"__name__": "not_main"}
+    exec(code, namespace)  # definitions only; main() guarded
+    assert callable(namespace["main"])

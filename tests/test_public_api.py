@@ -1,0 +1,39 @@
+"""The public API surface: everything advertised in ``repro.__all__``
+exists, and the README quickstart runs."""
+
+from __future__ import annotations
+
+import functools
+
+import repro
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_readme_quickstart_flow():
+    make_net = functools.partial(repro.build_dumbbell, num_pairs=4)
+    net = make_net()
+    flows = repro.poisson_flows(
+        hosts=[h.name for h in net.hosts],
+        sizes=repro.BoundedPareto(alpha=1.2, low=1500, high=100_000),
+        workload=repro.PoissonWorkload(
+            utilization=0.7, reference_bandwidth=50e6, duration=0.05, seed=42
+        ),
+    )
+    repro.install_udp_flows(net, flows)
+    schedule = repro.record_schedule(net)
+    result = repro.replay_schedule(schedule, make_net, mode="lstf")
+    assert "overdue" in result.summary()
+
+
+def test_scheduler_registry_is_exported():
+    names = repro.scheduler_names()
+    assert "lstf" in names and "fifo" in names
+    assert repro.make_scheduler("lstf").name == "lstf"

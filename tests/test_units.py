@@ -1,0 +1,87 @@
+"""Unit tests for units/conversions and the error hierarchy."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import errors
+from repro.units import (
+    MTU,
+    TIME_EPSILON,
+    almost_leq,
+    bits,
+    packets_for,
+    tx_time,
+)
+
+
+class TestTxTime:
+    def test_mtu_at_gigabit(self):
+        assert tx_time(1500, 1e9) == pytest.approx(12e-6)
+
+    def test_infinite_bandwidth(self):
+        assert tx_time(10**12, math.inf) == 0.0
+
+    def test_zero_size(self):
+        assert tx_time(0, 1e9) == 0.0
+
+    @pytest.mark.parametrize("bw", [0.0, -5.0])
+    def test_invalid_bandwidth(self, bw):
+        with pytest.raises(ValueError):
+            tx_time(1500, bw)
+
+    def test_negative_size(self):
+        with pytest.raises(ValueError):
+            tx_time(-1, 1e9)
+
+
+def test_bits():
+    assert bits(1500) == 12_000
+
+
+class TestPacketsFor:
+    def test_exact_multiple(self):
+        assert packets_for(3 * MTU) == 3
+
+    def test_remainder_rounds_up(self):
+        assert packets_for(MTU + 1) == 2
+
+    def test_minimum_one_packet(self):
+        assert packets_for(0) == 1
+        assert packets_for(1) == 1
+
+    def test_custom_mtu(self):
+        assert packets_for(2500, mtu=1000) == 3
+
+
+class TestAlmostLeq:
+    def test_within_epsilon(self):
+        assert almost_leq(1.0 + TIME_EPSILON / 2, 1.0)
+
+    def test_beyond_epsilon(self):
+        assert not almost_leq(1.0 + 10 * TIME_EPSILON, 1.0)
+
+    def test_strictly_less(self):
+        assert almost_leq(0.5, 1.0)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            errors.ConfigurationError,
+            errors.RoutingError,
+            errors.SimulationError,
+            errors.SchedulerError,
+            errors.ReplayError,
+            errors.WorkloadError,
+        ):
+            assert issubclass(exc, errors.ReproError)
+
+    def test_routing_is_a_configuration_error(self):
+        assert issubclass(errors.RoutingError, errors.ConfigurationError)
+
+    def test_catching_the_base_class(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ReplayError("boom")

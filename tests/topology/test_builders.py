@@ -1,0 +1,166 @@
+"""Unit tests for the topology builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology.fattree import FatTreeConfig, build_fattree
+from repro.topology.internet2 import CORE_LINKS, CORE_ROUTERS, Internet2Config, build_internet2
+from repro.topology.rocketfuel import RocketFuelConfig, build_rocketfuel
+from repro.topology.simple import (
+    build_dumbbell,
+    build_linear,
+    build_parking_lot,
+    build_single_switch,
+)
+from repro.units import GBPS
+
+
+class TestInternet2:
+    def test_paper_dimensions(self):
+        """10 core routers, 16 core links (§2.3)."""
+        assert len(CORE_ROUTERS) == 10
+        assert len(CORE_LINKS) == 16
+
+    def test_default_build_structure(self):
+        cfg = Internet2Config(edges_per_core=2, hosts_per_edge=1)
+        net = build_internet2(cfg)
+        assert len(net.routers) == 10 + 10 * 2  # core + edge routers
+        assert len(net.hosts) == 10 * 2
+
+    def test_full_scale_host_count(self):
+        net = build_internet2()  # paper scale: 10 edges/core, 1 host/edge
+        assert len(net.hosts) == 100
+
+    def test_hop_counts_in_paper_range(self):
+        """4..7 hops per packet excluding end hosts."""
+        net = build_internet2(Internet2Config(edges_per_core=2))
+        hosts = [h.name for h in net.hosts]
+        for src, dst in [(hosts[0], hosts[-1]), (hosts[3], hosts[10])]:
+            route = net.route(src, dst)
+            router_hops = len(route) - 2
+            assert 4 <= router_hops <= 7, route
+
+    def test_bandwidth_scale_preserves_ratios(self):
+        cfg = Internet2Config(edges_per_core=1).scaled(0.01)
+        net = build_internet2(cfg)
+        access = net.links[("SEAT", "e_SEAT_0")].bandwidth
+        host = net.links[("e_SEAT_0", "h_SEAT_0_0")].bandwidth
+        assert host / access == pytest.approx(10.0)
+        assert access == pytest.approx(1 * GBPS * 0.01)
+
+    def test_variants_change_the_right_links(self):
+        ten_ten = build_internet2(Internet2Config(edges_per_core=1, access_bw=10 * GBPS))
+        assert ten_ten.links[("SEAT", "e_SEAT_0")].bandwidth == pytest.approx(10 * GBPS)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_internet2(Internet2Config(edges_per_core=0))
+        with pytest.raises(ConfigurationError):
+            build_internet2(Internet2Config(bandwidth_scale=0.0))
+
+    def test_deterministic_rebuild(self):
+        a = build_internet2(Internet2Config(edges_per_core=2))
+        b = build_internet2(Internet2Config(edges_per_core=2))
+        assert set(a.nodes) == set(b.nodes)
+        assert set(a.links) == set(b.links)
+
+
+class TestRocketFuel:
+    def test_paper_dimensions(self):
+        net = build_rocketfuel(RocketFuelConfig(num_hosts=10))
+        routers = [r for r in net.routers if r.name.startswith("r_")]
+        core_links = [
+            (u, v) for (u, v) in net.links
+            if u.startswith("r_") and v.startswith("r_") and u < v
+        ]
+        assert len(routers) == 83
+        assert len(core_links) == 131
+
+    def test_half_core_links_slower_than_access(self):
+        cfg = RocketFuelConfig(num_hosts=10)
+        net = build_rocketfuel(cfg)
+        core_bws = [
+            link.bandwidth for (u, v), link in net.links.items()
+            if u.startswith("r_") and v.startswith("r_") and u < v
+        ]
+        slower = sum(1 for bw in core_bws if bw < cfg.access_bw)
+        assert slower == pytest.approx(len(core_bws) / 2, abs=1)
+
+    def test_all_hosts_reachable(self):
+        net = build_rocketfuel(RocketFuelConfig(num_hosts=8))
+        hosts = [h.name for h in net.hosts]
+        route = net.route(hosts[0], hosts[-1])
+        assert route[0] == hosts[0] and route[-1] == hosts[-1]
+
+    def test_deterministic_given_seed(self):
+        a = build_rocketfuel(RocketFuelConfig(num_hosts=6, seed=5))
+        b = build_rocketfuel(RocketFuelConfig(num_hosts=6, seed=5))
+        assert set(a.links) == set(b.links)
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigurationError):
+            build_rocketfuel(RocketFuelConfig(num_core_links=10))
+        with pytest.raises(ConfigurationError):
+            build_rocketfuel(RocketFuelConfig(num_hosts=1))
+
+
+class TestFatTree:
+    def test_k4_dimensions(self):
+        cfg = FatTreeConfig(k=4)
+        net = build_fattree(cfg)
+        assert len(net.hosts) == cfg.num_hosts == 16
+        # 4 core + 8 agg + 8 edge switches
+        assert len(net.routers) == 20
+
+    def test_full_bisection_uniform_bandwidth(self):
+        net = build_fattree(FatTreeConfig(k=4))
+        bws = {link.bandwidth for link in net.links.values()}
+        assert len(bws) == 1
+
+    def test_inter_pod_route_goes_through_core(self):
+        net = build_fattree(FatTreeConfig(k=4))
+        route = net.route("h_0_0_0", "h_3_1_1")
+        assert any(n.startswith("c_") for n in route)
+
+    def test_intra_edge_route_stays_local(self):
+        net = build_fattree(FatTreeConfig(k=4))
+        route = net.route("h_0_0_0", "h_0_0_1")
+        assert route == ("h_0_0_0", "e_0_0", "h_0_0_1")
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_fattree(FatTreeConfig(k=3))
+
+
+class TestSimpleTopologies:
+    def test_single_switch(self):
+        net = build_single_switch(num_senders=3)
+        assert len(net.hosts) == 4  # 3 senders + sink
+        assert net.route("s_0", "sink") == ("s_0", "SW", "sink")
+
+    def test_dumbbell(self):
+        net = build_dumbbell(num_pairs=2)
+        assert net.route("s_0", "d_1") == ("s_0", "L", "R", "d_1")
+
+    def test_parking_lot_long_path(self):
+        net = build_parking_lot(num_hops=3)
+        route = net.route("h_in_0", "h_out_3")
+        assert [n for n in route if n.startswith("SW")] == [
+            "SW_0", "SW_1", "SW_2", "SW_3"
+        ]
+
+    def test_linear(self):
+        net = build_linear(num_switches=3)
+        assert net.route("src", "dst") == ("src", "SW_0", "SW_1", "SW_2", "dst")
+
+    def test_degenerate_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_single_switch(num_senders=0)
+        with pytest.raises(ConfigurationError):
+            build_dumbbell(num_pairs=0)
+        with pytest.raises(ConfigurationError):
+            build_parking_lot(num_hops=0)
+        with pytest.raises(ConfigurationError):
+            build_linear(num_switches=0)

@@ -1,0 +1,98 @@
+"""Unit tests for the simplified TCP Reno implementation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flow import Flow
+from repro.sim.network import Network
+from repro.transport.tcp import TcpSender, install_tcp_flows
+from repro.units import MBPS
+
+
+def _net(bottleneck=8 * MBPS, prop=0.0005, buffer_bytes=None):
+    net = Network()
+    net.add_host("a")
+    net.add_host("b")
+    net.add_router("SW")
+    net.add_link("a", "SW", 800 * MBPS, prop)
+    net.add_link("SW", "b", bottleneck, prop)
+    if buffer_bytes is not None:
+        net.nodes["SW"].ports["b"].set_buffer(buffer_bytes)
+    return net
+
+
+def test_short_flow_completes():
+    net = _net()
+    flow = Flow(1, "a", "b", 10_000, start=0.0)
+    stats = install_tcp_flows(net, [flow], min_rto=0.05)
+    net.run(until=5.0)
+    assert stats.completed == 1
+    assert stats.fct[1] > 0
+
+
+def test_fct_accounts_from_flow_start():
+    net = _net()
+    flow = Flow(1, "a", "b", 3_000, start=0.25)
+    stats = install_tcp_flows(net, [flow], min_rto=0.05)
+    net.run(until=5.0)
+    # FCT excludes the pre-start idle time.
+    assert stats.fct[1] < 0.1
+
+
+def test_bytes_arrive_in_order_at_receiver():
+    net = _net()
+    flow = Flow(1, "a", "b", 60_000, start=0.0)
+    stats = install_tcp_flows(net, [flow], min_rto=0.05)
+    net.run(until=5.0)
+    assert stats.completed == 1
+
+
+def test_slow_start_doubles_window():
+    net = _net(prop=0.01)  # 20ms RTT so rounds are visible
+    flow = Flow(1, "a", "b", 500_000, start=0.0)
+    stats = install_tcp_flows(net, [flow], min_rto=0.1)
+    sender = None
+    # grab the sender agent off the host
+    sender = net.host("a")._senders[1]
+    net.run(until=0.25)  # several ~40ms RTTs
+    assert isinstance(sender, TcpSender)
+    assert sender.cwnd >= 8  # grew well beyond the initial 2
+
+
+def test_loss_triggers_retransmission_and_recovery():
+    net = _net(buffer_bytes=6_000)  # tiny buffer forces drops
+    flow = Flow(1, "a", "b", 300_000, start=0.0)
+    stats = install_tcp_flows(net, [flow], min_rto=0.05)
+    net.run(until=20.0)
+    assert stats.completed == 1, "flow must recover from drops and finish"
+    assert stats.retransmissions[1] > 0
+    assert net.tracer.drops > 0
+
+
+def test_competing_flows_share_bottleneck():
+    net = _net(buffer_bytes=20_000)
+    flows = [
+        Flow(1, "a", "b", 150_000, start=0.0),
+        Flow(2, "a", "b", 150_000, start=0.0),
+    ]
+    stats = install_tcp_flows(net, flows, min_rto=0.05)
+    net.run(until=30.0)
+    assert stats.completed == 2
+
+
+def test_acks_are_small_and_urgent():
+    net = _net()
+    flow = Flow(1, "a", "b", 3_000, start=0.0)
+    install_tcp_flows(net, [flow], min_rto=0.05)
+    net.run(until=2.0)
+    acks = [r for r in net.tracer.records.values() if r.size == 40]
+    assert acks, "receiver should have generated ACKs"
+    assert all(r.src == "b" and r.dst == "a" for r in acks)
+
+
+def test_mean_fct_requires_completions():
+    net = _net()
+    stats = install_tcp_flows(net, [Flow(1, "a", "b", 1000, start=10.0)])
+    with pytest.raises(ValueError):
+        stats.mean_fct()

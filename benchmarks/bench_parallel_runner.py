@@ -1,0 +1,37 @@
+"""The parallel runner: seed sweeps, serial vs multiprocessing.
+
+Measures :func:`repro.api.runner.run_many` on the same four-seed Table 1
+sweep with one worker and with four, and asserts the parallel artifacts
+are byte-identical to the serial ones (the API's determinism contract —
+speed must never change results).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.api import ExperimentSpec, run_many
+
+SWEEP = ExperimentSpec(
+    "table1", duration=0.1, seeds=(1, 2, 3, 4), options={"rows": (0,)}
+).sweep()
+
+
+@pytest.mark.parametrize("workers", [1, 4], ids=["serial", "4-workers"])
+def test_seed_sweep(benchmark, workers):
+    artifacts = once(benchmark, run_many, SWEEP, workers=workers)
+    assert len(artifacts) == len(SWEEP)
+    print(
+        f"\nRUNNER | workers {workers} | "
+        f"sim wall {sum(a.wall_time_s for a in artifacts):.2f}s "
+        f"across {len(artifacts)} runs"
+    )
+
+
+def test_parallel_matches_serial():
+    serial = run_many(SWEEP, workers=1)
+    parallel = run_many(SWEEP, workers=4)
+    assert [a.canonical_json() for a in serial] == [
+        a.canonical_json() for a in parallel
+    ]

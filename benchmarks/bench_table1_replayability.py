@@ -1,10 +1,10 @@
 """Table 1 — LSTF replayability across scenarios (§2.3).
 
-One benchmark per table row: topology variants, utilisation sweep, and
-original-scheduler sweep.  Each run records the original schedule and
-replays it with non-preemptive LSTF, reporting the fraction of packets
-overdue and the fraction overdue by more than one bottleneck transmission
-time T.
+One benchmark per table row, driven through the unified experiment API:
+each run executes a single-row ``table1`` spec, records the original
+schedule, and replays it with non-preemptive LSTF, reporting the fraction
+of packets overdue and the fraction overdue by more than one bottleneck
+transmission time T.
 
 Paper reference values (full scale) for orientation:
 I2 default/Random 0.0021 / 0.0002; 10% 0.0007/0; 30% 0.0281/0.0017;
@@ -19,21 +19,24 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import once
-from repro.experiments.replayability import run_replay, table1_scenarios
+from repro.api import ExperimentSpec, run
+from repro.experiments.replayability import table1_scenarios
 
-SCENARIOS = table1_scenarios(duration=0.2, seed=1)
+ROW_NAMES = [s.name for s in table1_scenarios(duration=0.2, seed=1)]
 
 
-@pytest.mark.parametrize("scenario", SCENARIOS, ids=[s.name for s in SCENARIOS])
-def test_table1_row(benchmark, scenario):
-    outcome = once(benchmark, run_replay, scenario, "lstf")
+@pytest.mark.parametrize("row", range(len(ROW_NAMES)), ids=ROW_NAMES)
+def test_table1_row(benchmark, row):
+    spec = ExperimentSpec("table1", duration=0.2, options={"rows": (row,)})
+    artifact = once(benchmark, run, spec)
+    name, packets, overdue, overdue_beyond_t = artifact.rows[0]
     print(
-        f"\nTABLE1 | {scenario.name:28s} | packets {outcome.result.num_packets:6d} "
-        f"| overdue {outcome.fraction_overdue:.4f} "
-        f"| overdue>T {outcome.fraction_overdue_beyond_t:.4f}"
+        f"\nTABLE1 | {name:28s} | packets {packets:6d} "
+        f"| overdue {overdue:.4f} "
+        f"| overdue>T {overdue_beyond_t:.4f}"
     )
     # The paper's summary claim: "in almost all cases, less than 1% of the
     # packets are overdue with LSTF by more than T".  Allow slack for the
     # 1/100-scale noise, but catch regressions an order away.
-    assert outcome.fraction_overdue_beyond_t < 0.10
-    assert outcome.fraction_overdue < 0.5
+    assert overdue_beyond_t < 0.10
+    assert overdue < 0.5

@@ -1,8 +1,14 @@
 #!/usr/bin/env python
-"""Quickstart: record a schedule, replay it with LSTF, judge the result.
+"""Quickstart: the unified experiment API, then the machinery underneath.
 
-This walks the paper's core experiment (§2.3) end to end on a small
-dumbbell network:
+Part 1 — the front door.  Every paper artefact is a registered
+experiment; an :class:`~repro.api.spec.ExperimentSpec` declares what to
+run and :func:`repro.api.runner.run` returns a structured
+:class:`~repro.api.results.RunArtifact` (rows + spec + timings) that
+renders as ASCII or serialises to JSON.
+
+Part 2 — under the hood.  The paper's core experiment (§2.3) end to end
+on a small dumbbell network:
 
 1. build a topology and an open-loop UDP workload,
 2. run it under FIFO and *record* the schedule {(path(p), i(p), o(p))},
@@ -19,21 +25,37 @@ import functools
 
 from repro import (
     BoundedPareto,
+    ExperimentSpec,
     PoissonWorkload,
     build_dumbbell,
     install_udp_flows,
     poisson_flows,
     record_schedule,
     replay_schedule,
+    run,
 )
 
 
 def main() -> None:
+    # --- Part 1: declarative specs -> structured artifacts ---------------
+    spec = ExperimentSpec("table1", duration=0.05, options={"rows": (0,)})
+    artifact = run(spec)
+    print(artifact.table().render())
+    print(
+        f"artifact: {len(artifact.rows)} row(s), "
+        f"{artifact.wall_time_s:.2f}s wall; spec round-trips losslessly: "
+        f"{ExperimentSpec.from_dict(spec.to_dict()) == spec}\n"
+    )
+    # The same spec runs sweeps: ExperimentSpec("table1", seeds=(1,2,3))
+    # .sweep() + run_many(..., workers=3) fans out across processes, and
+    # artifact.save(dir) persists the JSON for later comparison.
+
+    # --- Part 2: the record/replay machinery itself -----------------------
     # A fresh-network factory: replay must start from empty queues on an
     # identical topology, so the experiment owns a builder, not a network.
     make_network = functools.partial(build_dumbbell, num_pairs=4)
 
-    # --- 1. workload -----------------------------------------------------
+    # 1. workload
     network = make_network()
     flows = poisson_flows(
         hosts=[h.name for h in network.hosts],
@@ -47,7 +69,7 @@ def main() -> None:
     )
     print(f"generated {len(flows)} flows over {len(network.hosts)} hosts")
 
-    # --- 2. record the original (FIFO) schedule ---------------------------
+    # 2. record the original (FIFO) schedule
     install_udp_flows(network, flows)
     schedule = record_schedule(network, description="dumbbell/FIFO/70%")
     print(
@@ -55,7 +77,7 @@ def main() -> None:
         f"congestion points per packet: {schedule.congestion_point_histogram()}"
     )
 
-    # --- 3 + 4. replay under candidate UPSes ------------------------------
+    # 3 + 4. replay under candidate UPSes
     for mode in ("lstf", "edf", "priority", "omniscient"):
         result = replay_schedule(schedule, make_network, mode=mode)
         verdict = "PERFECT" if result.perfect else f"max lateness {result.max_lateness:.2e}s"

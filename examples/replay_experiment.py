@@ -1,11 +1,12 @@
 #!/usr/bin/env python
-"""Table 1 in miniature: LSTF replayability across scenarios (§2.3).
+"""Table 1 in miniature, via the unified experiment API (§2.3).
 
-Records an "original" schedule on the scaled Internet2 topology under a
-chosen scheduling algorithm and replays it with LSTF, printing the two
-metrics of Table 1 (fraction of packets overdue, and overdue by more than
-one bottleneck transmission time T), plus the queueing-delay-ratio
-distribution behind Figure 1.
+Declares one :class:`~repro.api.spec.ExperimentSpec` per "original"
+scheduling algorithm, fans the sweep out across worker processes with
+:func:`~repro.api.runner.run_many`, and merges the per-scheduler
+Figure 1 quantiles into one table.  The same artifacts serialise to JSON
+(``artifact.save(dir)``) for later diffing — runs are deterministic, so
+two invocations of this script produce byte-identical canonical JSON.
 
 Run:  python examples/replay_experiment.py [scheduler ...]
       (schedulers: random fifo fq sjf lifo fq+fifo+ ; default: random fifo sjf)
@@ -15,39 +16,36 @@ from __future__ import annotations
 
 import sys
 
-from repro.analysis.plots import ascii_cdf
 from repro.analysis.tables import Table
-from repro.experiments.replayability import ReplayScenario, run_replay
+from repro.api import ExperimentSpec, run_many
 
 
 def main(schedulers: list[str]) -> None:
-    table = Table(
-        ["original scheduler", "packets", "overdue", "overdue > T"],
+    specs = [
+        ExperimentSpec(
+            "fig1",
+            name=f"i2/{name}",
+            schedulers=(name,),
+            duration=0.2,
+            seeds=(7,),
+        )
+        for name in schedulers
+    ]
+    artifacts = run_many(specs, workers=min(len(specs), 4))
+
+    merged = Table(
+        ["original scheduler", "p10", "p50", "p90", "p99", "frac <= 1"],
         title="LSTF replay of Internet2 (1G-10G) at 70% utilisation, 1/100 scale",
     )
-    ratio_samples = {}
-    for name in schedulers:
-        scenario = ReplayScenario(
-            name=f"i2/{name}", scheduler=name, duration=0.2, seed=7
-        )
-        outcome = run_replay(scenario, mode="lstf")
-        table.add_row(
-            [
-                name,
-                outcome.result.num_packets,
-                outcome.fraction_overdue,
-                outcome.fraction_overdue_beyond_t,
-            ]
-        )
-        ratio_samples[name] = outcome.result.queueing_delay_ratios()
-    print(table.render())
-
-    print("\nFigure 1 (queueing delay ratio, LSTF : original) quantiles:")
-    for name, ratios in ratio_samples.items():
-        print(ascii_cdf(ratios, title=f"-- {name}", width=40))
+    for artifact in artifacts:
+        for row in artifact.rows:
+            merged.add_row(row)
+    print(merged.render())
+    total = sum(a.wall_time_s for a in artifacts)
+    print(f"\n{len(artifacts)} runs, {total:.1f}s of simulation wall time")
     print(
-        "\nExpected shape: most ratios fall below 1.0 — LSTF removes "
-        "'wasted waiting' (§2.3(6))."
+        "\nExpected shape: most ratio quantiles fall below 1.0 — LSTF "
+        "removes 'wasted waiting' (§2.3(6))."
     )
 
 

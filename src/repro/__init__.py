@@ -12,9 +12,28 @@ rebuilds their entire evaluation stack in pure Python:
 * the practical slack heuristics of §3 (:mod:`repro.core.heuristics`),
 * the paper's topologies, workloads, transports, metrics, the appendix
   counter-example gadgets (:mod:`repro.theory`), and experiment drivers
-  for every table and figure (:mod:`repro.experiments`).
+  for every table and figure (:mod:`repro.experiments`),
+* a unified experiment API (:mod:`repro.api`): declarative specs, a
+  registry of every paper artefact, a serial/parallel runner, and
+  structured JSON artifacts.
 
 Quick taste (see ``examples/quickstart.py`` for the narrated version)::
+
+    from repro import ExperimentSpec, run, run_many
+
+    # any registered artefact, one declarative call
+    artifact = run(ExperimentSpec("table1", duration=0.1,
+                                  options={"rows": (0, 13)}))
+    print(artifact.table().render())
+    artifact.save("artifacts/")              # JSON RunArtifact on disk
+
+    # a seed sweep, fanned out over worker processes
+    sweep = ExperimentSpec("fig3", seeds=(1, 2, 3, 4)).sweep()
+    artifacts = run_many(sweep, workers=4)
+
+The lower-level record/replay machinery stays first-class — build a
+topology, record the original schedule, replay it under a candidate
+universal scheduler::
 
     from repro import (
         build_dumbbell, poisson_flows, install_udp_flows, record_schedule,
@@ -34,12 +53,22 @@ Quick taste (see ``examples/quickstart.py`` for the narrated version)::
     print(result.summary())
 """
 
+from repro.api import (
+    ExperimentSpec,
+    RunArtifact,
+    load_artifact,
+    register_experiment,
+    run,
+    run_many,
+)
+
 from repro.core.flow import Flow
 from repro.core.heuristics import (
     ConstantSlack,
     FlowSizeSlack,
     SlackPolicy,
     VirtualClockSlack,
+    parse_slack_policy,
 )
 from repro.core.packet import Packet
 from repro.core.replay import (
@@ -118,6 +147,7 @@ __all__ = [
     "EdfScheduler",
     "EmpiricalCdf",
     "Engine",
+    "ExperimentSpec",
     "ExponentialSize",
     "FatTreeConfig",
     "FifoPlusScheduler",
@@ -145,6 +175,7 @@ __all__ = [
     "ReproError",
     "RocketFuelConfig",
     "RoutingError",
+    "RunArtifact",
     "Scheduler",
     "SchedulerError",
     "SimulationError",
@@ -167,13 +198,18 @@ __all__ = [
     "install_tcp_flows",
     "install_udp_flows",
     "internet_distribution",
+    "load_artifact",
     "load_schedule",
     "long_lived_flows",
     "make_scheduler",
+    "parse_slack_policy",
     "poisson_flows",
     "record_schedule",
+    "register_experiment",
     "replay_schedule",
     "replay_slack",
+    "run",
+    "run_many",
     "save_schedule",
     "scheduler_names",
     "web_search_distribution",

@@ -1,10 +1,37 @@
-"""Minimal ASCII table rendering for experiment output."""
+"""Minimal tabular reporting for experiment output.
+
+A :class:`Table` accumulates *raw* cells and renders them on demand:
+aligned ASCII for terminals (:meth:`Table.render`), JSON for artifacts
+and tooling (:meth:`Table.to_json`), CSV for spreadsheets
+(:meth:`Table.to_csv`).  All three share one formatting pipeline, so the
+``--json`` CLI path can never drift from what the ASCII table shows.
+"""
 
 from __future__ import annotations
 
+import csv
+import io
+import json
 from typing import Sequence
 
 __all__ = ["Table"]
+
+
+def _plain(cell: object) -> object:
+    """Coerce a cell to a JSON-serialisable scalar.
+
+    numpy scalars expose ``.item()``; everything non-scalar degrades to
+    ``str`` so a table can always serialise.
+    """
+    if isinstance(cell, (bool, int, float, str)) or cell is None:
+        return cell
+    item = getattr(cell, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    return str(cell)
 
 
 class Table:
@@ -13,18 +40,27 @@ class Table:
     >>> t = Table(["name", "value"])
     >>> t.add_row(["alpha", 1.5])
     >>> print(t.render())
-    name   | value
-    -------+------
-    alpha  | 1.5
+    name  | value
+    ------+------
+    alpha | 1.5
     """
 
     def __init__(self, headers: Sequence[str], title: str = "") -> None:
         self.title = title
         self._headers = [str(h) for h in headers]
-        self._rows: list[list[str]] = []
+        self._rows: list[list[object]] = []
+
+    @property
+    def headers(self) -> list[str]:
+        return list(self._headers)
+
+    @property
+    def rows(self) -> list[list[object]]:
+        """The raw (unformatted) cells, one list per row."""
+        return [list(row) for row in self._rows]
 
     def add_row(self, cells: Sequence[object]) -> None:
-        row = [self._format(c) for c in cells]
+        row = [_plain(c) for c in cells]
         if len(row) != len(self._headers):
             raise ValueError(
                 f"row has {len(row)} cells, table has {len(self._headers)} columns"
@@ -42,8 +78,9 @@ class Table:
         return str(cell)
 
     def render(self) -> str:
+        formatted = [[self._format(c) for c in row] for row in self._rows]
         widths = [len(h) for h in self._headers]
-        for row in self._rows:
+        for row in formatted:
             for i, cell in enumerate(row):
                 widths[i] = max(widths[i], len(cell))
         def fmt(cells: Sequence[str]) -> str:
@@ -51,10 +88,37 @@ class Table:
         lines = []
         if self.title:
             lines.append(self.title)
-        lines.append(fmt(self._headers).replace(" | ", "  | "))
-        lines.append("-+-".join("-" * (w + 1) for w in widths).rstrip("-") + "-")
-        lines.extend(fmt(r) for r in self._rows)
+        lines.append(fmt(self._headers))
+        lines.append("-+-".join("-" * w for w in widths))
+        lines.extend(fmt(r) for r in formatted)
         return "\n".join(lines)
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialise title, headers, and *raw* rows as a JSON object.
+
+        >>> t = Table(["name", "value"], title="demo")
+        >>> t.add_row(["alpha", 1.5])
+        >>> t.to_json()
+        '{"title": "demo", "headers": ["name", "value"], "rows": [["alpha", 1.5]]}'
+        """
+        payload = {"title": self.title, "headers": self.headers, "rows": self.rows}
+        return json.dumps(payload, indent=indent)
+
+    def to_csv(self) -> str:
+        """Serialise as CSV, cells formatted exactly like :meth:`render`.
+
+        >>> t = Table(["name", "value"])
+        >>> t.add_row(["alpha", 0.00001234])
+        >>> print(t.to_csv(), end="")
+        name,value
+        alpha,1.23e-05
+        """
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self._headers)
+        for row in self._rows:
+            writer.writerow([self._format(c) for c in row])
+        return buffer.getvalue()
 
     def __str__(self) -> str:
         return self.render()

@@ -1,0 +1,155 @@
+"""The experiment registry: names → spec-driven drivers.
+
+Every paper artefact registers itself with::
+
+    @register_experiment("table1", help="Table 1: LSTF replayability rows")
+    def run_table1(spec: ExperimentSpec) -> Table: ...
+
+A driver takes an :class:`~repro.api.spec.ExperimentSpec` and returns a
+:class:`~repro.analysis.tables.Table` (optionally ``(table, metadata)``);
+the runner wraps that into a :class:`~repro.api.results.RunArtifact`.
+
+``repro.api.get("fig2")`` replaces scattered ``from repro.experiments.fct
+import …`` imports, and the CLI auto-generates one subcommand per
+registered name.  Built-in experiments load lazily on first lookup, so
+importing :mod:`repro.api` stays cheap and forked/spawned worker
+processes self-populate.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ExperimentRegistry",
+    "RegisteredExperiment",
+    "REGISTRY",
+    "register_experiment",
+    "get",
+    "experiment_names",
+]
+
+# Importing these modules runs their @register_experiment decorators.
+_BUILTIN_MODULES = ("repro.experiments",)
+
+
+@dataclass(frozen=True, slots=True)
+class RegisteredExperiment:
+    """One registry entry: the driver plus its CLI-facing description.
+
+    ``options`` declares the ``ExperimentSpec.options`` keys the driver
+    reads; the runner rejects specs carrying any other key, so a knob
+    can never be silently ignored.  ``params`` declares which spec
+    *fields* the driver reads (``"duration"``, ``"seeds"``, …); the CLI
+    uses it to reject flags an experiment would ignore.
+    """
+
+    name: str
+    fn: Callable
+    help: str = ""
+    aliases: tuple[str, ...] = ()
+    options: tuple[str, ...] = ()
+    params: tuple[str, ...] = ()
+
+    def __call__(self, spec):
+        return self.fn(spec)
+
+
+@dataclass
+class ExperimentRegistry:
+    """A name → driver mapping with decorator-based registration."""
+
+    _entries: dict[str, RegisteredExperiment] = field(default_factory=dict)
+    _aliases: dict[str, str] = field(default_factory=dict)
+    _loaded: bool = False
+
+    def register(
+        self,
+        name: str,
+        *,
+        help: str = "",
+        aliases: tuple[str, ...] = (),
+        options: tuple[str, ...] = (),
+        params: tuple[str, ...] = (),
+    ) -> Callable[[Callable], Callable]:
+        """Decorator: register ``fn`` as the driver for ``name``."""
+
+        def decorator(fn: Callable) -> Callable:
+            for key in (name, *aliases):
+                if key in self._entries or key in self._aliases:
+                    raise ConfigurationError(
+                        f"experiment {key!r} is already registered"
+                    )
+            entry = RegisteredExperiment(
+                name=name, fn=fn, help=help, aliases=tuple(aliases),
+                options=tuple(options), params=tuple(params),
+            )
+            self._entries[name] = entry
+            for alias in aliases:
+                self._aliases[alias] = name
+            return fn
+
+        return decorator
+
+    def _load_builtins(self) -> None:
+        if self._loaded:
+            return
+        self._loaded = True
+        for module in _BUILTIN_MODULES:
+            importlib.import_module(module)
+
+    def get(self, name: str) -> RegisteredExperiment:
+        """Resolve a name or alias to its entry (loading built-ins)."""
+        self._load_builtins()
+        canonical = self._aliases.get(name, name)
+        try:
+            return self._entries[canonical]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown experiment {name!r}; registered: {self.names()}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        """Registered canonical names, sorted."""
+        self._load_builtins()
+        return tuple(sorted(self._entries))
+
+    def entries(self) -> tuple[RegisteredExperiment, ...]:
+        self._load_builtins()
+        return tuple(self._entries[n] for n in self.names())
+
+    def __contains__(self, name: str) -> bool:
+        self._load_builtins()
+        return name in self._entries or name in self._aliases
+
+
+#: The process-wide registry the decorators below write into.
+REGISTRY = ExperimentRegistry()
+
+
+def register_experiment(
+    name: str,
+    *,
+    help: str = "",
+    aliases: tuple[str, ...] = (),
+    options: tuple[str, ...] = (),
+    params: tuple[str, ...] = (),
+) -> Callable[[Callable], Callable]:
+    """Register a driver on the global :data:`REGISTRY` (decorator)."""
+    return REGISTRY.register(
+        name, help=help, aliases=aliases, options=options, params=params
+    )
+
+
+def get(name: str) -> RegisteredExperiment:
+    """Look up a registered experiment by name or alias."""
+    return REGISTRY.get(name)
+
+
+def experiment_names() -> tuple[str, ...]:
+    """All registered experiment names."""
+    return REGISTRY.names()

@@ -1,0 +1,130 @@
+"""Structured run artifacts.
+
+A :class:`RunArtifact` is what an experiment run *produces*: the spec
+that configured it, the result rows (raw, JSON-scalar cells), free-form
+metadata from the driver, and wall-time accounting.  Artifacts serialise
+to JSON, persist under an ``--out`` directory with deterministic
+filenames, and render through the existing ASCII
+:class:`~repro.analysis.tables.Table` — one pipeline from simulation to
+terminal, file, or downstream tooling.
+
+Determinism contract: :meth:`RunArtifact.canonical_json` excludes the
+timing section, so two runs of the same spec — serial or in parallel
+worker processes — must produce byte-identical canonical JSON.  The test
+suite guards this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.analysis.tables import Table
+from repro.api.spec import ExperimentSpec
+from repro.errors import ConfigurationError
+
+__all__ = ["RunArtifact", "load_artifact"]
+
+_ARTIFACT_VERSION = 1
+
+
+@dataclass(slots=True)
+class RunArtifact:
+    """The structured result of one experiment run."""
+
+    spec: ExperimentSpec
+    title: str
+    headers: list[str]
+    rows: list[list[Any]]
+    metadata: dict[str, Any] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+
+    @classmethod
+    def from_table(
+        cls,
+        spec: ExperimentSpec,
+        table: Table,
+        metadata: Mapping[str, Any] | None = None,
+        wall_time_s: float = 0.0,
+    ) -> "RunArtifact":
+        return cls(
+            spec=spec,
+            title=table.title,
+            headers=table.headers,
+            rows=table.rows,
+            metadata=dict(metadata or {}),
+            wall_time_s=wall_time_s,
+        )
+
+    def table(self) -> Table:
+        """Rebuild the renderable table (ASCII / CSV views)."""
+        table = Table(self.headers, title=self.title)
+        for row in self.rows:
+            table.add_row(row)
+        return table
+
+    # -- serialisation ----------------------------------------------------
+
+    def to_dict(self, include_timings: bool = True) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "version": _ARTIFACT_VERSION,
+            "spec": self.spec.to_dict(),
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(r) for r in self.rows],
+            "metadata": dict(self.metadata),
+        }
+        if include_timings:
+            payload["timings"] = {"wall_time_s": self.wall_time_s}
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunArtifact":
+        version = data.get("version", _ARTIFACT_VERSION)
+        if version != _ARTIFACT_VERSION:
+            raise ConfigurationError(
+                f"artifact version {version!r} not supported "
+                f"(expected {_ARTIFACT_VERSION})"
+            )
+        return cls(
+            spec=ExperimentSpec.from_dict(data["spec"]),
+            title=data.get("title", ""),
+            headers=list(data["headers"]),
+            rows=[list(r) for r in data["rows"]],
+            metadata=dict(data.get("metadata", {})),
+            wall_time_s=float(data.get("timings", {}).get("wall_time_s", 0.0)),
+        )
+
+    def to_json(self, indent: int | None = 2, include_timings: bool = True) -> str:
+        return json.dumps(self.to_dict(include_timings=include_timings), indent=indent)
+
+    def canonical_json(self) -> str:
+        """Timing-free, key-sorted JSON — byte-identical across reruns."""
+        return json.dumps(
+            self.to_dict(include_timings=False), sort_keys=True, separators=(",", ":")
+        )
+
+    # -- persistence ------------------------------------------------------
+
+    def run_id(self) -> str:
+        """A short deterministic id derived from the canonical spec."""
+        digest = hashlib.sha256(
+            json.dumps(self.spec.to_dict(), sort_keys=True).encode()
+        ).hexdigest()
+        return f"{self.spec.experiment}-{digest[:10]}"
+
+    def save(self, out_dir: str | Path) -> Path:
+        """Persist as ``<out_dir>/<run_id>.json``; returns the path."""
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        path = out / f"{self.run_id()}.json"
+        path.write_text(self.to_json(indent=2) + "\n")
+        return path
+
+
+def load_artifact(path: str | Path) -> RunArtifact:
+    """Read an artifact previously written by :meth:`RunArtifact.save`."""
+    return RunArtifact.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,71 @@
+"""Execute experiment specs, serially or across worker processes.
+
+:func:`run` resolves a spec against the registry, resets the global
+packet-id counter (so every run sees the same id stream no matter what
+ran before it in the process — the determinism the artifact contract
+depends on), executes the driver under a wall-clock timer, and wraps the
+result into a :class:`~repro.api.results.RunArtifact`.
+
+:func:`run_many` maps :func:`run` over a list of specs — a seed or
+scheduler sweep built with :meth:`ExperimentSpec.sweep` — either in this
+process or via a ``multiprocessing`` pool.  Worker processes are safe
+because the simulator is deterministic and single-threaded per run and
+specs/artifacts are plain picklable data; parallel results are required
+to be byte-identical to serial ones (guarded by the test suite).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Iterable, Sequence
+
+from repro.api.registry import REGISTRY, ExperimentRegistry
+from repro.api.results import RunArtifact
+from repro.api.spec import ExperimentSpec
+from repro.core.packet import reset_packet_ids
+from repro.errors import ConfigurationError
+
+__all__ = ["run", "run_many"]
+
+
+def run(spec: ExperimentSpec, registry: ExperimentRegistry | None = None) -> RunArtifact:
+    """Execute one spec and return its artifact."""
+    entry = (registry or REGISTRY).get(spec.experiment)
+    unknown = [key for key, _ in spec.options if key not in entry.options]
+    if unknown:
+        accepted = ", ".join(entry.options) or "none"
+        raise ConfigurationError(
+            f"experiment {entry.name!r} does not read option(s) "
+            f"{', '.join(map(repr, unknown))} (accepted: {accepted})"
+        )
+    reset_packet_ids()
+    start = time.perf_counter()
+    try:
+        output = entry.fn(spec)
+    finally:
+        reset_packet_ids()
+    wall = time.perf_counter() - start
+    if isinstance(output, tuple):
+        table, metadata = output
+    else:
+        table, metadata = output, {}
+    return RunArtifact.from_table(spec, table, metadata=metadata, wall_time_s=wall)
+
+
+def run_many(
+    specs: Iterable[ExperimentSpec], workers: int = 1
+) -> list[RunArtifact]:
+    """Execute several specs; ``workers > 1`` fans out across processes.
+
+    Results come back in input order regardless of worker scheduling.
+    """
+    spec_list: Sequence[ExperimentSpec] = list(specs)
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers!r}")
+    if workers == 1 or len(spec_list) <= 1:
+        return [run(spec) for spec in spec_list]
+    with multiprocessing.get_context().Pool(
+        processes=min(workers, len(spec_list))
+    ) as pool:
+        return pool.map(run, spec_list)

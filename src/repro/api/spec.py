@@ -1,0 +1,200 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` is the single front door to the evaluation
+stack: it names a registered experiment (``"table1"``, ``"fig2"``, …)
+and carries the knobs every driver understands — scheduler sweep,
+topology, utilisation, duration, seeds, bandwidth scale, slack policy —
+plus an open-ended ``options`` bag for experiment-specific parameters
+(e.g. ``rows`` for Table 1 subsets).
+
+Specs are frozen, hashable, and JSON-round-trippable::
+
+    spec = ExperimentSpec("table1", duration=0.1, options={"rows": (0, 13)})
+    assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+which makes them safe to ship across process boundaries (the parallel
+runner), persist inside :class:`~repro.api.results.RunArtifact` files,
+and diff between runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ExperimentSpec"]
+
+_SCALARS = (bool, int, float, str, type(None))
+
+
+def _freeze_option(key: str, value: object) -> object:
+    """Coerce one option value to a hashable, JSON-round-trippable form."""
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, (tuple, list)):
+        items = tuple(value)
+        for item in items:
+            if not isinstance(item, _SCALARS):
+                raise ConfigurationError(
+                    f"option {key!r} contains non-scalar element {item!r}"
+                )
+        return items
+    raise ConfigurationError(
+        f"option {key!r} must be a scalar or a flat sequence, got {value!r}"
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentSpec:
+    """One declarative experiment run (or sweep).
+
+    ``schedulers`` and ``seeds`` may hold several values; drivers treat
+    an empty ``schedulers`` tuple as "this experiment's default sweep"
+    and use :attr:`seed` (the first entry) for their RNGs.  Use
+    :meth:`sweep` to expand a multi-seed spec into single-seed specs for
+    :func:`repro.api.runner.run_many`.
+
+    ``slack_policy`` uses the grammar of
+    :func:`repro.core.heuristics.parse_slack_policy`
+    (``"constant[:seconds]"``, ``"flow-size[:D]"``,
+    ``"virtual-clock:rate"``) and overrides the LSTF slack heuristic in
+    the drivers that take one (``fig2``, ``fig3``); it is validated at
+    construction.
+    """
+
+    experiment: str
+    name: str = ""
+    schedulers: tuple[str, ...] = ()
+    topology: str = "i2-1g-10g"
+    utilization: float = 0.7
+    duration: float = 0.2
+    seeds: tuple[int, ...] = (1,)
+    bandwidth_scale: float = 0.01
+    slack_policy: str | None = None
+    options: tuple[tuple[str, Any], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.experiment:
+            raise ConfigurationError("spec needs a non-empty experiment name")
+        object.__setattr__(self, "schedulers", tuple(self.schedulers))
+        seeds = tuple(int(s) for s in self.seeds)
+        if not seeds:
+            raise ConfigurationError("spec needs at least one seed")
+        object.__setattr__(self, "seeds", seeds)
+        if self.duration <= 0:
+            raise ConfigurationError(f"duration must be > 0, got {self.duration!r}")
+        if self.bandwidth_scale <= 0:
+            raise ConfigurationError(
+                f"bandwidth_scale must be > 0, got {self.bandwidth_scale!r}"
+            )
+        if self.slack_policy is not None:
+            from repro.core.heuristics import parse_slack_policy
+
+            parse_slack_policy(self.slack_policy)  # fail fast on bad grammar
+        raw = self.options
+        if isinstance(raw, Mapping):
+            pairs: Iterable[tuple[str, object]] = raw.items()
+        else:
+            pairs = tuple(raw)
+        frozen = tuple(
+            sorted(
+                ((str(k), _freeze_option(str(k), v)) for k, v in pairs),
+                key=lambda kv: kv[0],
+            )
+        )
+        keys = [k for k, _ in frozen]
+        if len(set(keys)) != len(keys):
+            raise ConfigurationError(f"duplicate option keys in {keys}")
+        object.__setattr__(self, "options", frozen)
+
+    # -- convenience accessors -------------------------------------------
+
+    @property
+    def label(self) -> str:
+        """Human-readable name: explicit ``name`` or the experiment id."""
+        return self.name or self.experiment
+
+    @property
+    def seed(self) -> int:
+        """The first (often only) seed — what single-run drivers use."""
+        return self.seeds[0]
+
+    def option(self, key: str, default: object = None) -> object:
+        for k, v in self.options:
+            if k == key:
+                return v
+        return default
+
+    def with_(self, **changes: object) -> "ExperimentSpec":
+        """A copy with fields replaced (``options`` may be a mapping)."""
+        return replace(self, **changes)
+
+    # -- sweeps -----------------------------------------------------------
+
+    def sweep(
+        self,
+        seeds: Iterable[int] | None = None,
+        schedulers: Iterable[str] | None = None,
+    ) -> list["ExperimentSpec"]:
+        """Expand into one single-seed spec per (seed, scheduler) pair.
+
+        With no arguments this expands :attr:`seeds`; pass ``schedulers``
+        to also split the scheduler sweep into per-scheduler specs (for
+        experiments whose drivers loop over schemes, splitting lets
+        :func:`~repro.api.runner.run_many` parallelise across them).
+        """
+        seed_axis = tuple(seeds) if seeds is not None else self.seeds
+        if schedulers is not None:
+            sched_axis: tuple[tuple[str, ...], ...] = tuple(
+                (s,) for s in schedulers
+            )
+        else:
+            sched_axis = (self.schedulers,)
+        out = []
+        for seed in seed_axis:
+            for scheds in sched_axis:
+                out.append(replace(self, seeds=(seed,), schedulers=scheds))
+        return out
+
+    # -- serialisation ----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable dict; lossless under :meth:`from_dict`."""
+        return {
+            "experiment": self.experiment,
+            "name": self.name,
+            "schedulers": list(self.schedulers),
+            "topology": self.topology,
+            "utilization": self.utilization,
+            "duration": self.duration,
+            "seeds": list(self.seeds),
+            "bandwidth_scale": self.bandwidth_scale,
+            "slack_policy": self.slack_policy,
+            "options": {
+                k: (list(v) if isinstance(v, tuple) else v)
+                for k, v in self.options
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or hand-written JSON)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown spec fields {sorted(unknown)}; known: {sorted(known)}"
+            )
+        kwargs = dict(data)
+        for key in ("schedulers", "seeds"):
+            if key in kwargs:
+                kwargs[key] = tuple(kwargs[key])
+        options = kwargs.get("options")
+        if isinstance(options, Mapping):
+            kwargs["options"] = {
+                k: (tuple(v) if isinstance(v, list) else v)
+                for k, v in options.items()
+            }
+        return cls(**kwargs)

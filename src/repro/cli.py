@@ -1,187 +1,150 @@
 """Command-line interface: regenerate any paper artefact from the shell.
 
-Examples::
+Subcommands are generated from the experiment registry
+(:mod:`repro.api.registry`), so a newly registered experiment appears
+here with no CLI changes.  Examples::
 
-    python -m repro table1                   # all 14 Table 1 rows
-    python -m repro table1 --rows 1 12 13    # a subset
-    python -m repro fig1                     # delay-ratio quantiles
+    python -m repro list                     # what can I run?
+    python -m repro run table1 --json        # generic dispatcher
+    python -m repro run fig3 --seeds 1 2 3 --workers 3 --out artifacts/
+    python -m repro table1 --rows 1 12 13    # legacy alias, still works
     python -m repro fig2                     # FCT comparison
-    python -m repro fig3                     # tail latency
-    python -m repro fig4                     # fairness convergence
     python -m repro gadgets                  # Figures 5/6/7 theorems
-    python -m repro info                     # §5 quantisation extension
-    python -m repro weighted                 # §3.3 weighted fairness
 
-Shared flags: ``--duration`` (workload horizon, seconds), ``--seed``,
-``--scale`` (bandwidth scale; 0.01 default, 1.0 = the paper's full
-bandwidths — expect long runtimes).
+Flags are honored exactly as given — a spec never lies about the run it
+describes.  (One deliberate divergence from the pre-registry CLI: fig2
+and fig3 used to clamp ``--duration`` up to 0.2 s silently; now the
+requested duration runs as-is, and an unworkably small one fails with a
+clean error.)
+
+Shared flags: ``--duration`` (workload horizon, seconds), ``--seed`` /
+``--seeds`` (a sweep), ``--scale`` (bandwidth scale; 0.01 default, 1.0 =
+the paper's full bandwidths — expect long runtimes), ``--schedulers``
+(override an experiment's scheme sweep), ``--workers`` (parallel seed
+sweeps via multiprocessing), ``--json`` (emit the RunArtifact instead of
+ASCII), and ``--out DIR`` (persist artifacts as JSON files).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import Sequence
 
 from repro.analysis.tables import Table
+from repro.api import REGISTRY, ExperimentSpec, run, run_many
+from repro.errors import ConfigurationError, ReproError
 
-__all__ = ["main"]
-
-
-def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--duration", type=float, default=0.2,
-                        help="workload duration in simulated seconds")
-    parser.add_argument("--seed", type=int, default=1)
-    parser.add_argument("--scale", type=float, default=0.01,
-                        help="bandwidth scale (1.0 = paper's full scale)")
+__all__ = ["main", "build_parser"]
 
 
-def _cmd_table1(args: argparse.Namespace) -> int:
-    from repro.experiments.replayability import run_replay, table1_scenarios
+# experiment flag -> the ExperimentSpec field it sets; flags whose field a
+# driver does not declare in RegisteredExperiment.params are rejected, so
+# `repro gadgets --duration 9` fails loudly instead of silently ignoring.
+_FLAG_TO_PARAM = {
+    "duration": "duration",
+    "seed": "seeds",
+    "seeds": "seeds",
+    "scale": "bandwidth_scale",
+    "schedulers": "schedulers",
+    "slack": "slack_policy",
+}
 
-    scenarios = table1_scenarios(
-        duration=args.duration, seed=args.seed, bandwidth_scale=args.scale
+
+def _add_experiment_args(parser: argparse.ArgumentParser, with_rows: bool) -> None:
+    parser.add_argument("--duration", type=float, default=None,
+                        help="workload duration in simulated seconds "
+                             "(default 0.2)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="workload RNG seed (default 1)")
+    parser.add_argument("--seeds", type=int, nargs="+", default=None,
+                        help="seed sweep (one run per seed; overrides --seed)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="bandwidth scale (default 0.01; 1.0 = paper's "
+                             "full scale)")
+    parser.add_argument("--schedulers", nargs="+", default=None, metavar="NAME",
+                        help="override the experiment's scheduler/scheme sweep")
+    parser.add_argument("--slack", default=None, metavar="POLICY",
+                        help="LSTF slack policy override, e.g. 'constant:0.5', "
+                             "'flow-size:2', 'virtual-clock:1e6'")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for seed sweeps (default: serial)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the structured RunArtifact as JSON "
+                             "(an array when sweeping seeds)")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="also persist each artifact under DIR")
+    if with_rows:
+        parser.add_argument("--rows", type=int, nargs="*", default=None,
+                            help="row indices (0-based) to run, table1 only; "
+                                 "default all 14")
+
+
+def spec_from_args(experiment: str, args: argparse.Namespace) -> ExperimentSpec:
+    """Build the declarative spec an invocation describes."""
+    if args.seeds:
+        seeds = tuple(args.seeds)
+    else:
+        seeds = (args.seed,) if args.seed is not None else (1,)
+    options: dict[str, object] = {}
+    rows = getattr(args, "rows", None)
+    if rows:  # a bare `--rows` (no indices) means "all rows", like before
+        options["rows"] = tuple(rows)
+    return ExperimentSpec(
+        experiment=experiment,
+        schedulers=tuple(args.schedulers) if args.schedulers else (),
+        duration=args.duration if args.duration is not None else 0.2,
+        seeds=seeds,
+        bandwidth_scale=args.scale if args.scale is not None else 0.01,
+        slack_policy=args.slack,
+        options=options,
     )
-    if args.rows:
-        scenarios = [scenarios[i] for i in args.rows]
-    table = Table(
-        ["scenario", "packets", "overdue", "overdue > T"],
-        title="Table 1 — LSTF replayability",
-    )
-    for scenario in scenarios:
-        outcome = run_replay(scenario)
-        table.add_row(
-            [
-                scenario.name,
-                outcome.result.num_packets,
-                outcome.fraction_overdue,
-                outcome.fraction_overdue_beyond_t,
-            ]
-        )
-        print(f"  done: {scenario.name}", file=sys.stderr)
-    print(table.render())
+
+
+def _reject_unused_flags(entry, args: argparse.Namespace) -> None:
+    """Fail loudly when a flag names a spec field the driver ignores."""
+    for flag, param in _FLAG_TO_PARAM.items():
+        if getattr(args, flag, None) is not None and param not in entry.params:
+            raise ConfigurationError(
+                f"experiment {entry.name!r} does not use --{flag}"
+            )
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    experiment = getattr(args, "experiment", None) or args.command
+    try:
+        # Registry lookup up front so an unknown `run NAME` fails before
+        # any simulation work, with the list of valid names.
+        entry = REGISTRY.get(experiment)
+        _reject_unused_flags(entry, args)
+        spec = spec_from_args(experiment, args)
+        if len(spec.seeds) > 1:
+            artifacts = run_many(spec.sweep(), workers=args.workers)
+        else:
+            artifacts = [run(spec)]
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for artifact in artifacts:
+        if args.out:
+            path = artifact.save(args.out)
+            print(f"wrote {path}", file=sys.stderr)
+    if args.as_json:
+        payloads = [a.to_dict() for a in artifacts]
+        print(json.dumps(payloads[0] if len(payloads) == 1 else payloads,
+                         indent=2))
+    else:
+        for artifact in artifacts:
+            print(artifact.table().render())
     return 0
 
 
-def _cmd_fig1(args: argparse.Namespace) -> int:
-    import numpy as np
-
-    from repro.experiments.replayability import ReplayScenario, run_replay
-
-    table = Table(
-        ["original", "p10", "p50", "p90", "p99", "frac <= 1"],
-        title="Figure 1 — LSTF:original queueing delay ratio",
-    )
-    for scheduler in ("random", "fifo", "fq", "sjf", "lifo", "fq+fifo+"):
-        scenario = ReplayScenario(
-            name=f"fig1/{scheduler}", scheduler=scheduler,
-            duration=args.duration, seed=args.seed, bandwidth_scale=args.scale,
-        )
-        ratios = run_replay(scenario).result.queueing_delay_ratios()
-        q = np.quantile(ratios, [0.1, 0.5, 0.9, 0.99])
-        table.add_row([scheduler, q[0], q[1], q[2], q[3],
-                       float(np.mean(ratios <= 1.0 + 1e-9))])
-    print(table.render())
-    return 0
-
-
-def _cmd_fig2(args: argparse.Namespace) -> int:
-    from repro.experiments.fct import run_fct_experiment
-
-    results = run_fct_experiment(
-        duration=max(args.duration, 0.2), seed=args.seed, bandwidth_scale=args.scale
-    )
-    table = Table(["scheme", "flows", "mean FCT (s)"],
-                  title="Figure 2 — mean flow completion time")
-    for name, res in results.items():
-        table.add_row([name, res.stats.completed, res.mean_fct])
-    print(table.render())
-    return 0
-
-
-def _cmd_fig3(args: argparse.Namespace) -> int:
-    from repro.experiments.tail import run_tail_experiment
-
-    results = run_tail_experiment(
-        schemes=("fifo", "lstf-constant", "fifo+"),
-        duration=max(args.duration, 0.2), seed=args.seed,
-        bandwidth_scale=args.scale,
-    )
-    table = Table(["scheme", "mean (s)", "p99 (s)", "p99.9 (s)"],
-                  title="Figure 3 — tail packet delays")
-    for name, res in results.items():
-        table.add_row([name, res.mean, res.p99, res.p999])
-    print(table.render())
-    return 0
-
-
-def _cmd_fig4(args: argparse.Namespace) -> int:
-    from repro.experiments.fairness import run_fairness_experiment
-
-    results = run_fairness_experiment(seed=args.seed)
-    table = Table(["scheme", "final Jain", "t(0.95) s"],
-                  title="Figure 4 — convergence to fairness")
-    for name, res in results.items():
-        table.add_row([name, res.final_fairness, res.time_to_reach(0.95) or "never"])
-    print(table.render())
-    return 0
-
-
-def _cmd_gadgets(_args: argparse.Namespace) -> int:
-    from repro.theory.blackbox import blackbox_gadget
-    from repro.theory.lstf_failure import lstf_three_congestion_gadget
-    from repro.theory.priority_cycle import (
-        all_priority_orderings_fail,
-        priority_cycle_gadget,
-    )
-
-    table = Table(["construction", "claim", "holds"],
-                  title="Appendix counter-examples")
-    pc = priority_cycle_gadget()
-    table.add_row(["Figure 6", "all static priority orderings fail",
-                   all_priority_orderings_fail(pc)])
-    table.add_row(["Figure 6", "LSTF replays perfectly", pc.replay("lstf").perfect])
-    f7 = lstf_three_congestion_gadget()
-    table.add_row(["Figure 7", "LSTF fails at 3 congestion points",
-                   not f7.replay("lstf").perfect])
-    table.add_row(["Figure 7", "omniscient replay perfect",
-                   f7.replay("omniscient").perfect])
-    lstf_both = all(blackbox_gadget(c).replay("lstf").perfect for c in (1, 2))
-    omni_both = all(blackbox_gadget(c).replay("omniscient").perfect for c in (1, 2))
-    table.add_row(["Figure 5", "LSTF fails at least one case", not lstf_both])
-    table.add_row(["Figure 5", "omniscient passes both cases", omni_both])
-    print(table.render())
-    return 0
-
-
-def _cmd_info(args: argparse.Namespace) -> int:
-    from repro.experiments.information import run_information_experiment
-    from repro.experiments.replayability import ReplayScenario
-
-    scenario = ReplayScenario(
-        name="cli/info", duration=args.duration, seed=args.seed,
-        bandwidth_scale=args.scale,
-    )
-    table = Table(["quantisation (T)", "overdue", "overdue > T", "max lateness (s)"],
-                  title="§5 extension — replay vs information precision")
-    for point in run_information_experiment(scenario=scenario):
-        table.add_row([point.step_in_t, point.fraction_overdue,
-                       point.fraction_overdue_beyond_t, point.max_lateness])
-    print(table.render())
-    return 0
-
-
-def _cmd_weighted(args: argparse.Namespace) -> int:
-    from repro.experiments.fairness import run_weighted_fairness_experiment
-
-    table = Table(["scheme", "rates (Mbps, weights 1/2/4)", "weighted Jain"],
-                  title="§3.3 extension — weighted fairness")
-    for scheme in ("lstf", "fq"):
-        achieved, _norm, res = run_weighted_fairness_experiment(
-            weights=(1.0, 2.0, 4.0), scheme=scheme, seed=args.seed
-        )
-        rates = "/".join(f"{a / 1e6:.2f}" for a in achieved)
-        table.add_row([scheme, rates, res.final_fairness])
+def _cmd_list(_args: argparse.Namespace) -> int:
+    table = Table(["experiment", "description"], title="Registered experiments")
+    for entry in REGISTRY.entries():
+        table.add_row([entry.name, entry.help])
     print(table.render())
     return 0
 
@@ -193,28 +156,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("table1", help="Table 1: LSTF replayability rows")
-    p.add_argument("--rows", type=int, nargs="*", default=None,
-                   help="row indices (0-based) to run; default all 14")
-    _add_common(p)
-    p.set_defaults(fn=_cmd_table1)
+    p = sub.add_parser("list", help="list every registered experiment")
+    p.set_defaults(fn=_cmd_list)
 
-    for name, fn, needs_common in (
-        ("fig1", _cmd_fig1, True),
-        ("fig2", _cmd_fig2, True),
-        ("fig3", _cmd_fig3, True),
-        ("fig4", _cmd_fig4, True),
-        ("gadgets", _cmd_gadgets, False),
-        ("info", _cmd_info, True),
-        ("weighted", _cmd_weighted, True),
-    ):
-        p = sub.add_parser(name, help=f"regenerate {name}")
-        if needs_common:
-            _add_common(p)
-        p.set_defaults(fn=fn)
+    p = sub.add_parser("run", help="run any registered experiment by name")
+    p.add_argument("experiment", help="a name from `repro list`")
+    _add_experiment_args(p, with_rows=True)
+    p.set_defaults(fn=_cmd_experiment)
+
+    # One legacy-style alias per registered experiment (`repro table1` ==
+    # `repro run table1`), so existing invocations keep working.
+    for entry in REGISTRY.entries():
+        p = sub.add_parser(entry.name, help=entry.help or f"regenerate {entry.name}")
+        _add_experiment_args(p, with_rows=entry.name == "table1")
+        p.set_defaults(fn=_cmd_experiment, experiment=entry.name)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # stdout went away (e.g. `repro list | head`); exit quietly.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0

@@ -34,7 +34,49 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.flow import Flow
     from repro.core.packet import Packet
 
-__all__ = ["ConstantSlack", "FlowSizeSlack", "SlackPolicy", "VirtualClockSlack"]
+__all__ = [
+    "ConstantSlack",
+    "FlowSizeSlack",
+    "SlackPolicy",
+    "VirtualClockSlack",
+    "parse_slack_policy",
+]
+
+
+def parse_slack_policy(name: str) -> "SlackPolicy":
+    """Parse a textual policy spec into a :class:`SlackPolicy`.
+
+    The grammar is ``kind`` or ``kind:value``: ``"constant"`` /
+    ``"constant:0.5"`` (slack seconds), ``"flow-size"`` /
+    ``"flow-size:2.0"`` (D, seconds/byte), ``"virtual-clock:1e6"``
+    (rate estimate, bits/second — the value is required).  This is how
+    declarative specs (:class:`repro.api.spec.ExperimentSpec`'s
+    ``slack_policy`` field) and the CLI ``--slack`` flag name policies.
+    """
+    kind, sep, arg = name.partition(":")
+    value: float | None = None
+    if sep:
+        try:
+            value = float(arg)
+        except ValueError:
+            raise WorkloadError(
+                f"slack policy value {arg!r} in {name!r} is not a number"
+            ) from None
+    if kind == "constant":
+        return ConstantSlack(1.0 if value is None else value)
+    if kind == "flow-size":
+        return FlowSizeSlack(1.0 if value is None else value)
+    if kind == "virtual-clock":
+        if value is None:
+            raise WorkloadError(
+                "virtual-clock needs a rate estimate in bits/s, "
+                "e.g. 'virtual-clock:1e6'"
+            )
+        return VirtualClockSlack(value)
+    raise WorkloadError(
+        f"unknown slack policy {name!r}; choose from "
+        "'constant[:seconds]', 'flow-size[:D]', 'virtual-clock:rate'"
+    )
 
 
 class SlackPolicy:

@@ -6,18 +6,31 @@ parameters that restore the paper's full scale (see DESIGN.md for the
 scaling argument: all bandwidth ratios, utilisations, and scheduler logic
 are preserved; only the event count shrinks).
 
+Each module also registers a declarative driver with
+:mod:`repro.api.registry` (``table1``, ``fig1`` … ``gadgets``), so the
+preferred entry point is now::
+
+    from repro.api import ExperimentSpec, run
+    artifact = run(ExperimentSpec("fig2", duration=0.2))
+
 * :mod:`repro.experiments.replayability` — Table 1, Figure 1, the §2.3(7)
   priority comparison and the §2.3(5) preemption ablation.
 * :mod:`repro.experiments.fct` — Figure 2 (mean FCT vs SJF/SRPT/FIFO).
 * :mod:`repro.experiments.tail` — Figure 3 (tail delays vs FIFO).
-* :mod:`repro.experiments.fairness` — Figure 4 (convergence to fairness).
+* :mod:`repro.experiments.fairness` — Figure 4 (convergence to fairness)
+  and the §3.3 weighted-fairness extension.
+* :mod:`repro.experiments.information` — the §5 information-precision
+  extension.
+* :mod:`repro.experiments.gadgets` — the appendix counter-examples.
 """
 
 from repro.experiments.replayability import (
     ReplayOutcome,
     ReplayScenario,
     run_replay,
+    scenario_from_spec,
     table1_scenarios,
+    validate_row_indices,
 )
 from repro.experiments.fct import FctExperimentResult, run_fct_experiment
 from repro.experiments.tail import TailExperimentResult, run_tail_experiment
@@ -27,6 +40,7 @@ from repro.experiments.fairness import (
     run_weighted_fairness_experiment,
 )
 from repro.experiments.information import QuantisationPoint, run_information_experiment
+from repro.experiments.gadgets import run_gadget_experiment
 
 __all__ = [
     "FairnessExperimentResult",
@@ -37,9 +51,12 @@ __all__ = [
     "TailExperimentResult",
     "run_fairness_experiment",
     "run_fct_experiment",
+    "run_gadget_experiment",
     "run_information_experiment",
     "run_replay",
     "run_tail_experiment",
     "run_weighted_fairness_experiment",
+    "scenario_from_spec",
     "table1_scenarios",
+    "validate_row_indices",
 ]

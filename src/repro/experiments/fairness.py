@@ -21,6 +21,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.tables import Table
+from repro.api.registry import register_experiment
+from repro.api.spec import ExperimentSpec
 from repro.core.heuristics import VirtualClockSlack
 from repro.metrics.fairness import fairness_timeseries, jain_index, throughput_timeseries
 from repro.schedulers import DrrScheduler, FifoScheduler, FqScheduler, LstfScheduler
@@ -187,3 +190,54 @@ def run_fairness_experiment(
         )
         results[name] = FairnessExperimentResult(name, times, fairness)
     return results
+
+
+@register_experiment(
+    "fig4",
+    help="Figure 4: convergence to fairness (Jain index over time)",
+    options=("rest_fractions", "horizon", "num_flows"),
+    params=("seeds", "schedulers"),
+)
+def _run_fig4(spec: ExperimentSpec) -> tuple[Table, dict]:
+    kwargs: dict = {"seed": spec.seed}
+    if spec.schedulers:
+        kwargs["baselines"] = tuple(spec.schedulers)
+    rest = spec.option("rest_fractions")
+    if rest is not None:
+        kwargs["rest_fractions"] = tuple(float(f) for f in rest)
+    for key in ("horizon", "num_flows"):
+        value = spec.option(key)
+        if value is not None:
+            kwargs[key] = value
+    results = run_fairness_experiment(**kwargs)
+    table = Table(["scheme", "final Jain", "t(0.95) s"],
+                  title="Figure 4 — convergence to fairness")
+    for name, res in results.items():
+        table.add_row([name, res.final_fairness, res.time_to_reach(0.95) or "never"])
+    return table, {"schemes": list(results)}
+
+
+@register_experiment(
+    "weighted",
+    help="§3.3 extension: weighted fairness via per-flow rate estimates",
+    options=("weights", "horizon"),
+    params=("seeds", "schedulers"),
+)
+def _run_weighted(spec: ExperimentSpec) -> tuple[Table, dict]:
+    schemes = spec.schedulers or ("lstf", "fq")
+    weights = spec.option("weights", (1.0, 2.0, 4.0))
+    weight_label = "/".join(f"{w:g}" for w in weights)
+    table = Table(
+        ["scheme", f"rates (Mbps, weights {weight_label})", "weighted Jain"],
+        title="§3.3 extension — weighted fairness",
+    )
+    horizon = spec.option("horizon")
+    extra = {} if horizon is None else {"horizon": float(horizon)}
+    for scheme in schemes:
+        achieved, _norm, res = run_weighted_fairness_experiment(
+            weights=tuple(float(w) for w in weights), scheme=scheme,
+            seed=spec.seed, **extra,
+        )
+        rates = "/".join(f"{a / 1e6:.2f}" for a in achieved)
+        table.add_row([scheme, rates, res.final_fairness])
+    return table, {"schemes": list(schemes), "weights": list(weights)}

@@ -11,7 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.heuristics import FlowSizeSlack, SlackPolicy
+from repro.analysis.tables import Table
+from repro.api.registry import register_experiment
+from repro.api.spec import ExperimentSpec
+from repro.core.heuristics import FlowSizeSlack, SlackPolicy, parse_slack_policy
 from repro.errors import ConfigurationError
 from repro.metrics.fct import FctBucket, bucket_mean_fct
 from repro.schedulers import (
@@ -71,12 +74,15 @@ def run_fct_experiment(
     buffer_bytes: float | None = None,
     min_rto: float = 0.05,
     max_flow_bytes: int = 2_500_000,
+    lstf_slack: SlackPolicy | None = None,
 ) -> dict[str, FctExperimentResult]:
     """Run the same TCP workload under each scheme; returns results by name.
 
     The workload (flow arrival times, sizes, endpoints) is identical across
     schemes — only the router scheduling discipline (and, for LSTF, the
     ingress slack heuristic) changes, mirroring the paper's comparison.
+    ``lstf_slack`` overrides the default flow-size heuristic for the
+    ``"lstf"`` scheme (e.g. to ablate against a constant slack).
     """
     cfg = Internet2Config(
         edges_per_core=edges_per_core, bandwidth_scale=bandwidth_scale
@@ -92,6 +98,8 @@ def run_fct_experiment(
     results: dict[str, FctExperimentResult] = {}
     for scheme in schemes:
         scheduler_cls, slack_policy = _scheme_scheduler(scheme)
+        if scheme == "lstf" and lstf_slack is not None:
+            slack_policy = lstf_slack
         network = build_internet2(cfg)
         network.install_schedulers(
             lambda node, _peer, cls=scheduler_cls: None if node.startswith("h") else cls()
@@ -118,3 +126,28 @@ def run_fct_experiment(
         result.buckets = bucket_mean_fct(stats)
         results[scheme] = result
     return results
+
+
+@register_experiment(
+    "fig2",
+    help="Figure 2: mean flow completion time (FIFO / SJF / SRPT / LSTF)",
+    params=("duration", "seeds", "bandwidth_scale", "schedulers",
+            "utilization", "slack_policy"),
+)
+def _run_fig2(spec: ExperimentSpec) -> tuple[Table, dict]:
+    schemes = spec.schedulers or FCT_SCHEMES
+    results = run_fct_experiment(
+        schemes=tuple(schemes),
+        utilization=spec.utilization,
+        duration=spec.duration,
+        seed=spec.seed,
+        bandwidth_scale=spec.bandwidth_scale,
+        lstf_slack=(
+            parse_slack_policy(spec.slack_policy) if spec.slack_policy else None
+        ),
+    )
+    table = Table(["scheme", "flows", "mean FCT (s)"],
+                  title="Figure 2 — mean flow completion time")
+    for name, res in results.items():
+        table.add_row([name, res.stats.completed, res.mean_fct])
+    return table, {"schemes": list(schemes), "slack_policy": spec.slack_policy}

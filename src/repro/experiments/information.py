@@ -27,11 +27,15 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.analysis.tables import Table
+from repro.api.registry import register_experiment
+from repro.api.spec import ExperimentSpec
 from repro.core.replay import RecordedPacket, RecordedSchedule, replay_schedule
 from repro.errors import ConfigurationError
 from repro.experiments.replayability import (
     ReplayScenario,
     build_recorded_schedule,
+    scenario_from_spec,
     topology_factory,
 )
 
@@ -94,3 +98,27 @@ def run_information_experiment(
             )
         )
     return points
+
+
+@register_experiment(
+    "info",
+    help="§5 extension: replay quality vs quantised slack information",
+    options=("rounding", "steps_in_t"),
+    params=("duration", "seeds", "bandwidth_scale", "schedulers",
+            "topology", "utilization"),
+)
+def _run_info(spec: ExperimentSpec) -> tuple[Table, dict]:
+    scenario = scenario_from_spec(spec)
+    rounding = spec.option("rounding", "down")
+    steps = spec.option("steps_in_t")
+    kwargs: dict = {"scenario": scenario, "rounding": str(rounding)}
+    if steps is not None:
+        kwargs["steps_in_t"] = tuple(float(s) for s in steps)
+    table = Table(
+        ["quantisation (T)", "overdue", "overdue > T", "max lateness (s)"],
+        title="§5 extension — replay vs information precision",
+    )
+    for point in run_information_experiment(**kwargs):
+        table.add_row([point.step_in_t, point.fraction_overdue,
+                       point.fraction_overdue_beyond_t, point.max_lateness])
+    return table, {"rounding": str(rounding)}

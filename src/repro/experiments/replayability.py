@@ -19,8 +19,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
-from typing import Callable
+from typing import Callable, Iterable
 
+from repro.analysis.tables import Table
+from repro.api.registry import register_experiment
+from repro.api.spec import ExperimentSpec
 from repro.core.replay import (
     RecordedSchedule,
     ReplayResult,
@@ -45,7 +48,14 @@ from repro.units import GBPS
 from repro.workload.distributions import BoundedPareto, SizeDistribution
 from repro.workload.flows import PoissonWorkload, poisson_flows
 
-__all__ = ["ReplayOutcome", "ReplayScenario", "run_replay", "table1_scenarios"]
+__all__ = [
+    "ReplayOutcome",
+    "ReplayScenario",
+    "run_replay",
+    "scenario_from_spec",
+    "table1_scenarios",
+    "validate_row_indices",
+]
 
 TOPOLOGIES = ("i2-1g-10g", "i2-1g-1g", "i2-10g-10g", "rocketfuel", "fattree")
 ORIGINALS = ("random", "fifo", "fq", "sjf", "lifo", "fq+fifo+")
@@ -256,3 +266,93 @@ def table1_scenarios(
         base.with_(name="I2 1G-10G / 70% / FQ+FIFO+", scheduler="fq+fifo+"),
     ]
     return rows
+
+
+def validate_row_indices(rows: Iterable[int], count: int) -> tuple[int, ...]:
+    """Check 0-based row indices against ``count``; raise a clean error.
+
+    Shared by the Table 1 driver and the CLI dispatcher so a typo like
+    ``--rows 99`` reports the valid range instead of an ``IndexError``.
+    """
+    indices = tuple(rows)
+    for index in indices:
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise ConfigurationError(f"row index {index!r} is not an integer")
+        if not 0 <= index < count:
+            raise ConfigurationError(
+                f"row index {index} out of range; Table 1 has {count} rows "
+                f"(valid: 0..{count - 1})"
+            )
+    return indices
+
+
+def scenario_from_spec(spec: ExperimentSpec, default_scheduler: str = "random") -> ReplayScenario:
+    """The :class:`ReplayScenario` a spec describes (single-scenario runs)."""
+    return ReplayScenario(
+        name=spec.label,
+        topology=spec.topology,
+        scheduler=spec.schedulers[0] if spec.schedulers else default_scheduler,
+        utilization=spec.utilization,
+        duration=spec.duration,
+        seed=spec.seed,
+        bandwidth_scale=spec.bandwidth_scale,
+    )
+
+
+@register_experiment(
+    "table1",
+    help="Table 1: LSTF replayability across topologies, loads, schedulers",
+    options=("rows",),
+    params=("duration", "seeds", "bandwidth_scale"),
+)
+def _run_table1(spec: ExperimentSpec) -> tuple[Table, dict]:
+    scenarios = table1_scenarios(
+        duration=spec.duration, seed=spec.seed, bandwidth_scale=spec.bandwidth_scale
+    )
+    rows_opt = spec.option("rows")
+    if rows_opt is not None:
+        indices = validate_row_indices(
+            rows_opt if isinstance(rows_opt, tuple) else (rows_opt,),
+            len(scenarios),
+        )
+        scenarios = [scenarios[i] for i in indices]
+    table = Table(
+        ["scenario", "packets", "overdue", "overdue > T"],
+        title="Table 1 — LSTF replayability",
+    )
+    for scenario in scenarios:
+        outcome = run_replay(scenario)
+        table.add_row(
+            [
+                scenario.name,
+                outcome.result.num_packets,
+                outcome.fraction_overdue,
+                outcome.fraction_overdue_beyond_t,
+            ]
+        )
+    return table, {"mode": "lstf", "scenarios": [s.name for s in scenarios]}
+
+
+@register_experiment(
+    "fig1",
+    help="Figure 1: LSTF:original queueing-delay-ratio quantiles",
+    params=("duration", "seeds", "bandwidth_scale", "schedulers",
+            "topology", "utilization"),
+)
+def _run_fig1(spec: ExperimentSpec) -> tuple[Table, dict]:
+    import numpy as np
+
+    schedulers = spec.schedulers or ORIGINALS
+    table = Table(
+        ["original", "p10", "p50", "p90", "p99", "frac <= 1"],
+        title="Figure 1 — LSTF:original queueing delay ratio",
+    )
+    for scheduler in schedulers:
+        scenario = scenario_from_spec(
+            spec.with_(name=f"fig1/{scheduler}", schedulers=(scheduler,))
+        )
+        ratios = run_replay(scenario).result.queueing_delay_ratios()
+        q = np.quantile(ratios, [0.1, 0.5, 0.9, 0.99])
+        table.add_row([scheduler, q[0], q[1], q[2], q[3],
+                       float(np.mean(ratios <= 1.0 + 1e-9))])
+    return table, {"mode": "lstf", "schedulers": list(schedulers)}

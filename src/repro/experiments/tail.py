@@ -13,7 +13,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.heuristics import ConstantSlack
+from repro.analysis.tables import Table
+from repro.api.registry import register_experiment
+from repro.api.spec import ExperimentSpec
+from repro.core.heuristics import ConstantSlack, SlackPolicy, parse_slack_policy
 from repro.errors import ConfigurationError
 from repro.metrics.delay import packet_delays, percentile
 from repro.schedulers import FifoPlusScheduler, FifoScheduler, LstfScheduler
@@ -59,13 +62,16 @@ def run_tail_experiment(
     bandwidth_scale: float = 0.01,
     edges_per_core: int = 2,
     max_flow_bytes: int = 1_000_000,
+    lstf_slack: SlackPolicy | None = None,
 ) -> dict[str, TailExperimentResult]:
     """Identical UDP workload under each scheme; returns results by name.
 
     ``"lstf-constant"`` is LSTF with the §3.2 slack initialisation (all
     packets get the same large slack), which the paper notes is identical
     to FIFO+; ``"fifo+"`` runs the direct FIFO+ implementation so the
-    equivalence can be checked as an ablation.
+    equivalence can be checked as an ablation.  ``lstf_slack`` replaces
+    the default :class:`ConstantSlack` for the ``"lstf-constant"`` scheme
+    (e.g. a flow-size policy, to see size-awareness reshape the tail).
     """
     cfg = Internet2Config(edges_per_core=edges_per_core, bandwidth_scale=bandwidth_scale)
     sizes = BoundedPareto(alpha=1.2, low=1_500, high=max_flow_bytes)
@@ -78,7 +84,8 @@ def run_tail_experiment(
         elif scheme == "fifo+":
             make, slack_policy = FifoPlusScheduler, None
         elif scheme == "lstf-constant":
-            make, slack_policy = LstfScheduler, ConstantSlack(1.0)
+            make = LstfScheduler
+            slack_policy = ConstantSlack(1.0) if lstf_slack is None else lstf_slack
         else:
             raise ConfigurationError(
                 f"unknown tail scheme {scheme!r}; choose from {TAIL_SCHEMES}"
@@ -103,3 +110,28 @@ def run_tail_experiment(
             scheme=scheme, delays=packet_delays(network.tracer)
         )
     return results
+
+
+@register_experiment(
+    "fig3",
+    help="Figure 3: tail packet delays (FIFO vs LSTF-constant vs FIFO+)",
+    params=("duration", "seeds", "bandwidth_scale", "schedulers",
+            "utilization", "slack_policy"),
+)
+def _run_fig3(spec: ExperimentSpec) -> tuple[Table, dict]:
+    schemes = spec.schedulers or TAIL_SCHEMES
+    results = run_tail_experiment(
+        schemes=tuple(schemes),
+        utilization=spec.utilization,
+        duration=spec.duration,
+        seed=spec.seed,
+        bandwidth_scale=spec.bandwidth_scale,
+        lstf_slack=(
+            parse_slack_policy(spec.slack_policy) if spec.slack_policy else None
+        ),
+    )
+    table = Table(["scheme", "mean (s)", "p99 (s)", "p99.9 (s)"],
+                  title="Figure 3 — tail packet delays")
+    for name, res in results.items():
+        table.add_row([name, res.mean, res.p99, res.p999])
+    return table, {"schemes": list(schemes), "slack_policy": spec.slack_policy}

@@ -2,8 +2,12 @@
 
 from __future__ import annotations
 
+import doctest
+import json
+
 import pytest
 
+import repro.analysis.tables
 from repro.analysis.plots import ascii_cdf, ascii_series
 from repro.analysis.tables import Table
 
@@ -29,6 +33,47 @@ def test_table_zero_formatting():
     t = Table(["x"])
     t.add_row([0.0])
     assert "0" in t.render().splitlines()[-1]
+
+
+def test_table_doctests_pass():
+    results = doctest.testmod(repro.analysis.tables)
+    assert results.attempted > 0
+    assert results.failed == 0
+
+
+def test_table_keeps_raw_rows():
+    t = Table(["name", "value"])
+    t.add_row(["alpha", 1.5])
+    assert t.rows == [["alpha", 1.5]]
+    assert t.headers == ["name", "value"]
+
+
+def test_table_to_json_shares_rows_with_render():
+    t = Table(["name", "value"], title="demo")
+    t.add_row(["alpha", 0.00001234])
+    payload = json.loads(t.to_json())
+    assert payload == {
+        "title": "demo",
+        "headers": ["name", "value"],
+        "rows": [["alpha", 0.00001234]],
+    }
+    # render() formats the very same cell the JSON carries raw
+    assert "1.23e-05" in t.render()
+
+
+def test_table_to_json_coerces_numpy_scalars():
+    np = pytest.importorskip("numpy")
+    t = Table(["x"])
+    t.add_row([np.float64(0.5)])
+    assert json.loads(t.to_json())["rows"] == [[0.5]]
+
+
+def test_table_to_csv_matches_render_formatting():
+    t = Table(["name", "value"])
+    t.add_row(["with,comma", 0.00001234])
+    lines = t.to_csv().splitlines()
+    assert lines[0] == "name,value"
+    assert lines[1] == '"with,comma",1.23e-05'
 
 
 def test_ascii_cdf_shows_quantiles():

@@ -96,3 +96,27 @@ class TestVirtualClockSlack:
     def test_rejects_nonpositive_rate(self):
         with pytest.raises(WorkloadError):
             VirtualClockSlack(rate_estimate=0.0)
+
+
+class TestParseSlackPolicy:
+    def test_kinds_and_defaults(self):
+        from repro.core.heuristics import parse_slack_policy
+
+        assert isinstance(parse_slack_policy("constant"), ConstantSlack)
+        assert parse_slack_policy("constant").slack == 1.0
+        assert parse_slack_policy("constant:0.5").slack == 0.5
+        assert isinstance(parse_slack_policy("flow-size"), FlowSizeSlack)
+        assert parse_slack_policy("flow-size:2").d == 2.0
+        vc = parse_slack_policy("virtual-clock:1e6")
+        assert isinstance(vc, VirtualClockSlack)
+        assert vc.rate_estimate == 1e6
+
+    def test_rejects_bad_grammar(self):
+        from repro.core.heuristics import parse_slack_policy
+
+        with pytest.raises(WorkloadError):
+            parse_slack_policy("warp-speed")
+        with pytest.raises(WorkloadError):
+            parse_slack_policy("constant:abc")
+        with pytest.raises(WorkloadError):
+            parse_slack_policy("virtual-clock")  # rate is required

@@ -1,10 +1,20 @@
-"""Tests for the ``python -m repro`` command-line interface."""
+"""Tests for the ``python -m repro`` command-line interface.
+
+The CLI is a thin dispatcher over the experiment registry: one generic
+``run`` subcommand plus an auto-generated legacy alias per experiment.
+"""
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+from repro.api import REGISTRY
 from repro.cli import build_parser, main
+
+LEGACY_COMMANDS = {"table1", "fig1", "fig2", "fig3", "fig4", "gadgets", "info",
+                   "weighted"}
 
 
 def test_parser_lists_all_commands():
@@ -13,8 +23,22 @@ def test_parser_lists_all_commands():
         a for a in parser._actions if isinstance(a, type(parser._subparsers._group_actions[0]))
     )
     commands = set(sub.choices)
-    assert {"table1", "fig1", "fig2", "fig3", "fig4", "gadgets", "info",
-            "weighted"} <= commands
+    assert LEGACY_COMMANDS | {"run", "list"} <= commands
+
+
+def test_every_registered_experiment_has_an_alias():
+    parser = build_parser()
+    sub = next(
+        a for a in parser._actions if isinstance(a, type(parser._subparsers._group_actions[0]))
+    )
+    assert set(REGISTRY.names()) <= set(sub.choices)
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in LEGACY_COMMANDS:
+        assert name in out
 
 
 def test_gadgets_command(capsys):
@@ -29,6 +53,67 @@ def test_table1_single_row(capsys):
     out = capsys.readouterr().out
     assert "Random" in out
     assert "overdue" in out
+
+
+def test_table1_rejects_out_of_range_rows(capsys):
+    assert main(["table1", "--rows", "99", "--duration", "0.05"]) == 2
+    captured = capsys.readouterr()
+    assert "out of range" in captured.err
+    assert "0..13" in captured.err
+    assert captured.out == ""
+
+
+def test_run_rejects_unknown_experiment(capsys):
+    assert main(["run", "nosuch"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_rejects_rows_for_experiments_without_them(capsys):
+    assert main(["run", "fig1", "--rows", "0"]) == 2
+    err = capsys.readouterr().err
+    assert "does not read option" in err
+
+
+def test_run_alias_and_legacy_emit_the_same_table(capsys):
+    """`repro run table1 --json` carries exactly the legacy table's rows."""
+    assert main(["table1", "--rows", "0", "--duration", "0.05"]) == 0
+    legacy = capsys.readouterr().out.strip()
+    assert main(["run", "table1", "--rows", "0", "--duration", "0.05",
+                 "--json"]) == 0
+    artifact = json.loads(capsys.readouterr().out)
+    from repro.api import RunArtifact
+
+    rebuilt = RunArtifact.from_dict(artifact).table().render().strip()
+    assert rebuilt == legacy
+
+
+def test_json_artifact_persists_with_out(tmp_path, capsys):
+    assert main(["run", "gadgets", "--json", "--out", str(tmp_path)]) == 0
+    captured = capsys.readouterr()
+    files = list(tmp_path.glob("gadgets-*.json"))
+    assert len(files) == 1
+    on_disk = json.loads(files[0].read_text())
+    printed = json.loads(captured.out)
+    assert on_disk == printed
+    assert on_disk["spec"]["experiment"] == "gadgets"
+    assert on_disk["rows"]
+
+
+def test_seed_sweep_emits_a_json_array(capsys):
+    assert main(["run", "table1", "--rows", "0", "--duration", "0.04",
+                 "--seeds", "1", "2", "--json"]) == 0
+    artifacts = json.loads(capsys.readouterr().out)
+    assert isinstance(artifacts, list)
+    assert [a["spec"]["seeds"] for a in artifacts] == [[1], [2]]
+
+
+def test_flags_an_experiment_ignores_are_rejected(capsys):
+    assert main(["gadgets", "--duration", "9"]) == 2
+    assert "does not use --duration" in capsys.readouterr().err
+    assert main(["run", "fig4", "--scale", "1.0"]) == 2
+    assert "does not use --scale" in capsys.readouterr().err
+    assert main(["run", "table1", "--slack", "constant"]) == 2
+    assert "does not use --slack" in capsys.readouterr().err
 
 
 def test_info_command(capsys):

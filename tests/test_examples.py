@@ -23,6 +23,10 @@ def _run(name: str, capsys) -> str:
 
 def test_quickstart(capsys):
     out = _run("quickstart.py", capsys)
+    # part 1: the declarative front door
+    assert "Table 1" in out
+    assert "round-trips losslessly: True" in out
+    # part 2: the record/replay machinery
     assert "recorded" in out
     assert "replay[omniscient]" in out
     assert "PERFECT" in out

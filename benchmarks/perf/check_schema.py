@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Validate BENCH-schema JSON files (CI schema guard — no timing checks).
+
+Usage::
+
+    python benchmarks/perf/check_schema.py BENCH_pr2.json [more.json ...]
+
+Exits non-zero with a pointed message if any file violates the schema
+described in ``benchmarks/perf/README.md``.  Timings are deliberately
+*not* asserted: CI machines are noisy, so the trajectory files are only
+guarded structurally; humans (and future PRs) compare the numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+
+class SchemaError(Exception):
+    pass
+
+
+def _require(cond: bool, where: str, message: str) -> None:
+    if not cond:
+        raise SchemaError(f"{where}: {message}")
+
+
+def check_bench(entry: object, where: str) -> None:
+    _require(isinstance(entry, dict), where, "bench entry must be an object")
+    for field, kinds in (
+        ("name", str),
+        ("scale", int),
+        ("ops", int),
+        ("seconds", (int, float)),
+        ("ops_per_sec", (int, float)),
+    ):
+        _require(field in entry, where, f"missing field {field!r}")
+        _require(
+            isinstance(entry[field], kinds) and not isinstance(entry[field], bool),
+            where,
+            f"field {field!r} has wrong type {type(entry[field]).__name__}",
+        )
+    _require(entry["scale"] > 0, where, "scale must be positive")
+    _require(entry["ops"] > 0, where, "ops must be positive")
+    _require(entry["seconds"] > 0, where, "seconds must be positive")
+    _require(entry["ops_per_sec"] > 0, where, "ops_per_sec must be positive")
+
+
+def check_document(data: object, where: str) -> int:
+    _require(isinstance(data, dict), where, "top level must be an object")
+    _require(
+        data.get("schema_version") == SCHEMA_VERSION,
+        where,
+        f"schema_version must be {SCHEMA_VERSION}, got {data.get('schema_version')!r}",
+    )
+    _require(isinstance(data.get("config"), dict), where, "missing config object")
+    runs = data.get("runs")
+    _require(isinstance(runs, list) and runs, where, "runs must be a non-empty list")
+    total = 0
+    for i, run in enumerate(runs):
+        run_where = f"{where}: runs[{i}]"
+        _require(isinstance(run, dict), run_where, "run must be an object")
+        _require(
+            isinstance(run.get("label"), str) and run["label"],
+            run_where,
+            "run needs a non-empty label",
+        )
+        benches = run.get("benches")
+        _require(
+            isinstance(benches, list) and benches,
+            run_where,
+            "benches must be a non-empty list",
+        )
+        for j, bench in enumerate(benches):
+            check_bench(bench, f"{run_where}.benches[{j}]")
+        total += len(benches)
+    speedup = data.get("speedup")
+    if speedup is not None:
+        _require(isinstance(speedup, dict), where, "speedup must be an object")
+        for k, v in speedup.items():
+            _require(
+                isinstance(k, str) and isinstance(v, (int, float)) and v > 0,
+                where,
+                f"speedup[{k!r}] must map a string to a positive number",
+            )
+    return total
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_schema.py BENCH.json [...]", file=sys.stderr)
+        return 2
+    status = 0
+    for arg in argv:
+        path = Path(arg)
+        try:
+            data = json.loads(path.read_text())
+            count = check_document(data, str(path))
+        except (OSError, ValueError) as exc:
+            print(f"{path}: unreadable ({exc})", file=sys.stderr)
+            status = 1
+        except SchemaError as exc:
+            print(f"schema violation — {exc}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"{path}: OK ({count} bench entries)")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

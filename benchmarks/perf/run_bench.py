@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Run the substrate perf suite and emit a BENCH-schema JSON document.
+
+This is the script behind the repo-level ``BENCH_*.json`` trajectory
+files.  It drives the same bench implementations as ``repro bench``
+(:mod:`repro.experiments.perf`) but sweeps several packet scales and
+assembles the stable JSON schema described in ``benchmarks/perf/README.md``.
+
+Examples::
+
+    PYTHONPATH=src python benchmarks/perf/run_bench.py --out /tmp/now.json
+    PYTHONPATH=src python benchmarks/perf/run_bench.py --smoke --out /tmp/s.json
+    PYTHONPATH=src python benchmarks/perf/run_bench.py \
+        --compare BENCH_pr2.json          # speedup vs the committed numbers
+
+The ``--smoke`` preset runs everything at tiny scale (CI uses it to guard
+the schema, never the timings).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+from repro.experiments.perf import (
+    BENCH_SCHEMA_VERSION,
+    DEFAULT_SCHEDULERS,
+    ENGINE_BENCHES,
+    bench_e2e_fig2_style,
+    bench_scheduler_ops,
+)
+
+SCHEMA_VERSION = BENCH_SCHEMA_VERSION
+
+
+def bench_entry(name: str, scale: int, ops: int, seconds: float) -> dict:
+    return {
+        "name": name,
+        "scale": scale,
+        "ops": ops,
+        "seconds": round(seconds, 6),
+        "ops_per_sec": round(ops / seconds, 1) if seconds > 0 else 0.0,
+    }
+
+
+def run_suite(events: int, packet_scales: list[int], schedulers: list[str],
+              duration: float, repeats: int, verbose: bool = True) -> list[dict]:
+    benches: list[dict] = []
+
+    def note(entry: dict) -> None:
+        benches.append(entry)
+        if verbose:
+            print(
+                f"  {entry['name']:>16s} @{entry['scale']:<7d} "
+                f"{entry['ops_per_sec']:>12,.0f} ops/s",
+                file=sys.stderr,
+            )
+
+    for name, fn in ENGINE_BENCHES:
+        ops, seconds = fn(events, repeats)
+        note(bench_entry(name, events, ops, seconds))
+    for scheduler in schedulers:
+        for packets in packet_scales:
+            ops, seconds = bench_scheduler_ops(scheduler, packets, repeats)
+            note(bench_entry(f"sched-{scheduler}", packets, ops, seconds))
+    ops, seconds = bench_e2e_fig2_style(duration, repeats=repeats)
+    note(bench_entry("e2e-fig2", int(round(duration * 1e3)), ops, seconds))
+    return benches
+
+
+def key(entry: dict) -> str:
+    return f"{entry['name']}@{entry['scale']}"
+
+
+def speedups(before: list[dict], after: list[dict]) -> dict[str, float]:
+    base = {key(e): e["ops_per_sec"] for e in before}
+    out = {}
+    for entry in after:
+        k = key(entry)
+        if k in base and base[k] > 0:
+            out[k] = round(entry["ops_per_sec"] / base[k], 2)
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=200_000,
+                        help="engine microbench event count")
+    parser.add_argument("--packets", type=int, nargs="+",
+                        default=[10_000, 100_000],
+                        help="scheduler bench packet scales (10^4..10^6)")
+    parser.add_argument("--schedulers", nargs="+", default=list(DEFAULT_SCHEDULERS))
+    parser.add_argument("--duration", type=float, default=0.12,
+                        help="e2e fig2-style simulated seconds")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny preset for CI schema checks")
+    parser.add_argument("--label", default="local")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the JSON document here (default stdout)")
+    parser.add_argument("--compare", default=None, metavar="BENCH_JSON",
+                        help="print ops/sec ratios vs the last run in FILE")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.events, args.packets = 2_000, [500]
+        args.duration, args.repeats = 0.005, 1
+        args.schedulers = ["fifo", "lstf"]
+
+    print(f"running perf suite (repeats={args.repeats}) ...", file=sys.stderr)
+    benches = run_suite(args.events, args.packets, args.schedulers,
+                        args.duration, args.repeats)
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "config": {
+            "events": args.events,
+            "packets": args.packets,
+            "schedulers": args.schedulers,
+            "duration": args.duration,
+            "repeats": args.repeats,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "runs": [{"label": args.label, "benches": benches}],
+    }
+    text = json.dumps(document, indent=2) + "\n"
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text, end="")
+
+    if args.compare:
+        # Report on stderr: stdout may be the JSON document itself.
+        reference = json.loads(Path(args.compare).read_text())
+        ref_run = reference["runs"][-1]
+        print(f"\nvs {args.compare} run {ref_run['label']!r}:", file=sys.stderr)
+        for k, ratio in speedups(ref_run["benches"], benches).items():
+            print(f"  {k:>28s}  x{ratio:.2f}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,8 +33,8 @@ from repro.api.registry import (
     get,
     register_experiment,
 )
-from repro.api.results import RunArtifact, load_artifact
-from repro.api.runner import run, run_many
+from repro.api.results import RunArtifact, load_artifact, spec_run_id
+from repro.api.runner import cached_artifact, run, run_many
 from repro.api.spec import ExperimentSpec
 
 __all__ = [
@@ -43,10 +43,12 @@ __all__ = [
     "REGISTRY",
     "RegisteredExperiment",
     "RunArtifact",
+    "cached_artifact",
     "experiment_names",
     "get",
     "load_artifact",
     "register_experiment",
     "run",
     "run_many",
+    "spec_run_id",
 ]

@@ -11,7 +11,15 @@ terminal, file, or downstream tooling.
 Determinism contract: :meth:`RunArtifact.canonical_json` excludes the
 timing section, so two runs of the same spec — serial or in parallel
 worker processes — must produce byte-identical canonical JSON.  The test
-suite guards this.
+suite guards this.  Engine accounting splits accordingly: the *event
+count* is deterministic and lives in ``metadata["engine_events"]``; the
+*events/sec* rate is wall-clock derived and lives next to ``wall_time_s``
+in the (canonically excluded) timing section.
+
+Because :func:`spec_run_id` derives the artifact filename from the spec
+alone, an ``--out`` directory doubles as a content-addressed cache: the
+runner can answer a spec from a previously saved artifact without
+simulating (see :func:`repro.api.runner.run`).
 """
 
 from __future__ import annotations
@@ -26,9 +34,17 @@ from repro.analysis.tables import Table
 from repro.api.spec import ExperimentSpec
 from repro.errors import ConfigurationError
 
-__all__ = ["RunArtifact", "load_artifact"]
+__all__ = ["RunArtifact", "load_artifact", "spec_run_id"]
 
 _ARTIFACT_VERSION = 1
+
+
+def spec_run_id(spec: ExperimentSpec) -> str:
+    """A short deterministic id derived from the canonical spec."""
+    digest = hashlib.sha256(
+        json.dumps(spec.to_dict(), sort_keys=True).encode()
+    ).hexdigest()
+    return f"{spec.experiment}-{digest[:10]}"
 
 
 @dataclass(slots=True)
@@ -41,6 +57,10 @@ class RunArtifact:
     rows: list[list[Any]]
     metadata: dict[str, Any] = field(default_factory=dict)
     wall_time_s: float = 0.0
+    events_per_sec: float = 0.0
+    #: True when this artifact was answered from an ``--out`` cache rather
+    #: than simulated; never serialised, never part of equality.
+    from_cache: bool = field(default=False, compare=False)
 
     @classmethod
     def from_table(
@@ -49,6 +69,7 @@ class RunArtifact:
         table: Table,
         metadata: Mapping[str, Any] | None = None,
         wall_time_s: float = 0.0,
+        events_per_sec: float = 0.0,
     ) -> "RunArtifact":
         return cls(
             spec=spec,
@@ -57,6 +78,7 @@ class RunArtifact:
             rows=table.rows,
             metadata=dict(metadata or {}),
             wall_time_s=wall_time_s,
+            events_per_sec=events_per_sec,
         )
 
     def table(self) -> Table:
@@ -78,7 +100,10 @@ class RunArtifact:
             "metadata": dict(self.metadata),
         }
         if include_timings:
-            payload["timings"] = {"wall_time_s": self.wall_time_s}
+            payload["timings"] = {
+                "wall_time_s": self.wall_time_s,
+                "events_per_sec": self.events_per_sec,
+            }
         return payload
 
     @classmethod
@@ -89,13 +114,15 @@ class RunArtifact:
                 f"artifact version {version!r} not supported "
                 f"(expected {_ARTIFACT_VERSION})"
             )
+        timings = data.get("timings", {})
         return cls(
             spec=ExperimentSpec.from_dict(data["spec"]),
             title=data.get("title", ""),
             headers=list(data["headers"]),
             rows=[list(r) for r in data["rows"]],
             metadata=dict(data.get("metadata", {})),
-            wall_time_s=float(data.get("timings", {}).get("wall_time_s", 0.0)),
+            wall_time_s=float(timings.get("wall_time_s", 0.0)),
+            events_per_sec=float(timings.get("events_per_sec", 0.0)),
         )
 
     def to_json(self, indent: int | None = 2, include_timings: bool = True) -> str:
@@ -111,10 +138,7 @@ class RunArtifact:
 
     def run_id(self) -> str:
         """A short deterministic id derived from the canonical spec."""
-        digest = hashlib.sha256(
-            json.dumps(self.spec.to_dict(), sort_keys=True).encode()
-        ).hexdigest()
-        return f"{self.spec.experiment}-{digest[:10]}"
+        return spec_run_id(self.spec)
 
     def save(self, out_dir: str | Path) -> Path:
         """Persist as ``<out_dir>/<run_id>.json``; returns the path."""

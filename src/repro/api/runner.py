@@ -4,7 +4,15 @@
 packet-id counter (so every run sees the same id stream no matter what
 ran before it in the process — the determinism the artifact contract
 depends on), executes the driver under a wall-clock timer, and wraps the
-result into a :class:`~repro.api.results.RunArtifact`.
+result into a :class:`~repro.api.results.RunArtifact` together with the
+engine's event-throughput accounting
+(:data:`repro.sim.engine.ENGINE_PERF`).
+
+Content-addressed caching: artifact filenames are derived from the spec
+alone (:func:`~repro.api.results.spec_run_id`), so when ``out_dir``
+already holds the spec's run-id the saved artifact *is* the answer.
+``run(spec, out_dir=...)`` returns it without simulating unless
+``force=True``; fresh results are saved back into the cache.
 
 :func:`run_many` maps :func:`run` over a list of specs — a seed or
 scheduler sweep built with :meth:`ExperimentSpec.sweep` — either in this
@@ -16,21 +24,55 @@ to be byte-identical to serial ones (guarded by the test suite).
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import time
+from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.api.registry import REGISTRY, ExperimentRegistry
-from repro.api.results import RunArtifact
+from repro.api.results import RunArtifact, load_artifact, spec_run_id
 from repro.api.spec import ExperimentSpec
 from repro.core.packet import reset_packet_ids
 from repro.errors import ConfigurationError
+from repro.sim.engine import ENGINE_PERF
 
-__all__ = ["run", "run_many"]
+__all__ = ["cached_artifact", "run", "run_many"]
 
 
-def run(spec: ExperimentSpec, registry: ExperimentRegistry | None = None) -> RunArtifact:
-    """Execute one spec and return its artifact."""
+def cached_artifact(spec: ExperimentSpec, out_dir: str | Path) -> RunArtifact | None:
+    """The saved artifact for ``spec`` under ``out_dir``, if one exists.
+
+    The artifact's embedded spec must round-trip to the requested one —
+    a guard against hand-edited files and hash collisions; mismatches are
+    treated as a miss, not an error.
+    """
+    path = Path(out_dir) / f"{spec_run_id(spec)}.json"
+    if not path.is_file():
+        return None
+    try:
+        artifact = load_artifact(path)
+    except (OSError, ValueError, TypeError, KeyError, ConfigurationError):
+        return None  # unreadable/foreign file: fall through to a fresh run
+    if artifact.spec != spec:
+        return None
+    artifact.from_cache = True
+    return artifact
+
+
+def run(
+    spec: ExperimentSpec,
+    registry: ExperimentRegistry | None = None,
+    out_dir: str | Path | None = None,
+    force: bool = False,
+) -> RunArtifact:
+    """Execute one spec and return its artifact.
+
+    With ``out_dir`` the directory acts as a content-addressed cache: a
+    previously saved artifact for the same spec is returned as-is
+    (``artifact.from_cache`` is set), and fresh results are saved there.
+    ``force=True`` always re-simulates (and overwrites the cache entry).
+    """
     entry = (registry or REGISTRY).get(spec.experiment)
     unknown = [key for key, _ in spec.options if key not in entry.options]
     if unknown:
@@ -39,7 +81,12 @@ def run(spec: ExperimentSpec, registry: ExperimentRegistry | None = None) -> Run
             f"experiment {entry.name!r} does not read option(s) "
             f"{', '.join(map(repr, unknown))} (accepted: {accepted})"
         )
+    if out_dir is not None and not force:
+        cached = cached_artifact(spec, out_dir)
+        if cached is not None:
+            return cached
     reset_packet_ids()
+    ENGINE_PERF.reset()
     start = time.perf_counter()
     try:
         output = entry.fn(spec)
@@ -50,22 +97,41 @@ def run(spec: ExperimentSpec, registry: ExperimentRegistry | None = None) -> Run
         table, metadata = output
     else:
         table, metadata = output, {}
-    return RunArtifact.from_table(spec, table, metadata=metadata, wall_time_s=wall)
+    metadata = dict(metadata)
+    # Deterministic event count -> metadata (part of the canonical JSON);
+    # wall-clock throughput -> the timing section (excluded from it).
+    metadata.setdefault("engine_events", ENGINE_PERF.events)
+    artifact = RunArtifact.from_table(
+        spec,
+        table,
+        metadata=metadata,
+        wall_time_s=wall,
+        events_per_sec=ENGINE_PERF.events_per_sec,
+    )
+    if out_dir is not None:
+        artifact.save(out_dir)
+    return artifact
 
 
 def run_many(
-    specs: Iterable[ExperimentSpec], workers: int = 1
+    specs: Iterable[ExperimentSpec],
+    workers: int = 1,
+    out_dir: str | Path | None = None,
+    force: bool = False,
 ) -> list[RunArtifact]:
     """Execute several specs; ``workers > 1`` fans out across processes.
 
     Results come back in input order regardless of worker scheduling.
+    ``out_dir``/``force`` behave as in :func:`run` — with a warm cache a
+    sweep only simulates the specs it has never seen.
     """
     spec_list: Sequence[ExperimentSpec] = list(specs)
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers!r}")
     if workers == 1 or len(spec_list) <= 1:
-        return [run(spec) for spec in spec_list]
+        return [run(spec, out_dir=out_dir, force=force) for spec in spec_list]
+    worker = functools.partial(run, out_dir=out_dir, force=force)
     with multiprocessing.get_context().Pool(
         processes=min(workers, len(spec_list))
     ) as pool:
-        return pool.map(run, spec_list)
+        return pool.map(worker, spec_list)

@@ -21,8 +21,15 @@ Shared flags: ``--duration`` (workload horizon, seconds), ``--seed`` /
 ``--seeds`` (a sweep), ``--scale`` (bandwidth scale; 0.01 default, 1.0 =
 the paper's full bandwidths — expect long runtimes), ``--schedulers``
 (override an experiment's scheme sweep), ``--workers`` (parallel seed
-sweeps via multiprocessing), ``--json`` (emit the RunArtifact instead of
-ASCII), and ``--out DIR`` (persist artifacts as JSON files).
+sweeps via multiprocessing), ``--json`` / ``--csv`` (emit the RunArtifact
+or a CSV table instead of ASCII), and ``--out DIR`` (persist artifacts as
+JSON files).  ``--out`` doubles as a content-addressed cache keyed by the
+spec's run-id: re-running the same spec answers from the saved artifact
+(``--force`` re-simulates).
+
+``repro bench`` (registered like any experiment) runs the substrate
+micro-benchmarks of :mod:`repro.experiments.perf`; see
+``benchmarks/perf/README.md`` for the trajectory workflow.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ import argparse
 import json
 import os
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.tables import Table
@@ -71,11 +79,20 @@ def _add_experiment_args(parser: argparse.ArgumentParser, with_rows: bool) -> No
                              "'flow-size:2', 'virtual-clock:1e6'")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for seed sweeps (default: serial)")
-    parser.add_argument("--json", action="store_true", dest="as_json",
-                        help="print the structured RunArtifact as JSON "
-                             "(an array when sweeping seeds)")
+    fmt = parser.add_mutually_exclusive_group()
+    fmt.add_argument("--json", action="store_true", dest="as_json",
+                     help="print the structured RunArtifact as JSON "
+                          "(an array when sweeping seeds)")
+    fmt.add_argument("--csv", action="store_true", dest="as_csv",
+                     help="print the result table as CSV (tables "
+                          "concatenated when sweeping seeds)")
     parser.add_argument("--out", default=None, metavar="DIR",
-                        help="also persist each artifact under DIR")
+                        help="persist each artifact under DIR; DIR doubles "
+                             "as a content-addressed cache — a spec already "
+                             "saved there is answered without simulating")
+    parser.add_argument("--force", action="store_true",
+                        help="with --out: re-simulate even when DIR already "
+                             "holds this spec's artifact")
     if with_rows:
         parser.add_argument("--rows", type=int, nargs="*", default=None,
                             help="row indices (0-based) to run, table1 only; "
@@ -121,20 +138,26 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         _reject_unused_flags(entry, args)
         spec = spec_from_args(experiment, args)
         if len(spec.seeds) > 1:
-            artifacts = run_many(spec.sweep(), workers=args.workers)
+            artifacts = run_many(spec.sweep(), workers=args.workers,
+                                 out_dir=args.out, force=args.force)
         else:
-            artifacts = [run(spec)]
+            artifacts = [run(spec, out_dir=args.out, force=args.force)]
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    for artifact in artifacts:
-        if args.out:
-            path = artifact.save(args.out)
-            print(f"wrote {path}", file=sys.stderr)
+    if args.out:
+        out = Path(args.out)
+        for artifact in artifacts:
+            verb = "cached" if artifact.from_cache else "wrote"
+            print(f"{verb} {out / (artifact.run_id() + '.json')}",
+                  file=sys.stderr)
     if args.as_json:
         payloads = [a.to_dict() for a in artifacts]
         print(json.dumps(payloads[0] if len(payloads) == 1 else payloads,
                          indent=2))
+    elif args.as_csv:
+        for artifact in artifacts:
+            print(artifact.table().to_csv(), end="")
     else:
         for artifact in artifacts:
             print(artifact.table().render())

@@ -67,6 +67,7 @@ class Packet:
         "enqueue_time",
         "queue_wait",
         "retx",
+        "trace",
     )
 
     def __init__(
@@ -107,6 +108,9 @@ class Packet:
         self.enqueue_time: float = 0.0
         self.queue_wait: float = 0.0
         self.retx: int = 0
+        # The tracer's PacketRecord, cached here at ingress so per-hop
+        # hooks skip the records-dict lookup (see Tracer.on_created).
+        self.trace = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "ack" if self.is_ack else "data"

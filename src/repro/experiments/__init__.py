@@ -41,6 +41,7 @@ from repro.experiments.fairness import (
 )
 from repro.experiments.information import QuantisationPoint, run_information_experiment
 from repro.experiments.gadgets import run_gadget_experiment
+from repro.experiments.perf import run_perf_bench
 
 __all__ = [
     "FairnessExperimentResult",
@@ -53,6 +54,7 @@ __all__ = [
     "run_fct_experiment",
     "run_gadget_experiment",
     "run_information_experiment",
+    "run_perf_bench",
     "run_replay",
     "run_tail_experiment",
     "run_weighted_fairness_experiment",

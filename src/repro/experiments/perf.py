@@ -1,0 +1,263 @@
+"""Performance micro-benchmarks for the simulation substrate.
+
+Not a paper artefact: this driver quantifies the *substrate* — engine
+event throughput, per-scheduler enqueue/dequeue cost, and a fig2-shaped
+end-to-end run — so regressions in the hot path (heap ops, port state
+machine, LSTF keying) show up as numbers, not as mysteriously slower
+sweeps.  It registers as ``bench`` in the experiment registry, which
+makes ``repro bench`` (and ``repro run bench``) work like any other
+artefact and lets seed sweeps, ``--json``, ``--out`` caching and the
+parallel runner apply unchanged.
+
+The stable row schema (one row per bench: name, scale, ops, seconds,
+ops_per_sec) is what ``benchmarks/perf/run_bench.py`` persists into the
+repo-level ``BENCH_*.json`` trajectory files; see
+``benchmarks/perf/README.md`` for how to compare runs.
+
+Unlike every other driver, the rows here are wall-clock measurements and
+therefore *not* deterministic — bench artifacts are trajectory data, not
+replayable results.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.analysis.tables import Table
+from repro.api.registry import register_experiment
+from repro.api.spec import ExperimentSpec
+from repro.core.packet import Packet, reset_packet_ids
+from repro.schedulers import make_scheduler
+from repro.schedulers.lstf import LstfScheduler
+from repro.sim.engine import ENGINE_PERF, Engine
+from repro.sim.network import Network
+from repro.units import MBPS
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_SCHEDULERS",
+    "ENGINE_BENCHES",
+    "bench_e2e_fig2_style",
+    "bench_engine_chain",
+    "bench_engine_defer",
+    "bench_engine_fan",
+    "bench_scheduler_ops",
+    "run_perf_bench",
+]
+
+#: Version of the (name, scale, ops, seconds, ops_per_sec) row contract.
+BENCH_SCHEMA_VERSION = 1
+
+#: Scheduler sweep used when the spec does not name one.
+DEFAULT_SCHEDULERS = (
+    "fifo",
+    "lstf",
+    "lstf-pheap",
+    "priority",
+    "sjf",
+    "fifo+",
+    "fq",
+    "srpt",
+    "edf",
+)
+
+
+def _best_of(fn: Callable[[], int], repeats: int) -> tuple[int, float]:
+    """Run ``fn`` ``repeats`` times; return (ops, best wall seconds)."""
+    best = None
+    ops = 0
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        ops = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return ops, best
+
+
+# --- engine microbenches ----------------------------------------------------
+
+
+def bench_engine_chain(events: int, repeats: int = 3) -> tuple[int, float]:
+    """Self-rescheduling event chain: the minimal schedule→fire cycle."""
+
+    def run() -> int:
+        engine = Engine()
+        count = events
+
+        def tick() -> None:
+            nonlocal count
+            count -= 1
+            if count:
+                engine.schedule(1e-6, tick)
+
+        engine.schedule(0.0, tick)
+        engine.run()
+        return events
+
+    return _best_of(run, repeats)
+
+
+def bench_engine_fan(events: int, repeats: int = 3) -> tuple[int, float]:
+    """Deep heap: schedule everything up front, then drain."""
+
+    def run() -> int:
+        engine = Engine()
+        sink = [].append
+        for i in range(events):
+            engine.schedule(((i * 7919) % events) * 1e-6, sink, i)
+        engine.run()
+        return events
+
+    return _best_of(run, repeats)
+
+
+def bench_engine_defer(events: int, repeats: int = 3) -> tuple[int, float]:
+    """Alternating event→deferred-decision pairs: the two-phase machinery."""
+
+    def run() -> int:
+        engine = Engine()
+        count = events
+
+        def decide() -> None:
+            nonlocal count
+            count -= 1
+            if count:
+                engine.schedule(1e-6, lambda: engine.defer(decide))
+
+        engine.schedule(0.0, lambda: engine.defer(decide))
+        engine.run()
+        return events
+
+    return _best_of(run, repeats)
+
+
+# --- scheduler enqueue/dequeue ---------------------------------------------
+
+
+def _bench_port():
+    """A real attached port so keyed schedulers can read link/topology."""
+    net = Network()
+    net.add_host("a")
+    net.add_host("b")
+    net.add_link("a", "b", 8 * MBPS, 0.0)
+    return net.nodes["a"].ports["b"]
+
+
+def bench_scheduler_ops(
+    name: str, packets: int, repeats: int = 3
+) -> tuple[int, float]:
+    """Push then drain ``packets`` packets; counts one op per push/pop."""
+    port = _bench_port()
+
+    def run() -> int:
+        reset_packet_ids()
+        kwargs = {"capacity": 2 * packets} if name == "lstf-pheap" else {}
+        scheduler = make_scheduler(name, **kwargs)
+        scheduler.attach(port)
+        batch = []
+        for i in range(packets):
+            packet = Packet(i % 50, 1000, "a", "b", 0.0)
+            packet.slack = ((i * 7919) % 1000) / 1000.0
+            packet.priority = float((i * 104729) % 997)
+            packet.deadline = 1.0 + packet.slack
+            packet.flow_size = 1000 * (1 + (i * 31) % 64)
+            packet.remaining_flow = packet.flow_size
+            packet.enqueue_time = 0.0
+            batch.append(packet)
+        for packet in batch:
+            scheduler.push(packet, 0.0)
+        popped = 0
+        while len(scheduler):
+            if scheduler.pop(1.0) is not None:
+                popped += 1
+        assert popped == packets, f"{name} lost {packets - popped} packets"
+        return 2 * packets
+
+    return _best_of(run, repeats)
+
+
+# --- end-to-end -------------------------------------------------------------
+
+
+def bench_e2e_fig2_style(
+    duration: float, seed: int = 1, repeats: int = 3
+) -> tuple[int, float]:
+    """Dumbbell + Poisson UDP + LSTF: the fig2-shaped end-to-end run.
+
+    Ops are engine events processed, so the number is directly comparable
+    with the engine microbenches and with ``events_per_sec`` in ordinary
+    experiment artifacts.
+    """
+    from repro.topology.simple import build_dumbbell
+    from repro.transport.udp import install_udp_flows
+    from repro.workload.distributions import BoundedPareto
+    from repro.workload.flows import PoissonWorkload, poisson_flows
+
+    def run() -> int:
+        reset_packet_ids()
+        net = build_dumbbell(num_pairs=8)
+        net.install_uniform(LstfScheduler)
+        flows = poisson_flows(
+            hosts=[h.name for h in net.hosts],
+            sizes=BoundedPareto(1.2, 1500, 50_000),
+            workload=PoissonWorkload(0.7, 50e6, duration=duration, seed=seed),
+        )
+        install_udp_flows(net, flows)
+        net.run()
+        return net.engine.events_processed
+
+    return _best_of(run, repeats)
+
+
+#: The engine-bench roster shared by the ``bench`` driver below and
+#: ``benchmarks/perf/run_bench.py`` — one definition, two entry points,
+#: so a bench added here automatically joins the BENCH_*.json trajectory.
+ENGINE_BENCHES = (
+    ("engine-chain", bench_engine_chain),
+    ("engine-fan", bench_engine_fan),
+    ("engine-defer", bench_engine_defer),
+)
+
+
+# --- the registered driver ---------------------------------------------------
+
+
+@register_experiment(
+    "bench",
+    help="substrate micro-benchmarks: engine, schedulers, e2e throughput",
+    options=("packets", "events", "repeats"),
+    params=("duration", "seeds", "schedulers"),
+)
+def run_perf_bench(spec: ExperimentSpec):
+    """One row per bench: ``(bench, scale, ops, seconds, ops_per_sec)``."""
+    events = int(spec.option("events", 50_000))
+    packets = int(spec.option("packets", 10_000))
+    repeats = int(spec.option("repeats", 3))
+    schedulers = spec.schedulers or DEFAULT_SCHEDULERS
+    table = Table(
+        ["bench", "scale", "ops", "seconds", "ops_per_sec"],
+        title="Substrate benchmarks (higher ops/sec is better)",
+    )
+
+    def add(bench: str, scale: int, ops: int, seconds: float) -> None:
+        rate = ops / seconds if seconds > 0 else 0.0
+        table.add_row([bench, scale, ops, round(seconds, 6), round(rate, 1)])
+
+    for bench, fn in ENGINE_BENCHES:
+        ops, seconds = fn(events, repeats)
+        add(bench, events, ops, seconds)
+    for name in schedulers:
+        ops, seconds = bench_scheduler_ops(name, packets, repeats)
+        add(f"sched-{name}", packets, ops, seconds)
+    ops, seconds = bench_e2e_fig2_style(spec.duration, spec.seed, repeats)
+    add("e2e-fig2", int(round(spec.duration * 1e3)), ops, seconds)
+    # The driver ran engines outside the runner's notion of "the run", so
+    # report its own totals rather than whatever the wrapper would see.
+    metadata = {
+        "bench_schema_version": BENCH_SCHEMA_VERSION,
+        "engine_events": ENGINE_PERF.events,
+        "deterministic_rows": False,
+    }
+    return table, metadata

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.schedulers.base import Scheduler
+from repro.schedulers.base import IndexedHeapQueue, KeyedScheduler, Scheduler
 from repro.schedulers.fifo import FifoScheduler
 from repro.schedulers.lifo import LifoScheduler
 from repro.schedulers.random_sched import RandomScheduler
@@ -53,6 +53,8 @@ __all__ = [
     "FifoPlusScheduler",
     "FifoScheduler",
     "FqScheduler",
+    "IndexedHeapQueue",
+    "KeyedScheduler",
     "LifoScheduler",
     "LstfScheduler",
     "OmniscientScheduler",

@@ -28,6 +28,8 @@ class DrrScheduler(Scheduler):
         the standard choice guaranteeing O(1) work per dequeue.
     """
 
+    __slots__ = ("_quantum", "_flows", "_deficit", "_size")
+
     name = "drr"
 
     def __init__(self, quantum: int = MTU) -> None:

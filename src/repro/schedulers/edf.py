@@ -18,44 +18,39 @@ The router-side ``tmin`` lookups are served by the network's routing/
 
 from __future__ import annotations
 
-import heapq
-from typing import Optional
-
 from repro.core.packet import Packet
-from repro.schedulers.base import Scheduler
+from repro.schedulers.base import KeyedScheduler
 
 __all__ = ["EdfScheduler"]
 
 
-class EdfScheduler(Scheduler):
+class EdfScheduler(KeyedScheduler):
     """Serve the packet with the earliest locally derived deadline."""
+
+    __slots__ = ("_tmin_cache", "_tx_per_byte")
 
     name = "edf"
 
     def __init__(self) -> None:
         super().__init__()
-        self._heap: list[tuple[float, int, Packet]] = []
         self._tmin_cache: dict[tuple[str, int], float] = {}
+        self._tx_per_byte = 0.0  # set at attach
 
-    def _local_priority(self, packet: Packet) -> float:
+    def attach(self, port) -> None:
+        super().attach(port)
+        self._tx_per_byte = port.link.tx_per_byte
+
+    def _key(self, packet: Packet) -> float:
         key = (packet.dst, packet.size)
         remaining = self._tmin_cache.get(key)
         if remaining is None:
             network = self.port.node.network
             remaining = network.remaining_tmin(self.port.node.name, packet.dst, packet.size)
             self._tmin_cache[key] = remaining
-        return packet.deadline - remaining + self.port.link.tx_time(packet.size)
+        return packet.deadline - remaining + packet.size * self._tx_per_byte
+
+    # kept for callers that used the descriptive name
+    _local_priority = _key
 
     def preemption_key(self, packet: Packet) -> float:
-        return self._local_priority(packet)
-
-    def push(self, packet: Packet, now: float) -> None:
-        heapq.heappush(self._heap, (self._local_priority(packet), self._next_seq(), packet))
-
-    def pop(self, now: float) -> Optional[Packet]:
-        if not self._heap:
-            return None
-        return heapq.heappop(self._heap)[2]
-
-    def __len__(self) -> int:
-        return len(self._heap)
+        return self._key(packet)

@@ -21,32 +21,18 @@ matching the original algorithm.
 
 from __future__ import annotations
 
-import heapq
-from typing import Optional
-
 from repro.core.packet import Packet
-from repro.schedulers.base import Scheduler
+from repro.schedulers.base import KeyedScheduler
 
 __all__ = ["FifoPlusScheduler"]
 
 
-class FifoPlusScheduler(Scheduler):
+class FifoPlusScheduler(KeyedScheduler):
     """Serve packets in order of upstream-wait-adjusted arrival time."""
+
+    __slots__ = ()
 
     name = "fifo+"
 
-    def __init__(self) -> None:
-        super().__init__()
-        self._heap: list[tuple[float, int, Packet]] = []
-
-    def push(self, packet: Packet, now: float) -> None:
-        key = packet.enqueue_time - packet.queue_wait
-        heapq.heappush(self._heap, (key, self._next_seq(), packet))
-
-    def pop(self, now: float) -> Optional[Packet]:
-        if not self._heap:
-            return None
-        return heapq.heappop(self._heap)[2]
-
-    def __len__(self) -> int:
-        return len(self._heap)
+    def _key(self, packet: Packet) -> float:
+        return packet.enqueue_time - packet.queue_wait

@@ -17,11 +17,10 @@ packets by the transports (defaults to 1.0).
 
 from __future__ import annotations
 
-import heapq
 from typing import Optional
 
 from repro.core.packet import Packet
-from repro.schedulers.base import Scheduler
+from repro.schedulers.base import IndexedHeapQueue, Scheduler
 
 __all__ = ["FqScheduler"]
 
@@ -29,15 +28,16 @@ __all__ = ["FqScheduler"]
 class FqScheduler(Scheduler):
     """Self-clocked weighted fair queueing over flows."""
 
+    __slots__ = ("_queue", "_finish_tags", "_weights", "_vtime")
+
     name = "fq"
 
     def __init__(self) -> None:
         super().__init__()
-        self._heap: list[tuple[float, int, Packet]] = []
+        self._queue = IndexedHeapQueue()
         self._finish_tags: dict[int, float] = {}
         self._weights: dict[int, float] = {}
         self._vtime = 0.0
-        self._active = 0
 
     def set_weight(self, flow_id: int, weight: float) -> None:
         """Assign a relative weight to a flow (before its packets arrive)."""
@@ -50,20 +50,19 @@ class FqScheduler(Scheduler):
         start = max(self._finish_tags.get(packet.flow_id, 0.0), self._vtime)
         finish = start + packet.size / weight
         self._finish_tags[packet.flow_id] = finish
-        heapq.heappush(self._heap, (finish, self._next_seq(), packet))
-        self._active += 1
+        self._queue.push(finish, packet)
 
     def pop(self, now: float) -> Optional[Packet]:
-        if not self._heap:
+        entry = self._queue.pop_entry()
+        if entry is None:
             return None
-        finish, _seq, packet = heapq.heappop(self._heap)
+        finish, packet = entry
         self._vtime = finish
-        self._active -= 1
-        if self._active == 0:
+        if not len(self._queue):
             # Idle port: reset virtual time so tags don't grow unboundedly.
             self._vtime = 0.0
             self._finish_tags.clear()
         return packet
 
     def __len__(self) -> int:
-        return self._active
+        return len(self._queue)

@@ -19,6 +19,8 @@ __all__ = ["LifoScheduler"]
 class LifoScheduler(Scheduler):
     """Serve the most recently arrived packet first."""
 
+    __slots__ = ("_stack",)
+
     name = "lifo"
 
     def __init__(self) -> None:

@@ -25,6 +25,11 @@ variant used in the theory results (DESIGN.md §5): keys never change while
 a packet sits at a port, so "least remaining slack" comparisons between the
 in-service packet and new arrivals are just key comparisons.
 
+Hot-path notes: ``T(p, α)`` is ``size * tx_per_byte`` with the per-byte
+cost cached at :meth:`attach`, so computing a key is three float adds and
+a multiply — no attribute chains, no allocation.  The drop policy rides
+on the indexed queue's worst-entry tracking instead of scanning the heap.
+
 Drop policy: §3 specifies that with finite buffers "packets with the
 highest slack are dropped when the buffer is full", implemented in
 :meth:`LstfScheduler.drop_victim`.
@@ -32,59 +37,46 @@ highest slack are dropped when the buffer is full", implemented in
 
 from __future__ import annotations
 
-import heapq
 from typing import Optional
 
 from repro.core.packet import Packet
-from repro.schedulers.base import Scheduler
+from repro.schedulers.base import KeyedScheduler
 
 __all__ = ["LstfScheduler"]
 
 
-class LstfScheduler(Scheduler):
+class LstfScheduler(KeyedScheduler):
     """Serve the packet with the least remaining slack."""
+
+    __slots__ = ("_tx_per_byte",)
 
     name = "lstf"
 
     def __init__(self) -> None:
         super().__init__()
-        self._heap: list[tuple[float, int, Packet]] = []
-        self._size = 0
-        # Pids lazily removed by drop_victim.  Local state on purpose: a
-        # shared packet flag would be corrupted by other schedulers on the
-        # packet's path (see SrptScheduler for the same reasoning).
-        self._evicted: set[int] = set()
+        self._tx_per_byte = 0.0  # set at attach; keys need T(p, α)
+
+    def attach(self, port) -> None:
+        super().attach(port)
+        self._tx_per_byte = port.link.tx_per_byte
 
     # --- keys ---------------------------------------------------------------
 
     def _key(self, packet: Packet) -> float:
         # slack + arrival time at this port + transmission time here.
-        return packet.slack + packet.enqueue_time + self.port.link.tx_time(packet.size)
+        return packet.slack + packet.enqueue_time + packet.size * self._tx_per_byte
 
     def preemption_key(self, packet: Packet) -> float:
         return self._key(packet)
 
     # --- queue operations ------------------------------------------------------
 
-    def push(self, packet: Packet, now: float) -> None:
-        heapq.heappush(self._heap, (self._key(packet), self._next_seq(), packet))
-        self._size += 1
-
     def pop(self, now: float) -> Optional[Packet]:
-        heap = self._heap
-        while heap and heap[0][2].pid in self._evicted:
-            self._evicted.discard(heap[0][2].pid)
-            heapq.heappop(heap)  # lazily discard drop victims
-        if not heap:
-            return None
-        packet = heapq.heappop(heap)[2]
-        self._size -= 1
-        # Dynamic packet state: charge the wait at this hop to the header.
-        packet.slack -= now - packet.enqueue_time
+        packet = self._queue.pop()
+        if packet is not None:
+            # Dynamic packet state: charge the wait at this hop to the header.
+            packet.slack -= now - packet.enqueue_time
         return packet
-
-    def __len__(self) -> int:
-        return self._size
 
     # --- finite buffers ----------------------------------------------------------
 
@@ -92,17 +84,15 @@ class LstfScheduler(Scheduler):
         """Drop the packet with the *highest* remaining slack (§3).
 
         The arriving packet participates in the comparison: if it has the
-        largest slack of all, it is the victim itself.  The scan is O(n)
-        but only runs on buffer overflow, which is rare in the regimes the
-        experiments operate in.
+        largest slack of all, it is the victim itself.  O(log n) amortised
+        via the queue's worst-entry tracking — no scan, even under
+        sustained overflow.
         """
-        live = [e for e in self._heap if e[2].pid not in self._evicted]
-        if not live:
+        worst = self._queue.worst_entry()
+        if worst is None:
             return arriving
-        worst_key, _seq, worst = max(live, key=lambda e: (e[0], e[1]))
-        arriving_key = self._key(arriving)
-        if arriving_key >= worst_key:
+        worst_key, victim = worst
+        if self._key(arriving) >= worst_key:
             return arriving
-        self._evicted.add(worst.pid)  # lazy removal; pop() skips it
-        self._size -= 1
-        return worst
+        self._queue.evict(victim.pid)  # lazy removal; pop() skips it
+        return victim

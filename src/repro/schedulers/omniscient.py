@@ -15,24 +15,19 @@ semantics, cheaper bookkeeping.
 
 from __future__ import annotations
 
-import heapq
-from typing import Optional
-
 from repro.core.packet import Packet
 from repro.errors import SchedulerError
-from repro.schedulers.base import Scheduler
+from repro.schedulers.base import KeyedScheduler
 
 __all__ = ["OmniscientScheduler"]
 
 
-class OmniscientScheduler(Scheduler):
+class OmniscientScheduler(KeyedScheduler):
     """Serve packets by their recorded per-hop output times."""
 
-    name = "omniscient"
+    __slots__ = ()
 
-    def __init__(self) -> None:
-        super().__init__()
-        self._heap: list[tuple[float, int, Packet]] = []
+    name = "omniscient"
 
     def _key(self, packet: Packet) -> float:
         if packet.hop_times is None:
@@ -51,14 +46,3 @@ class OmniscientScheduler(Scheduler):
 
     def preemption_key(self, packet: Packet) -> float:
         return self._key(packet)
-
-    def push(self, packet: Packet, now: float) -> None:
-        heapq.heappush(self._heap, (self._key(packet), self._next_seq(), packet))
-
-    def pop(self, now: float) -> Optional[Packet]:
-        if not self._heap:
-            return None
-        return heapq.heappop(self._heap)[2]
-
-    def __len__(self) -> int:
-        return len(self._heap)

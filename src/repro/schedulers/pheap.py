@@ -42,6 +42,8 @@ class PHeap:
     for FIFO tie-breaking.  Capacity is rounded up to a full tree.
     """
 
+    __slots__ = ("_levels", "_keys", "_values", "_vacancies", "_count")
+
     def __init__(self, capacity: int = 4096) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity!r}")
@@ -148,6 +150,8 @@ class PHeapLstfScheduler(LstfScheduler):
     property tests and the ``bench_pheap`` benchmark.
     """
 
+    __slots__ = ("_pheap",)
+
     name = "lstf-pheap"
 
     def __init__(self, capacity: int = 4096) -> None:
@@ -156,21 +160,16 @@ class PHeapLstfScheduler(LstfScheduler):
 
     def push(self, packet: Packet, now: float) -> None:
         self._pheap.push((self._key(packet), self._next_seq()), packet)
-        self._size += 1
 
     def pop(self, now: float) -> Optional[Packet]:
-        while len(self._pheap):
-            _key, packet = self._pheap.pop()
-            if packet.pid in self._evicted:
-                self._evicted.discard(packet.pid)
-                continue
-            self._size -= 1
-            packet.slack -= now - packet.enqueue_time
-            return packet
-        return None
+        if not len(self._pheap):
+            return None
+        _key, packet = self._pheap.pop()
+        packet.slack -= now - packet.enqueue_time
+        return packet
 
     def __len__(self) -> int:
-        return self._size
+        return len(self._pheap)
 
     def drop_victim(self, arriving: Packet, now: float) -> Packet:
         raise SchedulerError(

@@ -12,34 +12,21 @@ at most one congestion point per packet and fails at two (Appendix F — see
 
 from __future__ import annotations
 
-import heapq
-from typing import Optional
-
 from repro.core.packet import Packet
-from repro.schedulers.base import Scheduler
+from repro.schedulers.base import KeyedScheduler
 
 __all__ = ["PriorityScheduler"]
 
 
-class PriorityScheduler(Scheduler):
+class PriorityScheduler(KeyedScheduler):
     """Serve the packet with the smallest static ``priority`` header."""
+
+    __slots__ = ()
 
     name = "priority"
 
-    def __init__(self) -> None:
-        super().__init__()
-        self._heap: list[tuple[float, int, Packet]] = []
-
-    def push(self, packet: Packet, now: float) -> None:
-        heapq.heappush(self._heap, (packet.priority, self._next_seq(), packet))
-
-    def pop(self, now: float) -> Optional[Packet]:
-        if not self._heap:
-            return None
-        return heapq.heappop(self._heap)[2]
-
-    def __len__(self) -> int:
-        return len(self._heap)
+    def _key(self, packet: Packet) -> float:
+        return packet.priority
 
     def preemption_key(self, packet: Packet) -> float:
         """Priorities are static, so they double as preemption keys."""

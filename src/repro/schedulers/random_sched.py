@@ -29,6 +29,8 @@ class RandomScheduler(Scheduler):
         deterministic event order of the engine.
     """
 
+    __slots__ = ("_rng", "_queue")
+
     name = "random"
 
     def __init__(self, rng: random.Random | None = None) -> None:

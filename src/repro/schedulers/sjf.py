@@ -11,34 +11,21 @@ flow completion time in Figure 2.
 
 from __future__ import annotations
 
-import heapq
-from typing import Optional
-
 from repro.core.packet import Packet
-from repro.schedulers.base import Scheduler
+from repro.schedulers.base import KeyedScheduler
 
 __all__ = ["SjfScheduler"]
 
 
-class SjfScheduler(Scheduler):
+class SjfScheduler(KeyedScheduler):
     """Serve the packet belonging to the smallest flow."""
+
+    __slots__ = ()
 
     name = "sjf"
 
-    def __init__(self) -> None:
-        super().__init__()
-        self._heap: list[tuple[int, int, Packet]] = []
-
-    def push(self, packet: Packet, now: float) -> None:
-        heapq.heappush(self._heap, (packet.flow_size, self._next_seq(), packet))
-
-    def pop(self, now: float) -> Optional[Packet]:
-        if not self._heap:
-            return None
-        return heapq.heappop(self._heap)[2]
-
-    def __len__(self) -> int:
-        return len(self._heap)
+    def _key(self, packet: Packet) -> int:
+        return packet.flow_size
 
     def preemption_key(self, packet: Packet) -> float:
         return float(packet.flow_size)

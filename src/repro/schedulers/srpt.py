@@ -6,20 +6,22 @@ remained unacknowledged in its flow when it was sent
 the paper: "the router always schedules the earliest arriving packet of
 the flow which contains the highest priority packet".
 
-Implementation: a lazy min-heap keyed by ``remaining_flow`` identifies the
-highest-priority *flow*; the packet actually served is the head of that
-flow's FIFO.  Heap entries whose packet has already been served (because it
-was the earliest of its flow at some earlier pop) are discarded lazily.
+Implementation: the shared indexed queue keyed by ``remaining_flow``
+identifies the highest-priority *flow*; the packet actually served is the
+head of that flow's FIFO and is lazily evicted from the queue (its entry
+is discarded whenever it later surfaces).  Liveness must be tracked per
+port — a shared packet flag would be reset when the packet is pushed at
+its next hop, resurrecting stale entries here — which is exactly what the
+queue's pid→seq map provides.
 """
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
 from typing import Optional
 
 from repro.core.packet import Packet
-from repro.schedulers.base import Scheduler
+from repro.schedulers.base import IndexedHeapQueue, Scheduler
 
 __all__ = ["SrptScheduler"]
 
@@ -27,38 +29,36 @@ __all__ = ["SrptScheduler"]
 class SrptScheduler(Scheduler):
     """SRPT over flows, FIFO within a flow (starvation-free)."""
 
+    __slots__ = ("_queue", "_flow_fifo")
+
     name = "srpt"
 
     def __init__(self) -> None:
         super().__init__()
-        self._heap: list[tuple[int, int, Packet]] = []
+        self._queue = IndexedHeapQueue()
         self._flow_fifo: dict[int, deque[Packet]] = {}
-        # Pids currently queued *here*.  Lazy heap deletion must use local
-        # state: a shared packet flag would be reset when the packet is
-        # pushed at its next hop, resurrecting stale entries in this heap.
-        self._queued: set[int] = set()
 
     def push(self, packet: Packet, now: float) -> None:
-        heapq.heappush(self._heap, (packet.remaining_flow, self._next_seq(), packet))
-        self._flow_fifo.setdefault(packet.flow_id, deque()).append(packet)
-        self._queued.add(packet.pid)
+        self._queue.push(packet.remaining_flow, packet)
+        fifo = self._flow_fifo.get(packet.flow_id)
+        if fifo is None:
+            self._flow_fifo[packet.flow_id] = deque((packet,))
+        else:
+            fifo.append(packet)
 
     def pop(self, now: float) -> Optional[Packet]:
-        if not self._queued:
+        head = self._queue.peek()
+        if head is None:
             return None
-        heap = self._heap
-        # Discard heap entries for packets already served as "earliest of
-        # their flow" during previous pops.
-        while heap and heap[0][2].pid not in self._queued:
-            heapq.heappop(heap)
-        assert heap, "membership set says non-empty but heap drained"
-        best_flow = heap[0][2].flow_id
+        best_flow = head.flow_id
         fifo = self._flow_fifo[best_flow]
         packet = fifo.popleft()
         if not fifo:
             del self._flow_fifo[best_flow]
-        self._queued.discard(packet.pid)
+        # The served packet may not be the heap head (FIFO-within-flow);
+        # evict it so its queue entry is skipped when it surfaces.
+        self._queue.evict(packet.pid)
         return packet
 
     def __len__(self) -> int:
-        return len(self._queued)
+        return len(self._queue)

@@ -14,18 +14,17 @@ It is deliberately *non*-work-conserving; the port cooperates through the
 
 from __future__ import annotations
 
-import heapq
 from typing import Optional
 
 from repro.core.packet import Packet
 from repro.errors import SchedulerError
-from repro.schedulers.base import Scheduler
+from repro.schedulers.base import KeyedScheduler
 from repro.units import TIME_EPSILON
 
 __all__ = ["TimetableScheduler"]
 
 
-class TimetableScheduler(Scheduler):
+class TimetableScheduler(KeyedScheduler):
     """Transmit each packet at a preordained time.
 
     Parameters
@@ -35,40 +34,42 @@ class TimetableScheduler(Scheduler):
         node.  Every packet pushed here must appear in the table.
     """
 
+    __slots__ = ("_timetable",)
+
     name = "timetable"
 
     def __init__(self, timetable: dict[int, float]) -> None:
         super().__init__()
         self._timetable = dict(timetable)
-        self._heap: list[tuple[float, int, Packet]] = []
 
-    def push(self, packet: Packet, now: float) -> None:
+    def _key(self, packet: Packet) -> float:
         try:
-            release = self._timetable[packet.pid]
+            return self._timetable[packet.pid]
         except KeyError:
             raise SchedulerError(
                 f"packet {packet.pid} has no entry in this node's timetable"
             ) from None
+
+    def push(self, packet: Packet, now: float) -> None:
+        release = self._key(packet)
         if release < now - TIME_EPSILON:
             raise SchedulerError(
                 f"packet {packet.pid} arrived at {now:.9f}, after its "
                 f"timetabled transmission time {release:.9f}; the gadget's "
                 "original schedule is infeasible"
             )
-        heapq.heappush(self._heap, (release, self._next_seq(), packet))
+        self._queue.push(release, packet)
 
     def pop(self, now: float) -> Optional[Packet]:
-        if not self._heap:
+        entry = self._queue.peek_entry()
+        if entry is None:
             return None
-        release = self._heap[0][0]
-        if release > now + TIME_EPSILON:
+        if entry[0] > now + TIME_EPSILON:
             return None  # nothing due yet; port will retry at earliest_release
-        return heapq.heappop(self._heap)[2]
+        return self._queue.pop()
 
     def earliest_release(self, now: float) -> float | None:
-        if not self._heap:
+        entry = self._queue.peek_entry()
+        if entry is None:
             return None
-        return max(self._heap[0][0], now)
-
-    def __len__(self) -> int:
-        return len(self._heap)
+        return max(entry[0], now)

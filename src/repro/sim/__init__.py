@@ -11,7 +11,7 @@ This subpackage replaces the paper's use of ns-2.  It provides:
   and transmit times) that the replay engine and all metrics consume.
 """
 
-from repro.sim.engine import Engine, EventHandle
+from repro.sim.engine import ENGINE_PERF, Engine, EnginePerf, EventHandle
 from repro.sim.link import Link
 from repro.sim.network import Network
 from repro.sim.node import Host, Node, Router
@@ -19,7 +19,9 @@ from repro.sim.port import Port, PreemptivePort
 from repro.sim.tracer import PacketRecord, Tracer
 
 __all__ = [
+    "ENGINE_PERF",
     "Engine",
+    "EnginePerf",
     "EventHandle",
     "Host",
     "Link",

@@ -1,25 +1,79 @@
 """Deterministic discrete-event engine.
 
-The engine is a binary heap of ``(time, sequence, callback, args)`` entries.
-The monotonically increasing sequence number breaks ties between events
-scheduled for the same instant, which makes every run fully deterministic —
-a hard requirement for the record/replay experiments, where the recorded
-schedule must be byte-for-byte repeatable.
+The engine is a binary heap of flat ``(time, sequence, callback, args)``
+entries.  The monotonically increasing sequence number breaks ties between
+events scheduled for the same instant, which makes every run fully
+deterministic — a hard requirement for the record/replay experiments,
+where the recorded schedule must be byte-for-byte repeatable.
 
-Events are cancellable: :meth:`Engine.schedule` returns an
-:class:`EventHandle` whose :meth:`~EventHandle.cancel` marks the heap entry
-dead (lazy deletion), which is how TCP retransmission timers are restarted
-and how preemptive ports abort an in-flight transmission-complete event.
+Two scheduling paths share the heap:
+
+* :meth:`Engine.schedule` / :meth:`Engine.schedule_at` — the hot path.
+  Entries are plain tuples; no per-event object is allocated and nothing
+  is returned.  The overwhelming majority of events (transmission
+  completions, propagation deliveries, packet injections) are never
+  cancelled, so they never need a handle.
+* :meth:`Engine.schedule_cancellable` /
+  :meth:`Engine.schedule_cancellable_at` — returns an
+  :class:`EventHandle` whose :meth:`~EventHandle.cancel` marks the entry
+  dead (lazy deletion).  This is how TCP retransmission timers are
+  restarted and how preemptive ports abort an in-flight
+  transmission-complete event.
+
+Because sequence numbers are unique, heap comparisons never reach the
+third tuple element, so callbacks and handles can share the heap without
+being comparable themselves.
 """
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
+from heapq import heappop, heappush
+from math import inf
+from time import perf_counter
 from typing import Any, Callable
 
 from repro.errors import SimulationError
 
-__all__ = ["Engine", "EventHandle"]
+__all__ = ["Engine", "EventHandle", "EnginePerf", "ENGINE_PERF"]
+
+#: Sentinel in the ``args`` slot marking a cancellable entry, whose
+#: ``callback`` slot holds the :class:`EventHandle` instead of a callable.
+_CANCELLABLE = object()
+
+
+class EnginePerf:
+    """Process-wide accumulator of engine work (events fired + wall time).
+
+    Experiment drivers build any number of :class:`Engine` instances
+    internally (one per recorded/replayed network), so per-run throughput
+    cannot be read off a single engine.  Every :meth:`Engine.run` adds its
+    contribution here; the experiment runner resets the accumulator before
+    a driver starts and surfaces ``events``/``events_per_sec`` through the
+    :class:`~repro.api.results.RunArtifact`.
+    """
+
+    __slots__ = ("events", "wall_s")
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.wall_s = 0.0
+
+    def reset(self) -> None:
+        self.events = 0
+        self.wall_s = 0.0
+
+    def record(self, events: int, wall_s: float) -> None:
+        self.events += events
+        self.wall_s += wall_s
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0.0 else 0.0
+
+
+#: The accumulator :meth:`Engine.run` reports into.
+ENGINE_PERF = EnginePerf()
 
 
 class EventHandle:
@@ -64,27 +118,55 @@ class Engine:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, EventHandle]] = []
+        self._heap: list[tuple] = []
         self._seq: int = 0
         self._events_processed: int = 0
         self._stopped: bool = False
-        self._deferred: list[Callable[[], None]] = []
+        self._deferred: deque[Callable[[], None]] = deque()
 
     # --- scheduling -------------------------------------------------------
 
-    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
-        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
-        return self.schedule_at(self.now + delay, callback, *args)
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
 
-    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
-        """Schedule ``callback(*args)`` at absolute ``time``."""
+        Hot path: no handle is allocated and the event cannot be
+        cancelled.  Use :meth:`schedule_cancellable` for timers that may
+        need to be aborted.
+        """
+        time = self.now + delay
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time!r} < now={self.now!r}"
+            )
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (time, seq, callback, args))
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` at absolute ``time`` (hot path)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time!r} < now={self.now!r}"
+            )
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (time, seq, callback, args))
+
+    def schedule_cancellable(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Like :meth:`schedule`, but returns a cancellable handle."""
+        return self.schedule_cancellable_at(self.now + delay, callback, *args)
+
+    def schedule_cancellable_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Like :meth:`schedule_at`, but returns a cancellable handle."""
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule event in the past: {time!r} < now={self.now!r}"
             )
         handle = EventHandle(time, callback, args)
-        self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, handle))
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (time, seq, handle, _CANCELLABLE))
         return handle
 
     def defer(self, callback: Callable[[], None]) -> None:
@@ -109,26 +191,50 @@ class Engine:
         Runs until the heap and deferred queue drain, or (if ``until`` is
         given) until the next event would fire strictly after ``until``; in
         that case the clock is advanced to ``until`` and the pending events
-        stay queued.
+        stay queued.  Deferred callbacks queued at exactly ``until`` always
+        flush before the clock is pinned: the horizon break below is only
+        reachable with an empty deferred queue, because the two-phase
+        branch drains decisions before the heap is ever consulted.
         """
         self._stopped = False
         heap = self._heap
         deferred = self._deferred
-        while (heap or deferred) and not self._stopped:
-            # Flush decisions once no further event shares this timestamp.
-            if deferred and (not heap or heap[0][0] > self.now):
-                callback = deferred.pop(0)
-                callback()
-                continue
-            time, _seq, handle = heap[0]
-            if until is not None and time > until:
-                break
-            heapq.heappop(heap)
-            if handle.cancelled:
-                continue
-            self.now = time
-            self._events_processed += 1
-            handle._fire()
+        limit = inf if until is None else until
+        now = self.now
+        processed = 0
+        start = perf_counter()
+        try:
+            while heap or deferred:
+                if deferred and (not heap or heap[0][0] > now):
+                    # Flush decisions once no further event shares this
+                    # timestamp.  Runs even when the next heap event lies
+                    # beyond `until`, so same-instant scheduling decisions
+                    # are never lost at the horizon.
+                    deferred.popleft()()
+                    if self._stopped:
+                        break
+                    continue
+                entry = heappop(heap)
+                time = entry[0]
+                if time > limit:
+                    heappush(heap, entry)
+                    break
+                callback = entry[2]
+                if entry[3] is _CANCELLABLE:
+                    if callback._callback is None:  # cancelled: skip silently
+                        continue
+                    self.now = now = time
+                    processed += 1
+                    callback._fire()
+                else:
+                    self.now = now = time
+                    processed += 1
+                    callback(*entry[3])
+                if self._stopped:
+                    break
+        finally:
+            self._events_processed += processed
+            ENGINE_PERF.record(processed, perf_counter() - start)
         if until is not None and self.now < until:
             self.now = until
 
@@ -142,6 +248,11 @@ class Engine:
     def pending_events(self) -> int:
         """Number of queued (possibly cancelled) events."""
         return len(self._heap)
+
+    @property
+    def pending_deferred(self) -> int:
+        """Number of queued deferred (same-instant decision) callbacks."""
+        return len(self._deferred)
 
     @property
     def events_processed(self) -> int:

@@ -29,7 +29,7 @@ class Link:
         One-way propagation delay, seconds.
     """
 
-    __slots__ = ("src", "dst", "bandwidth", "propagation")
+    __slots__ = ("src", "dst", "bandwidth", "propagation", "tx_per_byte")
 
     def __init__(self, src: str, dst: str, bandwidth: float, propagation: float) -> None:
         if bandwidth <= 0:
@@ -44,10 +44,15 @@ class Link:
         self.dst = dst
         self.bandwidth = bandwidth
         self.propagation = propagation
+        #: Serialisation seconds per byte — the hot path multiplies by this
+        #: instead of calling :func:`repro.units.tx_time` per packet.
+        self.tx_per_byte = 0.0 if math.isinf(bandwidth) else 8.0 / bandwidth
 
     def tx_time(self, size_bytes: float) -> float:
         """Serialisation delay of a packet of ``size_bytes`` on this link."""
-        return tx_time(size_bytes, self.bandwidth)
+        if size_bytes < 0:
+            return tx_time(size_bytes, self.bandwidth)  # raises with context
+        return size_bytes * self.tx_per_byte
 
     def traversal_time(self, size_bytes: float) -> float:
         """Uncongested last-bit traversal time: transmit + propagate."""

@@ -130,6 +130,9 @@ class Network:
             for neighbor in sorted(node.ports):
                 link = node.ports[neighbor].link
                 node.ports[neighbor] = PreemptivePort(node, link, make())
+        # Replacing port objects orphans any cached next-hop ports.
+        for node in self.nodes.values():
+            node.invalidate_route_cache()
         self._preemptive = True
 
     def set_buffers(
@@ -149,6 +152,8 @@ class Network:
     def _invalidate_routes(self) -> None:
         self._next_hop.clear()
         self._tmin_cache.clear()
+        for node in self.nodes.values():
+            node.invalidate_route_cache()
 
     def _build_tree(self, dst: str) -> dict[str, str]:
         """BFS next-hop tree toward ``dst`` (hop count, lexicographic ties)."""

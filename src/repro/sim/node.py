@@ -6,6 +6,11 @@ injected at its source host, and the host's uplink port participates in
 scheduling like any router port (DESIGN.md §5).  Hosts also carry the
 transport agents (UDP sinks, TCP senders/receivers) for the closed-loop
 experiments of §3.
+
+``receive``/``forward`` run once per packet per hop, so nodes are slotted
+and keep a per-destination next-hop **port** cache (cleared by the network
+whenever topology or port objects change) instead of walking
+``network.next_hop`` + ``ports[...]`` dictionaries for every packet.
 """
 
 from __future__ import annotations
@@ -29,29 +34,46 @@ class _Agent(Protocol):
 class Node:
     """Base store-and-forward node."""
 
+    __slots__ = ("name", "network", "ports", "_tracer", "_engine", "_out_port")
+
     kind = "node"
 
     def __init__(self, name: str, network: "Network") -> None:
         self.name = name
         self.network = network
         self.ports: dict[str, "Port"] = {}
+        self._tracer = network.tracer
+        self._engine = network.engine
+        self._out_port: dict[str, "Port"] = {}  # dst -> next-hop port cache
 
     # --- data path ----------------------------------------------------------
 
     def receive(self, packet: "Packet") -> None:
         """Last bit of ``packet`` has arrived here."""
         packet.path_pos += 1
-        network = self.network
-        network.tracer.on_hop(packet, self.name)
-        if packet.dst == self.name:
-            network.tracer.on_exit(packet, network.engine.now)
+        tracer = self._tracer
+        tracer.on_hop(packet, self.name)
+        dst = packet.dst
+        if dst == self.name:
+            tracer.on_exit(packet, self._engine.now)
             self.deliver(packet)
         else:
-            self.forward(packet)
+            port = self._out_port.get(dst)
+            if port is None:
+                port = self.ports[self.network.next_hop(self.name, dst)]
+                self._out_port[dst] = port
+            port.enqueue(packet)
 
     def forward(self, packet: "Packet") -> None:
-        next_hop = self.network.next_hop(self.name, packet.dst)
-        self.ports[next_hop].enqueue(packet)
+        port = self._out_port.get(packet.dst)
+        if port is None:
+            port = self.ports[self.network.next_hop(self.name, packet.dst)]
+            self._out_port[packet.dst] = port
+        port.enqueue(packet)
+
+    def invalidate_route_cache(self) -> None:
+        """Drop cached next-hop ports (topology or port objects changed)."""
+        self._out_port.clear()
 
     def deliver(self, packet: "Packet") -> None:
         raise SimulationError(
@@ -66,11 +88,15 @@ class Node:
 class Router(Node):
     """An interior store-and-forward switch."""
 
+    __slots__ = ()
+
     kind = "router"
 
 
 class Host(Node):
     """An end host: traffic source, traffic sink, transport agent carrier."""
+
+    __slots__ = ("_senders", "_receivers", "on_deliver")
 
     kind = "host"
 
@@ -91,9 +117,9 @@ class Host(Node):
             )
         if packet.dst == self.name:
             raise ConfigurationError(f"packet {packet.pid} addressed to its own source")
-        packet.created = self.network.engine.now
+        packet.created = self._engine.now
         packet.path_pos = 0
-        self.network.tracer.on_created(packet, self.name)
+        self._tracer.on_created(packet, self.name)
         self.forward(packet)
 
     # --- transport agents --------------------------------------------------------

@@ -12,6 +12,11 @@ and the busy/idle state machine of the transmitter:
   (store-and-forward: the next node sees the packet only when its last bit
   has arrived).
 
+This is the per-packet hot path, so ports cache everything that is
+invariant for the port's lifetime — the engine, the tracer, the link's
+per-byte serialisation cost, the peer node's bound ``receive`` — instead
+of chasing ``node.network.engine``-style attribute chains per event.
+
 Non-work-conserving schedulers (the timetable oracle used by the theory
 gadgets) may decline to hand over a packet; the port then schedules a
 wake-up at ``scheduler.earliest_release``.
@@ -47,6 +52,25 @@ __all__ = ["Port", "PreemptivePort"]
 class Port:
     """Non-preemptive output port (the default service model)."""
 
+    __slots__ = (
+        "node",
+        "link",
+        "scheduler",
+        "buffer_bytes",
+        "buffered",
+        "busy",
+        "aqm",
+        "_queued",
+        "_wakeup",
+        "_decision_pending",
+        "_dst_node",
+        "_receive",
+        "_engine",
+        "_tracer",
+        "_tx_per_byte",
+        "_prop",
+    )
+
     def __init__(
         self,
         node: "Node",
@@ -65,21 +89,37 @@ class Port:
         self.buffered = 0
         self.busy = False
         self.aqm = None  # optional RedAqm (see repro.sim.aqm)
+        # Queue depth mirrored here: the port mediates every scheduler
+        # mutation, and an int attribute beats two Python calls per len().
+        self._queued = 0
         self._wakeup = None
         self._decision_pending = False
         self._dst_node: "Node | None" = None  # resolved lazily from the network
+        self._receive = None  # the peer's bound ``receive``, cached with it
+        self._engine = node.network.engine
+        self._tracer = node.network.tracer
+        self._tx_per_byte = link.tx_per_byte
+        self._prop = link.propagation
         scheduler.attach(self)
 
     # --- wiring -----------------------------------------------------------
 
     @property
     def engine(self):
-        return self.node.network.engine
+        return self._engine
 
     def _peer(self) -> "Node":
         if self._dst_node is None:
             self._dst_node = self.node.network.nodes[self.link.dst]
+            self._receive = self._dst_node.receive
         return self._dst_node
+
+    def _peer_receive(self):
+        receive = self._receive
+        if receive is None:
+            self._peer()
+            receive = self._receive
+        return receive
 
     def set_scheduler(self, scheduler: "Scheduler") -> None:
         """Swap the scheduling discipline.  Only legal on an empty, idle port."""
@@ -103,13 +143,14 @@ class Port:
 
     def enqueue(self, packet: "Packet") -> None:
         """Admit a fully received packet; apply the drop policy if full."""
-        now = self.engine.now
-        tracer = self.node.network.tracer
+        now = self._engine.now
+        tracer = self._tracer
+        scheduler = self.scheduler
         if (
             not self.busy
-            and len(self.scheduler) == 0
-            and self.link.propagation == 0.0
-            and self.link.tx_time(packet.size) == 0.0
+            and self._queued == 0
+            and self._prop == 0.0
+            and packet.size * self._tx_per_byte == 0.0
         ):
             # Infinitely fast idle hop: never a contention point; deliver
             # synchronously so the packet is visible at its next real
@@ -117,31 +158,35 @@ class Port:
             # convention — see Engine.defer).
             packet.enqueue_time = now
             tracer.on_tx_start(packet, 0.0, now)
-            self._peer().receive(packet)
+            self._peer_receive()(packet)
             return
         if self.aqm is not None and self.aqm.should_drop(packet, self.buffered, now):
             if getattr(self.aqm, "slack_aware", False):
                 # Early-drop the scheduler's victim (highest remaining
                 # slack under LSTF) instead of the arrival.
-                victim = self.scheduler.drop_victim(packet, now)
+                victim = scheduler.drop_victim(packet, now)
                 tracer.on_drop(victim, self.node.name)
                 if victim is packet:
                     return
                 self.buffered -= victim.size
+                self._queued -= 1
             else:
                 tracer.on_drop(packet, self.node.name)
                 return
         while self.buffered + packet.size > self.buffer_bytes:
-            victim = self.scheduler.drop_victim(packet, now)
+            victim = scheduler.drop_victim(packet, now)
             tracer.on_drop(victim, self.node.name)
             if victim is packet:
                 return
             self.buffered -= victim.size
+            self._queued -= 1
         packet.enqueue_time = now
-        self.scheduler.push(packet, now)
+        scheduler.push(packet, now)
         self.buffered += packet.size
-        if not self.busy:
-            self._request_decision()
+        self._queued += 1
+        if not self.busy and not self._decision_pending:
+            self._decision_pending = True
+            self._engine.defer(self._decide)
 
     def _request_decision(self) -> None:
         """Defer the next service decision to the end of this timestamp.
@@ -153,55 +198,60 @@ class Port:
         if self._decision_pending:
             return
         self._decision_pending = True
-        self.engine.defer(self._decide)
+        self._engine.defer(self._decide)
 
     def _decide(self) -> None:
         self._decision_pending = False
         self._try_send()
 
     def _try_send(self) -> None:
-        while not self.busy and len(self.scheduler):
-            now = self.engine.now
-            packet = self.scheduler.pop(now)
+        engine = self._engine
+        scheduler = self.scheduler
+        tracer = self._tracer
+        while not self.busy and self._queued:
+            now = engine.now
+            packet = scheduler.pop(now)
             if packet is None:
                 self._arm_wakeup(now)
                 return
+            self._queued -= 1
             self.buffered -= packet.size
             wait = now - packet.enqueue_time
+            aqm = self.aqm
             if (
-                self.aqm is not None
-                and getattr(self.aqm, "dequeue_side", False)
-                and self.aqm.on_dequeue(packet, wait, now)
+                aqm is not None
+                and getattr(aqm, "dequeue_side", False)
+                and aqm.on_dequeue(packet, wait, now)
             ):
                 # Dequeue-side AQM (CoDel): head drop, try the next packet.
-                self.node.network.tracer.on_drop(packet, self.node.name)
+                tracer.on_drop(packet, self.node.name)
                 continue
             packet.queue_wait += wait
-            self.node.network.tracer.on_tx_start(packet, wait, now)
-            tx = self.link.tx_time(packet.size)
-            if tx == 0.0 and self.link.propagation == 0.0:
+            tracer.on_tx_start(packet, wait, now)
+            tx = packet.size * self._tx_per_byte
+            if tx == 0.0 and self._prop == 0.0:
                 # Infinitely fast hop: deliver synchronously.  Routing
                 # same-instant traversals through the event heap would let
                 # a packet arriving at time t lose a tie against a
                 # transmit-completion at t purely by event-creation order;
                 # the theory gadgets (and common sense) require arrivals at
                 # t to be visible to scheduling decisions at t.
-                self._peer().receive(packet)
+                self._peer_receive()(packet)
                 continue
             self.busy = True
-            self.engine.schedule(tx, self._tx_done, packet)
+            engine.schedule(tx, self._tx_done, packet)
             return
 
     def _tx_done(self, packet: "Packet") -> None:
         self.busy = False
-        if self.link.propagation == 0.0:
-            self._peer().receive(packet)
+        if self._prop == 0.0:
+            self._peer_receive()(packet)
         else:
-            self.engine.schedule(self.link.propagation, self._peer().receive, packet)
-        if len(self.scheduler):
+            self._engine.schedule(self._prop, self._peer_receive(), packet)
+        if self._queued:
             self._request_decision()
         elif self.aqm is not None:
-            self.aqm.on_idle(self.engine.now)
+            self.aqm.on_idle(self._engine.now)
 
     # --- non-work-conserving support --------------------------------------
 
@@ -217,7 +267,9 @@ class Port:
             if self._wakeup.time <= release + TIME_EPSILON:
                 return
             self._wakeup.cancel()
-        self._wakeup = self.engine.schedule_at(max(release, now), self._on_wakeup)
+        self._wakeup = self._engine.schedule_cancellable_at(
+            max(release, now), self._on_wakeup
+        )
 
     def _on_wakeup(self) -> None:
         self._wakeup = None
@@ -250,6 +302,9 @@ class PreemptivePort(Port):
     by the replay/theory machinery, which runs dropless.
     """
 
+    __slots__ = ("_heap", "_seq", "_state", "_current", "_current_key",
+                 "_serve_start", "_done_handle")
+
     def __init__(self, node, link, scheduler, buffer_bytes: float = math.inf) -> None:
         if not math.isinf(buffer_bytes):
             raise ConfigurationError("PreemptivePort does not support finite buffers")
@@ -265,13 +320,14 @@ class PreemptivePort(Port):
     # --- data path ------------------------------------------------------------
 
     def enqueue(self, packet: "Packet") -> None:
-        now = self.engine.now
-        if self.link.tx_time(packet.size) == 0.0 and self.link.propagation == 0.0:
+        now = self._engine.now
+        tx = packet.size * self._tx_per_byte
+        if tx == 0.0 and self._prop == 0.0:
             # Infinitely fast hop: never a contention point; deliver
             # synchronously (same rationale as Port._try_send).
             packet.enqueue_time = now
-            self.node.network.tracer.on_tx_start(packet, 0.0, now)
-            self._peer().receive(packet)
+            self._tracer.on_tx_start(packet, 0.0, now)
+            self._peer_receive()(packet)
             return
         packet.enqueue_time = now  # must precede the key: LSTF keys use it
         key = self.scheduler.preemption_key(packet)
@@ -281,12 +337,12 @@ class PreemptivePort(Port):
             )
         self._seq += 1
         heapq.heappush(self._heap, (key, self._seq, packet))
-        self._state[packet.pid] = _PreemptedState(self.link.tx_time(packet.size))
+        self._state[packet.pid] = _PreemptedState(tx)
         self._request_decision()
 
     def _decide(self) -> None:
         self._decision_pending = False
-        self._consider(self.engine.now)
+        self._consider(self._engine.now)
 
     def _consider(self, now: float) -> None:
         if self._current is None:
@@ -314,15 +370,17 @@ class PreemptivePort(Port):
         if state.first_service is None:
             state.first_service = now
             wait = now - packet.enqueue_time
-            self.node.network.tracer.on_tx_start(packet, wait, now)
+            self._tracer.on_tx_start(packet, wait, now)
         self._current = packet
         self._current_key = key
         self._serve_start = now
         self.busy = True
-        self._done_handle = self.engine.schedule(state.remaining_tx, self._finish, packet)
+        self._done_handle = self._engine.schedule_cancellable(
+            state.remaining_tx, self._finish, packet
+        )
 
     def _finish(self, packet: "Packet") -> None:
-        now = self.engine.now
+        now = self._engine.now
         self._current = None
         self._current_key = math.inf
         self.busy = False
@@ -330,13 +388,13 @@ class PreemptivePort(Port):
         # Header/accounting update: everything between arrival and last-bit
         # departure except the serialisation time itself was "waiting"
         # (Appendix D: slack drains whenever the last bit is not on the wire).
-        total_wait = (now - packet.enqueue_time) - self.link.tx_time(packet.size)
+        total_wait = (now - packet.enqueue_time) - packet.size * self._tx_per_byte
         packet.queue_wait += total_wait
         self._apply_dynamic_state(packet, total_wait)
-        if self.link.propagation == 0.0:
-            self._peer().receive(packet)
+        if self._prop == 0.0:
+            self._peer_receive()(packet)
         else:
-            self.engine.schedule(self.link.propagation, self._peer().receive, packet)
+            self._engine.schedule(self._prop, self._peer_receive(), packet)
         if self._heap:
             self._request_decision()
 

@@ -104,32 +104,32 @@ class Tracer:
         rec = PacketRecord(packet)
         rec.path.append(node)
         self.records[packet.pid] = rec
+        # Cache the record on the packet: the per-hop hooks below run once
+        # per packet per hop and skip the records-dict lookup this way.
+        packet.trace = rec
 
     def on_hop(self, packet: "Packet", node: str) -> None:
         """Packet fully received (last bit) at an intermediate node."""
-        if not self.enabled:
-            return
-        self.records[packet.pid].path.append(node)
+        if self.enabled:
+            packet.trace.path.append(node)
 
     def on_tx_start(self, packet: "Packet", wait: float, now: float) -> None:
         """Packet selected for transmission after ``wait`` seconds in queue."""
-        if not self.enabled:
-            return
-        rec = self.records[packet.pid]
-        rec.hop_tx.append(now)
-        rec.hop_waits.append(wait)
+        if self.enabled:
+            rec = packet.trace
+            rec.hop_tx.append(now)
+            rec.hop_waits.append(wait)
 
     def on_exit(self, packet: "Packet", now: float) -> None:
         """Last bit of the packet delivered at its destination."""
-        if not self.enabled:
-            return
-        self.records[packet.pid].exit = now
+        if self.enabled:
+            packet.trace.exit = now
 
     def on_drop(self, packet: "Packet", node: str) -> None:
         self.drops += 1
         if not self.enabled:
             return
-        rec = self.records.get(packet.pid)
+        rec = packet.trace
         if rec is not None:
             rec.dropped_at = node
 

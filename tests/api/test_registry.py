@@ -13,7 +13,10 @@ from repro.api import ExperimentSpec, REGISTRY, get, run
 from repro.api.registry import ExperimentRegistry
 from repro.errors import ConfigurationError
 
-EXPECTED = {"table1", "fig1", "fig2", "fig3", "fig4", "gadgets", "info", "weighted"}
+EXPECTED = {
+    "table1", "fig1", "fig2", "fig3", "fig4", "gadgets", "info", "weighted",
+    "bench",  # substrate micro-benchmarks (PR 2), not a paper artefact
+}
 
 # Per-experiment overrides that keep each run to a fraction of a second
 # while still exercising the full driver path.
@@ -29,6 +32,11 @@ TINY = {
     "weighted": dict(schedulers=("lstf",), options={"horizon": 0.4}),
     "info": dict(duration=0.04, options={"steps_in_t": (0.0, 4.0)}),
     "gadgets": dict(),
+    "bench": dict(
+        duration=0.005,
+        schedulers=("fifo", "lstf"),
+        options={"events": 500, "packets": 200, "repeats": 1},
+    ),
 }
 
 

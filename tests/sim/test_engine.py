@@ -47,12 +47,42 @@ def test_cannot_schedule_in_the_past():
 def test_cancelled_events_do_not_fire():
     engine = Engine()
     fired = []
-    handle = engine.schedule(1.0, fired.append, "x")
+    handle = engine.schedule_cancellable(1.0, fired.append, "x")
     handle.cancel()
     assert handle.cancelled
     engine.run()
     assert fired == []
+    assert engine.events_processed == 0  # cancelled events don't count
     handle.cancel()  # idempotent
+
+
+def test_fast_path_schedule_returns_no_handle():
+    """The hot path allocates no EventHandle and returns nothing."""
+    engine = Engine()
+    assert engine.schedule(1.0, lambda: None) is None
+    assert engine.schedule_at(2.0, lambda: None) is None
+    engine.run()
+    assert engine.events_processed == 2
+
+
+def test_cancellable_and_fast_events_share_the_clock():
+    engine = Engine()
+    order = []
+    engine.schedule(1.0, order.append, "fast")
+    engine.schedule_cancellable(1.0, order.append, "cancellable")
+    engine.schedule(1.0, order.append, "fast2")
+    engine.run()
+    assert order == ["fast", "cancellable", "fast2"]
+
+
+def test_event_can_cancel_a_later_event_mid_run():
+    engine = Engine()
+    fired = []
+    victim = engine.schedule_cancellable(2.0, fired.append, "victim")
+    engine.schedule(1.0, victim.cancel)
+    engine.run()
+    assert fired == []
+    assert engine.events_processed == 1
 
 
 def test_run_until_stops_clock_at_bound():
@@ -151,3 +181,116 @@ class TestDeferredPhase:
         engine.schedule(1.0, lambda: engine.defer(lambda: seen.append("done")))
         engine.run()
         assert seen == ["done"]
+
+
+class TestRunUntilHorizon:
+    """Deferred decisions queued at exactly ``until`` must flush before the
+    clock is pinned — a scheduling decision at the horizon is still part of
+    the horizon's instant (the simultaneity convention)."""
+
+    def test_deferred_at_exactly_until_flushes_before_pinning(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_at(1.0, lambda: engine.defer(lambda: seen.append(engine.now)))
+        engine.schedule_at(2.5, seen.append, "beyond-horizon")
+        engine.run(until=1.0)
+        assert seen == [1.0]
+        assert engine.now == 1.0
+        assert engine.pending_deferred == 0
+        assert engine.pending_events == 1  # the 2.5 s event stays queued
+
+    def test_decision_at_until_can_schedule_work_at_until(self):
+        """Port-style: a decision deferred at the horizon starts a
+        zero-delay transmission that must also complete at the horizon."""
+        engine = Engine()
+        order = []
+
+        def decide():
+            order.append(("decide", engine.now))
+            engine.schedule(0.0, lambda: order.append(("tx-done", engine.now)))
+
+        engine.schedule_at(1.0, lambda: engine.defer(decide))
+        engine.schedule_at(9.0, order.append, "never")
+        engine.run(until=1.0)
+        assert order == [("decide", 1.0), ("tx-done", 1.0)]
+        assert engine.now == 1.0
+
+    def test_clock_pins_to_until_when_nothing_is_pending(self):
+        engine = Engine()
+        engine.run(until=4.25)
+        assert engine.now == 4.25
+
+    def test_deferred_before_horizon_runs_at_its_own_instant(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_at(0.5, lambda: engine.defer(lambda: seen.append(engine.now)))
+        engine.schedule_at(7.0, seen.append, "late")
+        engine.run(until=2.0)
+        assert seen == [0.5]
+        assert engine.now == 2.0
+
+    def test_horizon_break_preserves_event_order_across_runs(self):
+        engine = Engine()
+        order = []
+        for t in (0.5, 1.0, 1.0, 3.0):
+            engine.schedule_at(t, order.append, t)
+        engine.run(until=1.0)
+        assert order == [0.5, 1.0, 1.0]
+        engine.run()
+        assert order == [0.5, 1.0, 1.0, 3.0]
+
+
+class TestCancelDeterminism:
+    """Property-style: interleaved schedule/cancel streams fire identically
+    across repeated runs — the record/replay byte-identity contract."""
+
+    @staticmethod
+    def _run_once(seed: int):
+        import random
+
+        rng = random.Random(seed)
+        engine = Engine()
+        fired = []
+        handles = []
+        for i in range(400):
+            delay = rng.random() * 10.0
+            if rng.random() < 0.5:
+                handles.append(
+                    engine.schedule_cancellable(delay, fired.append, ("c", i))
+                )
+            else:
+                engine.schedule(delay, fired.append, ("f", i))
+            if handles and rng.random() < 0.3:
+                handles.pop(rng.randrange(len(handles))).cancel()
+        engine.run()
+        return fired, engine.events_processed
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_interleaved_cancels_fire_identically(self, seed):
+        first = self._run_once(seed)
+        second = self._run_once(seed)
+        assert first == second
+        fired, processed = first
+        assert processed == len(fired)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_mid_run_cancellations_are_deterministic(self, seed):
+        import random
+
+        def run_once():
+            rng = random.Random(seed)
+            engine = Engine()
+            fired = []
+            handles = []
+            for i in range(200):
+                t = rng.random() * 5.0
+                handles.append(engine.schedule_cancellable(t, fired.append, i))
+            # events that cancel other events mid-run
+            for _ in range(60):
+                t = rng.random() * 5.0
+                victim = handles[rng.randrange(len(handles))]
+                engine.schedule(t, victim.cancel)
+            engine.run()
+            return fired
+
+        assert run_once() == run_once()

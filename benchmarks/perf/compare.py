@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Diff two BENCH-schema JSON files with a regression threshold.
+
+Matches bench entries by ``name@scale`` between one run of each file
+(the last run by default, or pick by ``--run-before`` / ``--run-after``
+label substring), prints a before/after/ratio table, and exits non-zero
+when any matched ratio falls below the threshold — the bisectable
+"this PR slowed the substrate down" signal.
+
+Examples::
+
+    PYTHONPATH=src python benchmarks/perf/compare.py BENCH_pr2.json BENCH_pr3.json
+    PYTHONPATH=src python benchmarks/perf/compare.py BENCH_pr3.json now.json \
+        --threshold 0.85 --only sweep-
+    PYTHONPATH=src python benchmarks/perf/compare.py BENCH_pr3.json BENCH_pr3.json \
+        --run-before pr2 --run-after pr3     # the trajectory inside one file
+
+Timings on shared CI runners are noise; run this on a quiet machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_THRESHOLD = 0.90
+
+
+def load_run(path: Path, label_substring: str | None) -> dict:
+    """The chosen run object of a BENCH document (last run by default)."""
+    data = json.loads(path.read_text())
+    runs = data.get("runs") or []
+    if not runs:
+        raise SystemExit(f"error: {path} has no runs")
+    if label_substring is None:
+        return runs[-1]
+    matches = [r for r in runs if label_substring in r.get("label", "")]
+    if not matches:
+        labels = [r.get("label") for r in runs]
+        raise SystemExit(
+            f"error: no run label in {path} contains {label_substring!r}; "
+            f"available: {labels}"
+        )
+    return matches[-1]
+
+
+def keyed(run: dict) -> dict[str, dict]:
+    return {f"{b['name']}@{b['scale']}": b for b in run.get("benches", [])}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("before", type=Path, help="baseline BENCH_*.json")
+    parser.add_argument("after", type=Path, help="candidate BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="fail when after/before ops_per_sec drops below "
+                             f"this ratio on any matched bench (default "
+                             f"{DEFAULT_THRESHOLD})")
+    parser.add_argument("--only", default=None, metavar="PREFIX",
+                        help="compare only benches whose name@scale starts "
+                             "with PREFIX (e.g. 'sched-', 'sweep-')")
+    parser.add_argument("--run-before", default=None, metavar="LABEL",
+                        help="pick the baseline run by label substring "
+                             "(default: the file's last run)")
+    parser.add_argument("--run-after", default=None, metavar="LABEL",
+                        help="pick the candidate run by label substring "
+                             "(default: the file's last run)")
+    args = parser.parse_args(argv)
+
+    before = load_run(args.before, args.run_before)
+    after = load_run(args.after, args.run_after)
+    base, cand = keyed(before), keyed(after)
+    common = [k for k in cand if k in base]
+    if args.only:
+        common = [k for k in common if k.startswith(args.only)]
+    if not common:
+        raise SystemExit("error: the two runs share no bench keys to compare")
+
+    print(f"before: {args.before} run {before.get('label')!r}")
+    print(f"after:  {args.after} run {after.get('label')!r}")
+    print(f"{'bench':>28s} {'before':>14s} {'after':>14s} {'ratio':>7s}")
+    regressions = []
+    for key in sorted(common):
+        b, a = base[key]["ops_per_sec"], cand[key]["ops_per_sec"]
+        ratio = a / b if b > 0 else float("inf")
+        flag = ""
+        if ratio < args.threshold:
+            regressions.append((key, ratio))
+            flag = f"  << regression (< {args.threshold:.2f})"
+        print(f"{key:>28s} {b:>14,.0f} {a:>14,.0f} {ratio:>6.2f}x{flag}")
+    unmatched = sorted(set(base) ^ set(cand))
+    if unmatched:
+        print(f"(unmatched, not compared: {', '.join(unmatched)})")
+
+    if regressions:
+        worst = min(regressions, key=lambda kv: kv[1])
+        print(
+            f"\nFAIL: {len(regressions)} bench(es) below x{args.threshold:.2f}"
+            f" — worst {worst[0]} at x{worst[1]:.2f}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: {len(common)} bench(es) all at or above x{args.threshold:.2f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -29,8 +29,10 @@ from repro.experiments.perf import (
     BENCH_SCHEMA_VERSION,
     DEFAULT_SCHEDULERS,
     ENGINE_BENCHES,
+    SWEEP_EXECUTORS,
     bench_e2e_fig2_style,
     bench_scheduler_ops,
+    bench_sweep_executor,
 )
 
 SCHEMA_VERSION = BENCH_SCHEMA_VERSION
@@ -47,7 +49,9 @@ def bench_entry(name: str, scale: int, ops: int, seconds: float) -> dict:
 
 
 def run_suite(events: int, packet_scales: list[int], schedulers: list[str],
-              duration: float, repeats: int, verbose: bool = True) -> list[dict]:
+              duration: float, repeats: int, sweep_seeds: int = 4,
+              sweep_workers: int = 2, sweep_duration: float = 0.04,
+              verbose: bool = True) -> list[dict]:
     benches: list[dict] = []
 
     def note(entry: dict) -> None:
@@ -68,6 +72,14 @@ def run_suite(events: int, packet_scales: list[int], schedulers: list[str],
             note(bench_entry(f"sched-{scheduler}", packets, ops, seconds))
     ops, seconds = bench_e2e_fig2_style(duration, repeats=repeats)
     note(bench_entry("e2e-fig2", int(round(duration * 1e3)), ops, seconds))
+    # Executor overhead: one tiny seed sweep per run_many mode; the
+    # sweep-queue / sweep-process gap prices the durable queue's broker.
+    for executor in SWEEP_EXECUTORS:
+        ops, seconds = bench_sweep_executor(
+            executor, seeds=sweep_seeds, workers=sweep_workers,
+            duration=sweep_duration, repeats=repeats,
+        )
+        note(bench_entry(f"sweep-{executor}", sweep_seeds, ops, seconds))
     return benches
 
 
@@ -96,6 +108,12 @@ def main(argv=None) -> int:
     parser.add_argument("--duration", type=float, default=0.12,
                         help="e2e fig2-style simulated seconds")
     parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    parser.add_argument("--sweep-seeds", type=int, default=4,
+                        help="seeds per executor-overhead sweep")
+    parser.add_argument("--sweep-workers", type=int, default=2,
+                        help="worker processes for the process/queue sweeps")
+    parser.add_argument("--sweep-duration", type=float, default=0.04,
+                        help="simulated seconds per sweep job")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny preset for CI schema checks")
     parser.add_argument("--label", default="local")
@@ -109,10 +127,14 @@ def main(argv=None) -> int:
         args.events, args.packets = 2_000, [500]
         args.duration, args.repeats = 0.005, 1
         args.schedulers = ["fifo", "lstf"]
+        args.sweep_seeds, args.sweep_duration = 2, 0.02
 
     print(f"running perf suite (repeats={args.repeats}) ...", file=sys.stderr)
     benches = run_suite(args.events, args.packets, args.schedulers,
-                        args.duration, args.repeats)
+                        args.duration, args.repeats,
+                        sweep_seeds=args.sweep_seeds,
+                        sweep_workers=args.sweep_workers,
+                        sweep_duration=args.sweep_duration)
     document = {
         "schema_version": SCHEMA_VERSION,
         "config": {
@@ -121,6 +143,9 @@ def main(argv=None) -> int:
             "schedulers": args.schedulers,
             "duration": args.duration,
             "repeats": args.repeats,
+            "sweep_seeds": args.sweep_seeds,
+            "sweep_workers": args.sweep_workers,
+            "sweep_duration": args.sweep_duration,
             "python": platform.python_version(),
             "platform": platform.platform(),
         },

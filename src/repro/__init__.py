@@ -15,7 +15,12 @@ rebuilds their entire evaluation stack in pure Python:
   for every table and figure (:mod:`repro.experiments`),
 * a unified experiment API (:mod:`repro.api`): declarative specs, a
   registry of every paper artefact, a serial/parallel runner, and
-  structured JSON artifacts.
+  structured JSON artifacts,
+* queue-backed distributed execution (:mod:`repro.cluster`): a durable
+  SQLite job queue with crash-safe leases, worker daemons
+  (``repro worker``), and ``run_many(..., executor="queue")`` /
+  ``submit``/``status``/``gather`` for sharding sweeps across local
+  processes — byte-identical to serial runs.
 
 Quick taste (see ``examples/quickstart.py`` for the narrated version)::
 

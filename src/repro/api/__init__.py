@@ -34,10 +34,11 @@ from repro.api.registry import (
     register_experiment,
 )
 from repro.api.results import RunArtifact, load_artifact, spec_run_id
-from repro.api.runner import cached_artifact, run, run_many
+from repro.api.runner import EXECUTORS, cached_artifact, run, run_many
 from repro.api.spec import ExperimentSpec
 
 __all__ = [
+    "EXECUTORS",
     "ExperimentRegistry",
     "ExperimentSpec",
     "REGISTRY",

@@ -15,11 +15,13 @@ already holds the spec's run-id the saved artifact *is* the answer.
 ``force=True``; fresh results are saved back into the cache.
 
 :func:`run_many` maps :func:`run` over a list of specs — a seed or
-scheduler sweep built with :meth:`ExperimentSpec.sweep` — either in this
-process or via a ``multiprocessing`` pool.  Worker processes are safe
-because the simulator is deterministic and single-threaded per run and
-specs/artifacts are plain picklable data; parallel results are required
-to be byte-identical to serial ones (guarded by the test suite).
+scheduler sweep built with :meth:`ExperimentSpec.sweep` — in this
+process, via a ``multiprocessing`` pool, or through the durable job
+queue of :mod:`repro.cluster` (``executor="queue"``).  Worker processes
+are safe because the simulator is deterministic and single-threaded per
+run and specs/artifacts are plain picklable data; parallel and
+distributed results are required to be byte-identical to serial ones
+(guarded by the test suite).
 """
 
 from __future__ import annotations
@@ -37,7 +39,7 @@ from repro.core.packet import reset_packet_ids
 from repro.errors import ConfigurationError
 from repro.sim.engine import ENGINE_PERF
 
-__all__ = ["cached_artifact", "run", "run_many"]
+__all__ = ["EXECUTORS", "cached_artifact", "run", "run_many"]
 
 
 def cached_artifact(spec: ExperimentSpec, out_dir: str | Path) -> RunArtifact | None:
@@ -113,25 +115,118 @@ def run(
     return artifact
 
 
+#: The execution modes :func:`run_many` understands.
+EXECUTORS = ("serial", "process", "queue")
+
+
 def run_many(
     specs: Iterable[ExperimentSpec],
     workers: int = 1,
     out_dir: str | Path | None = None,
     force: bool = False,
+    executor: str | None = None,
+    queue_dir: str | Path | None = None,
 ) -> list[RunArtifact]:
-    """Execute several specs; ``workers > 1`` fans out across processes.
+    """Execute several specs under one of three executors.
 
-    Results come back in input order regardless of worker scheduling.
-    ``out_dir``/``force`` behave as in :func:`run` — with a warm cache a
-    sweep only simulates the specs it has never seen.
+    * ``"serial"`` — this process, one spec at a time;
+    * ``"process"`` — a local ``multiprocessing`` pool of ``workers``;
+    * ``"queue"`` — the durable job queue at ``queue_dir``
+      (:mod:`repro.cluster`): specs are enqueued, ``workers`` local
+      drain-worker processes are spawned, and the call blocks until the
+      sweep's artifacts can be gathered.  External ``repro worker``
+      daemons already pointed at the same queue pitch in too.
+
+    ``executor=None`` infers the mode: ``"queue"`` when ``queue_dir`` is
+    given, else ``"serial"``/``"process"`` from ``workers`` (the
+    pre-cluster behaviour, unchanged).
+
+    Whatever the executor, results come back in input order and are
+    byte-identical (``canonical_json``) across modes — the determinism
+    contract the test suite guards.  ``out_dir``/``force`` behave as in
+    :func:`run`; with a warm cache a sweep only simulates the specs it
+    has never seen.
     """
     spec_list: Sequence[ExperimentSpec] = list(specs)
-    if workers < 1:
-        raise ConfigurationError(f"workers must be >= 1, got {workers!r}")
-    if workers == 1 or len(spec_list) <= 1:
+    if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+        raise ConfigurationError(
+            f"workers must be an integer >= 1, got {workers!r}"
+        )
+    if executor is None:
+        executor = (
+            "queue" if queue_dir is not None
+            else ("serial" if workers == 1 else "process")
+        )
+    if executor not in EXECUTORS:
+        raise ConfigurationError(
+            f"unknown executor {executor!r}; one of {EXECUTORS}"
+        )
+    if executor == "queue":
+        if queue_dir is None:
+            raise ConfigurationError(
+                "executor='queue' needs queue_dir= (the queue directory "
+                "workers share)"
+            )
+        return _run_many_queue(spec_list, workers, queue_dir, out_dir, force)
+    if queue_dir is not None:
+        raise ConfigurationError(
+            f"queue_dir= only applies to executor='queue', not {executor!r}"
+        )
+    if executor == "serial" or workers == 1 or len(spec_list) <= 1:
         return [run(spec, out_dir=out_dir, force=force) for spec in spec_list]
     worker = functools.partial(run, out_dir=out_dir, force=force)
     with multiprocessing.get_context().Pool(
         processes=min(workers, len(spec_list))
     ) as pool:
         return pool.map(worker, spec_list)
+
+
+def _run_many_queue(
+    spec_list: Sequence[ExperimentSpec],
+    workers: int,
+    queue_dir: str | Path,
+    out_dir: str | Path | None,
+    force: bool,
+) -> list[RunArtifact]:
+    """Queue-executor backend: submit, spawn drain workers, gather.
+
+    Imports :mod:`repro.cluster` lazily — the cluster package is built on
+    top of this module, so a top-level import would be circular.
+    """
+    from repro.cluster.client import gather, submit
+    from repro.cluster.worker import drain_queue
+
+    # out_dir keeps its run()/run_many() cache contract: specs already
+    # answered there never reach the queue at all.
+    results: dict[int, RunArtifact] = {}
+    if out_dir is not None and not force:
+        for index, spec in enumerate(spec_list):
+            cached = cached_artifact(spec, out_dir)
+            if cached is not None:
+                results[index] = cached
+    misses = [i for i in range(len(spec_list)) if i not in results]
+    if misses:
+        job_ids = submit([spec_list[i] for i in misses], queue_dir, force=force)
+        context = multiprocessing.get_context()
+        procs = [
+            context.Process(target=drain_queue, args=(str(queue_dir),))
+            for _ in range(min(workers, len(misses)))
+        ]
+        for proc in procs:
+            proc.start()
+        try:
+            gathered = gather(queue_dir, job_ids)
+        finally:
+            for proc in procs:
+                proc.join(timeout=60.0)
+            for proc in procs:
+                if proc.is_alive():  # a wedged drain; don't hang the caller
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+        results.update(zip(misses, gathered))
+        if out_dir is not None:
+            queue_store = (Path(queue_dir) / "artifacts").resolve()
+            if Path(out_dir).resolve() != queue_store:
+                for index in misses:
+                    results[index].save(out_dir)
+    return [results[i] for i in range(len(spec_list))]

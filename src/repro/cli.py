@@ -11,6 +11,15 @@ here with no CLI changes.  Examples::
     python -m repro fig2                     # FCT comparison
     python -m repro gadgets                  # Figures 5/6/7 theorems
 
+Distributed sweeps ride the same registry through the job queue of
+:mod:`repro.cluster`::
+
+    python -m repro submit fig3 --seeds 1 2 3 4 --queue runs/q   # enqueue
+    python -m repro worker --queue runs/q &                      # N daemons
+    python -m repro status --queue runs/q                        # watch
+    python -m repro submit fig3 --seeds 1 2 3 4 --queue runs/q --wait
+    python -m repro run fig3 --seeds 1 2 3 4 --executor queue --queue runs/q
+
 Flags are honored exactly as given — a spec never lies about the run it
 describes.  (One deliberate divergence from the pre-registry CLI: fig2
 and fig3 used to clamp ``--duration`` up to 0.2 s silently; now the
@@ -42,7 +51,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.tables import Table
-from repro.api import REGISTRY, ExperimentSpec, run, run_many
+from repro.api import EXECUTORS, REGISTRY, ExperimentSpec, run_many, spec_run_id
 from repro.errors import ConfigurationError, ReproError
 
 __all__ = ["main", "build_parser"]
@@ -61,7 +70,8 @@ _FLAG_TO_PARAM = {
 }
 
 
-def _add_experiment_args(parser: argparse.ArgumentParser, with_rows: bool) -> None:
+def _add_spec_args(parser: argparse.ArgumentParser, with_rows: bool) -> None:
+    """Flags that shape the :class:`ExperimentSpec` itself."""
     parser.add_argument("--duration", type=float, default=None,
                         help="workload duration in simulated seconds "
                              "(default 0.2)")
@@ -77,8 +87,14 @@ def _add_experiment_args(parser: argparse.ArgumentParser, with_rows: bool) -> No
     parser.add_argument("--slack", default=None, metavar="POLICY",
                         help="LSTF slack policy override, e.g. 'constant:0.5', "
                              "'flow-size:2', 'virtual-clock:1e6'")
-    parser.add_argument("--workers", type=int, default=1,
-                        help="worker processes for seed sweeps (default: serial)")
+    if with_rows:
+        parser.add_argument("--rows", type=int, nargs="*", default=None,
+                            help="row indices (0-based) to run, table1 only; "
+                                 "default all 14")
+
+
+def _add_output_args(parser: argparse.ArgumentParser) -> None:
+    """Flags that shape how gathered artifacts are rendered."""
     fmt = parser.add_mutually_exclusive_group()
     fmt.add_argument("--json", action="store_true", dest="as_json",
                      help="print the structured RunArtifact as JSON "
@@ -86,6 +102,20 @@ def _add_experiment_args(parser: argparse.ArgumentParser, with_rows: bool) -> No
     fmt.add_argument("--csv", action="store_true", dest="as_csv",
                      help="print the result table as CSV (tables "
                           "concatenated when sweeping seeds)")
+
+
+def _add_experiment_args(parser: argparse.ArgumentParser, with_rows: bool) -> None:
+    _add_spec_args(parser, with_rows)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for seed sweeps (default: serial)")
+    parser.add_argument("--executor", default=None, choices=EXECUTORS,
+                        help="execution mode (default: serial, or process "
+                             "when --workers > 1; queue needs --queue)")
+    parser.add_argument("--queue", default=None, metavar="DIR",
+                        help="job-queue directory for --executor queue "
+                             "(implies it); local drain workers are spawned "
+                             "and external `repro worker` daemons join in")
+    _add_output_args(parser)
     parser.add_argument("--out", default=None, metavar="DIR",
                         help="persist each artifact under DIR; DIR doubles "
                              "as a content-addressed cache — a spec already "
@@ -93,10 +123,6 @@ def _add_experiment_args(parser: argparse.ArgumentParser, with_rows: bool) -> No
     parser.add_argument("--force", action="store_true",
                         help="with --out: re-simulate even when DIR already "
                              "holds this spec's artifact")
-    if with_rows:
-        parser.add_argument("--rows", type=int, nargs="*", default=None,
-                            help="row indices (0-based) to run, table1 only; "
-                                 "default all 14")
 
 
 def spec_from_args(experiment: str, args: argparse.Namespace) -> ExperimentSpec:
@@ -129,28 +155,8 @@ def _reject_unused_flags(entry, args: argparse.Namespace) -> None:
             )
 
 
-def _cmd_experiment(args: argparse.Namespace) -> int:
-    experiment = getattr(args, "experiment", None) or args.command
-    try:
-        # Registry lookup up front so an unknown `run NAME` fails before
-        # any simulation work, with the list of valid names.
-        entry = REGISTRY.get(experiment)
-        _reject_unused_flags(entry, args)
-        spec = spec_from_args(experiment, args)
-        if len(spec.seeds) > 1:
-            artifacts = run_many(spec.sweep(), workers=args.workers,
-                                 out_dir=args.out, force=args.force)
-        else:
-            artifacts = [run(spec, out_dir=args.out, force=args.force)]
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    if args.out:
-        out = Path(args.out)
-        for artifact in artifacts:
-            verb = "cached" if artifact.from_cache else "wrote"
-            print(f"{verb} {out / (artifact.run_id() + '.json')}",
-                  file=sys.stderr)
+def _emit_artifacts(args: argparse.Namespace, artifacts: list) -> None:
+    """Render gathered artifacts per the --json/--csv/ASCII choice."""
     if args.as_json:
         payloads = [a.to_dict() for a in artifacts]
         print(json.dumps(payloads[0] if len(payloads) == 1 else payloads,
@@ -161,6 +167,112 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     else:
         for artifact in artifacts:
             print(artifact.table().render())
+
+
+def _sweep_specs(spec: ExperimentSpec) -> list[ExperimentSpec]:
+    return spec.sweep() if len(spec.seeds) > 1 else [spec]
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    experiment = getattr(args, "experiment", None) or args.command
+    try:
+        # Validate the execution knobs before any simulation work: a raw
+        # multiprocessing traceback is not an error message.
+        if args.workers < 1:
+            raise ConfigurationError(
+                f"--workers must be >= 1, got {args.workers}"
+            )
+        if args.executor == "queue" and not args.queue:
+            raise ConfigurationError("--executor queue needs --queue DIR")
+        # Registry lookup up front so an unknown `run NAME` fails before
+        # any simulation work, with the list of valid names.
+        entry = REGISTRY.get(experiment)
+        _reject_unused_flags(entry, args)
+        spec = spec_from_args(experiment, args)
+        artifacts = run_many(
+            _sweep_specs(spec), workers=args.workers, out_dir=args.out,
+            force=args.force, executor=args.executor, queue_dir=args.queue,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        out = Path(args.out)
+        for artifact in artifacts:
+            verb = "cached" if artifact.from_cache else "wrote"
+            print(f"{verb} {out / (artifact.run_id() + '.json')}",
+                  file=sys.stderr)
+    _emit_artifacts(args, artifacts)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Enqueue a sweep onto a job queue (workers run it, now or later)."""
+    from repro.cluster import client
+
+    try:
+        entry = REGISTRY.get(args.experiment)
+        _reject_unused_flags(entry, args)
+        spec = spec_from_args(args.experiment, args)
+        specs = _sweep_specs(spec)
+        job_ids = client.submit(specs, args.queue, force=args.force,
+                                max_attempts=args.max_attempts)
+        for job_id, job_spec in zip(job_ids, specs):
+            print(f"queued job {job_id}: {job_spec.experiment} "
+                  f"seed={job_spec.seed} ({spec_run_id(job_spec)})",
+                  file=sys.stderr)
+        print(f"submitted {len(job_ids)} job(s) to {args.queue}; "
+              f"run `repro worker --queue {args.queue}` to execute them",
+              file=sys.stderr)
+        if args.wait:
+            artifacts = client.gather(args.queue, job_ids,
+                                      timeout=args.timeout)
+            _emit_artifacts(args, artifacts)
+        else:
+            print(json.dumps({"queue": str(args.queue), "jobs": job_ids}))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Run a worker daemon against a queue directory."""
+    from repro.cluster import JobQueue, Worker
+
+    try:
+        queue = JobQueue(args.queue)
+        worker = Worker(queue, worker_id=args.id, lease_s=args.lease,
+                        poll_s=args.poll)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    worker.install_signal_handlers()
+    print(f"worker {worker.worker_id} serving {queue.queue_dir} "
+          f"(lease {worker.lease_s:g}s, "
+          f"{'drain' if args.drain else 'daemon'} mode)", file=sys.stderr)
+    if args.drain:
+        count = worker.drain(max_jobs=args.max_jobs)
+    else:
+        count = worker.serve(max_jobs=args.max_jobs)
+    print(f"worker {worker.worker_id} exiting after {count} job(s)",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    """Snapshot a queue: per-state counts and one row per job."""
+    from repro.cluster import client
+
+    try:
+        snapshot = client.status(args.queue, job_ids=args.jobs)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(snapshot.to_dict(), indent=2))
+    else:
+        print(snapshot.render())
     return 0
 
 
@@ -186,6 +298,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("experiment", help="a name from `repro list`")
     _add_experiment_args(p, with_rows=True)
     p.set_defaults(fn=_cmd_experiment)
+
+    # -- the distributed trio: submit -> N x worker -> status/gather -------
+    p = sub.add_parser(
+        "submit",
+        help="enqueue an experiment sweep onto a job queue (repro.cluster)")
+    p.add_argument("experiment", help="a name from `repro list`")
+    p.add_argument("--queue", required=True, metavar="DIR",
+                   help="queue directory shared with the workers")
+    _add_spec_args(p, with_rows=True)
+    p.add_argument("--force", action="store_true",
+                   help="re-simulate even when the queue's artifact cache "
+                        "already holds a spec's result")
+    p.add_argument("--max-attempts", type=int, default=None, metavar="N",
+                   help="retry budget per job (default 3)")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the sweep completes and print the "
+                        "gathered artifacts (workers must be running)")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="with --wait: give up after S seconds")
+    _add_output_args(p)
+    p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser(
+        "worker",
+        help="run a worker daemon: claim -> simulate -> ack until stopped")
+    p.add_argument("--queue", required=True, metavar="DIR",
+                   help="queue directory shared with the submitters")
+    p.add_argument("--drain", action="store_true",
+                   help="exit once the queue is quiescent instead of "
+                        "polling forever")
+    p.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                   help="exit after N jobs (default: unlimited)")
+    p.add_argument("--lease", type=float, default=None, metavar="S",
+                   help="job lease seconds; a worker dead this long has "
+                        "its job reclaimed (default 30)")
+    p.add_argument("--poll", type=float, default=0.2, metavar="S",
+                   help="idle poll interval in seconds (default 0.2)")
+    p.add_argument("--id", default=None, metavar="NAME",
+                   help="worker identity (default host:pid)")
+    p.set_defaults(fn=_cmd_worker)
+
+    p = sub.add_parser(
+        "status", help="snapshot a job queue: counts plus one row per job")
+    p.add_argument("--queue", required=True, metavar="DIR")
+    p.add_argument("--jobs", type=int, nargs="+", default=None, metavar="ID",
+                   help="only these job ids (default: all)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit the snapshot as JSON instead of a table")
+    p.set_defaults(fn=_cmd_status)
 
     # One legacy-style alias per registered experiment (`repro table1` ==
     # `repro run table1`), so existing invocations keep working.

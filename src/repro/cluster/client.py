@@ -1,0 +1,166 @@
+"""The submit/status/gather client: sweeps in, artifacts out.
+
+This is the producer's half of the cluster contract::
+
+    job_ids = submit(spec.sweep(), "runs/queue")   # enqueue
+    ... N x `repro worker --queue runs/queue` ...  # anywhere, anytime
+    print(status("runs/queue").render())           # watch
+    artifacts = gather("runs/queue", job_ids)      # block, collect
+
+:func:`gather` returns artifacts **in submission (spec) order**, loaded
+from the queue's shared content-addressed artifact store — and because
+runs are deterministic and the canonical JSON excludes timings, the
+result is byte-identical (``RunArtifact.canonical_json``) to a serial
+:func:`repro.api.runner.run_many` over the same specs.  A job that
+failed terminally raises :class:`~repro.errors.JobFailedError` carrying
+the queue's recorded error for every failed job; nothing is silently
+dropped.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.analysis.tables import Table
+from repro.api.results import RunArtifact, load_artifact
+from repro.api.spec import ExperimentSpec
+from repro.cluster.jobs import DONE, FAILED, STATES, Job
+from repro.cluster.queue import JobQueue
+from repro.errors import ClusterError, ConfigurationError, JobFailedError
+
+__all__ = ["QueueStatus", "gather", "status", "submit"]
+
+
+def submit(
+    specs: Iterable[ExperimentSpec],
+    queue_dir: str | Path,
+    force: bool = False,
+    max_attempts: int | None = None,
+) -> list[int]:
+    """Enqueue one job per spec; returns job ids in spec order."""
+    return JobQueue(queue_dir).submit(
+        specs, force=force, max_attempts=max_attempts
+    )
+
+
+@dataclass(slots=True)
+class QueueStatus:
+    """A point-in-time snapshot of one queue."""
+
+    queue_dir: Path
+    counts: dict[str, int]
+    jobs: list[Job]
+
+    @property
+    def done(self) -> bool:
+        """True when nothing is pending or running."""
+        return all(job.terminal for job in self.jobs)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "queue_dir": str(self.queue_dir),
+            "counts": dict(self.counts),
+            "jobs": [job.to_dict() for job in self.jobs],
+        }
+
+    def table(self) -> Table:
+        """The ``repro status`` view: one row per job."""
+        head = ", ".join(f"{self.counts[s]} {s}" for s in STATES)
+        table = Table(
+            ["job", "experiment", "run_id", "state", "attempts", "worker",
+             "error"],
+            title=f"Queue {self.queue_dir} — {head}",
+        )
+        for job in self.jobs:
+            table.add_row([
+                job.id,
+                job.spec.experiment,
+                job.run_id,
+                job.state,
+                f"{job.attempts}/{job.max_attempts}",
+                job.worker or "-",
+                job.error or "-",
+            ])
+        return table
+
+    def render(self) -> str:
+        return self.table().render()
+
+
+def status(
+    queue_dir: str | Path, job_ids: Sequence[int] | None = None
+) -> QueueStatus:
+    """Snapshot a queue (optionally only the given jobs).
+
+    Raises :class:`~repro.errors.ClusterError` when ``queue_dir`` holds
+    no queue — a typo'd path must not masquerade as an empty one.
+    """
+    queue = JobQueue(queue_dir, create=False)
+    return QueueStatus(
+        queue_dir=queue.queue_dir,
+        counts=queue.counts(),
+        jobs=queue.jobs(ids=job_ids),
+    )
+
+
+def _load_done_artifact(queue: JobQueue, job: Job) -> RunArtifact:
+    path = queue.artifact_dir / f"{job.run_id}.json"
+    try:
+        return load_artifact(path)
+    except (OSError, ValueError, TypeError, KeyError,
+            ConfigurationError) as exc:
+        raise ClusterError(
+            f"job {job.id} is done but its artifact {path} is "
+            f"unreadable/corrupt: {exc}"
+        ) from exc
+
+
+def gather(
+    queue_dir: str | Path,
+    job_ids: Sequence[int],
+    timeout: float | None = None,
+    poll_s: float = 0.1,
+) -> list[RunArtifact]:
+    """Block until every job is terminal; artifacts in job-id argument order.
+
+    Raises :class:`JobFailedError` as soon as any of the jobs fails
+    terminally (listing every failure), and :class:`ClusterError` if
+    ``timeout`` seconds pass first.  The poll reads only ``(id, state)``
+    pairs — full job records and artifacts load once, at the end — and
+    it reaps expired leases, so a sweep whose every worker crashed
+    converges to a :class:`JobFailedError` instead of hanging.
+    """
+    queue = JobQueue(queue_dir, create=False)
+    ids = list(job_ids)
+    deadline = None if timeout is None else time.monotonic() + float(timeout)
+    # Reaping is a write transaction and leases move on the lease
+    # timescale, so reap far less often than the read-only state poll —
+    # no point contending with workers' claims every poll_s.
+    reap_every = max(poll_s, queue.default_lease_s / 4.0)
+    next_reap = time.monotonic()
+    while True:
+        if time.monotonic() >= next_reap:
+            queue.reap()  # crashed workers' leases -> pending/failed
+            next_reap = time.monotonic() + reap_every
+        states = queue.states(ids=ids)
+        if any(state == FAILED for state in states.values()):
+            failed = [job for job in queue.jobs(ids=ids)
+                      if job.state == FAILED]
+            lines = "; ".join(job.summary() for job in failed)
+            raise JobFailedError(
+                f"{len(failed)} job(s) failed terminally: {lines}"
+            )
+        if all(states[i] == DONE for i in ids):
+            jobs = {job.id: job for job in queue.jobs(ids=ids)}
+            return [_load_done_artifact(queue, jobs[i]) for i in ids]
+        if deadline is not None and time.monotonic() >= deadline:
+            unfinished = {i: states[i] for i in ids if states[i] != DONE}
+            raise ClusterError(
+                f"gather timed out after {timeout}s with unfinished jobs "
+                f"{unfinished} — are any workers running against "
+                f"{queue.queue_dir}?"
+            )
+        time.sleep(poll_s)

@@ -1,0 +1,151 @@
+"""Job records: what travels through the queue.
+
+A :class:`Job` is one :class:`~repro.api.spec.ExperimentSpec` plus the
+queue's bookkeeping around it — state, attempt budget, lease, worker
+identity, timestamps, and (terminally) an error record.  Jobs are plain
+data: the queue persists them as rows in SQLite (spec as canonical JSON)
+and rebuilds them with :func:`job_from_row`; nothing here touches the
+database.
+
+State machine::
+
+    PENDING ──claim──▶ RUNNING ──ack──▶ DONE
+       ▲                  │
+       └── retry ─────────┤ (worker reported failure, or lease expired,
+                          │  while attempts remain)
+                          └──────────▶ FAILED  (attempt budget exhausted,
+                                               or a fatal config error)
+
+``attempts`` counts claims, so a job that keeps losing its lease is
+charged for every crashed worker and cannot loop forever.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.api.spec import ExperimentSpec
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "Job",
+    "PENDING",
+    "RUNNING",
+    "STATES",
+    "job_from_row",
+]
+
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: Every state a job row can be in, in lifecycle order.
+STATES = (PENDING, RUNNING, DONE, FAILED)
+
+#: Column order shared by :data:`JOB_COLUMNS` selects and
+#: :func:`job_from_row`; keep the two in sync.
+JOB_COLUMNS = (
+    "id",
+    "run_id",
+    "spec_json",
+    "state",
+    "attempts",
+    "max_attempts",
+    "force",
+    "worker",
+    "lease_expires_at",
+    "submitted_at",
+    "started_at",
+    "finished_at",
+    "error",
+)
+
+
+@dataclass(slots=True)
+class Job:
+    """One queued experiment run (see the module docstring for states)."""
+
+    id: int
+    spec: ExperimentSpec
+    run_id: str
+    state: str = PENDING
+    attempts: int = 0
+    max_attempts: int = 3
+    force: bool = False
+    worker: str | None = None
+    lease_expires_at: float | None = None
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    error: str | None = None
+
+    @property
+    def terminal(self) -> bool:
+        """True once the job can never run again (done or failed)."""
+        return self.state in (DONE, FAILED)
+
+    def summary(self) -> str:
+        """One line for logs and the CLI status table."""
+        who = f" by {self.worker}" if self.worker else ""
+        tail = f" [{self.error}]" if self.error else ""
+        return (
+            f"job {self.id} {self.spec.experiment}/{self.run_id}: "
+            f"{self.state}{who} (attempt {self.attempts}/{self.max_attempts})"
+            f"{tail}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly view (``repro status --json``)."""
+        return {
+            "id": self.id,
+            "experiment": self.spec.experiment,
+            "run_id": self.run_id,
+            "state": self.state,
+            "attempts": self.attempts,
+            "max_attempts": self.max_attempts,
+            "force": self.force,
+            "worker": self.worker,
+            "lease_expires_at": self.lease_expires_at,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+        }
+
+
+def job_from_row(row: Sequence[Any]) -> Job:
+    """Rebuild a :class:`Job` from a ``JOB_COLUMNS``-ordered SQLite row."""
+    (
+        job_id,
+        run_id,
+        spec_json,
+        state,
+        attempts,
+        max_attempts,
+        force,
+        worker,
+        lease_expires_at,
+        submitted_at,
+        started_at,
+        finished_at,
+        error,
+    ) = row
+    return Job(
+        id=job_id,
+        spec=ExperimentSpec.from_dict(json.loads(spec_json)),
+        run_id=run_id,
+        state=state,
+        attempts=attempts,
+        max_attempts=max_attempts,
+        force=bool(force),
+        worker=worker,
+        lease_expires_at=lease_expires_at,
+        submitted_at=submitted_at,
+        started_at=started_at,
+        finished_at=finished_at,
+        error=error,
+    )

@@ -1,0 +1,404 @@
+"""The durable job queue: SQLite under a queue directory.
+
+A :class:`JobQueue` lives entirely inside one directory::
+
+    <queue_dir>/queue.db     -- the job table (SQLite, WAL mode)
+    <queue_dir>/artifacts/   -- the shared content-addressed artifact cache
+
+Any number of submitting clients and worker processes open the same
+queue concurrently; SQLite's locking makes each operation atomic, and
+every mutation happens inside a single ``BEGIN IMMEDIATE`` transaction
+so two workers can never claim the same job.  Scope: all participants
+must run on **one host** — WAL mode coordinates writers through a
+shared-memory ``-shm`` file, which does not work across machines, and
+network filesystems routinely break SQLite locking outright.
+Cross-machine federation is a roadmap item and will need a different
+broker, not a shared ``queue.db``.
+
+Crash safety is lease-based: :meth:`claim` hands a job out with a lease
+deadline, the worker's heartbeat thread keeps pushing the deadline
+forward, and a worker that dies (including SIGKILL) simply stops
+heartbeating — the next :meth:`claim` by anyone reclaims the expired
+job.  ``attempts`` counts claims, so a job that keeps killing its
+workers exhausts ``max_attempts`` and lands in a terminal ``failed``
+record instead of looping forever.
+
+Connections are opened per operation and never cached: cheap for a
+coarse-grained work queue (jobs are whole simulations), and it means the
+queue object itself is picklable state-free glue that can cross a
+``fork``/``spawn`` boundary.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from contextlib import closing
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.api.results import spec_run_id
+from repro.api.spec import ExperimentSpec
+from repro.cluster.jobs import (
+    DONE,
+    FAILED,
+    JOB_COLUMNS,
+    PENDING,
+    RUNNING,
+    STATES,
+    Job,
+    job_from_row,
+)
+from repro.errors import ClusterError, ConfigurationError
+
+__all__ = ["JobQueue"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id               INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id           TEXT    NOT NULL,
+    spec_json        TEXT    NOT NULL,
+    state            TEXT    NOT NULL DEFAULT 'pending',
+    attempts         INTEGER NOT NULL DEFAULT 0,
+    max_attempts     INTEGER NOT NULL DEFAULT 3,
+    force            INTEGER NOT NULL DEFAULT 0,
+    worker           TEXT,
+    lease_expires_at REAL,
+    submitted_at     REAL    NOT NULL,
+    started_at       REAL,
+    finished_at      REAL,
+    error            TEXT
+);
+CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state, id);
+"""
+
+_COLS = ", ".join(JOB_COLUMNS)
+
+
+class JobQueue:
+    """A durable, multi-process job queue rooted at ``queue_dir``."""
+
+    def __init__(
+        self,
+        queue_dir: str | Path,
+        default_lease_s: float = 30.0,
+        max_attempts: int = 3,
+        create: bool = True,
+    ) -> None:
+        """Open (or with ``create=True``, initialise) the queue.
+
+        Read-only consumers — ``status``, ``gather`` — pass
+        ``create=False`` so a typo'd directory raises
+        :class:`~repro.errors.ClusterError` instead of silently
+        reporting a healthy empty queue.
+        """
+        if default_lease_s <= 0:
+            raise ConfigurationError(
+                f"default_lease_s must be > 0, got {default_lease_s!r}"
+            )
+        if max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {max_attempts!r}"
+            )
+        self.queue_dir = Path(queue_dir)
+        self.default_lease_s = float(default_lease_s)
+        self.max_attempts = int(max_attempts)
+        if not create and not self.db_path.is_file():
+            raise ClusterError(
+                f"{self.queue_dir} is not a job queue (no queue.db) — "
+                f"wrong --queue path, or nothing submitted yet?"
+            )
+        self.queue_dir.mkdir(parents=True, exist_ok=True)
+        self.artifact_dir.mkdir(parents=True, exist_ok=True)
+        with closing(self._connect()) as conn:
+            conn.executescript(_SCHEMA)
+
+    @property
+    def db_path(self) -> Path:
+        return self.queue_dir / "queue.db"
+
+    @property
+    def artifact_dir(self) -> Path:
+        """The content-addressed artifact cache all workers share."""
+        return self.queue_dir / "artifacts"
+
+    def _connect(self) -> sqlite3.Connection:
+        # autocommit mode + explicit BEGIN IMMEDIATE where atomicity
+        # spans a read-modify-write; WAL lets readers coexist with the
+        # single writer.
+        conn = sqlite3.connect(self.db_path, timeout=30.0, isolation_level=None)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        return conn
+
+    # -- producing ---------------------------------------------------------
+
+    def submit(
+        self,
+        specs: Iterable[ExperimentSpec],
+        force: bool = False,
+        max_attempts: int | None = None,
+    ) -> list[int]:
+        """Enqueue one job per spec; returns job ids in spec order."""
+        spec_list = list(specs)
+        for spec in spec_list:
+            if not isinstance(spec, ExperimentSpec):
+                raise ConfigurationError(
+                    f"submit() takes ExperimentSpec items, got {spec!r}"
+                )
+        budget = self.max_attempts if max_attempts is None else int(max_attempts)
+        if budget < 1:
+            raise ConfigurationError(f"max_attempts must be >= 1, got {budget!r}")
+        now = time.time()
+        rows = [
+            (
+                spec_run_id(spec),
+                json.dumps(spec.to_dict(), sort_keys=True),
+                budget,
+                int(bool(force)),
+                now,
+            )
+            for spec in spec_list
+        ]
+        if not rows:
+            return []
+        with closing(self._connect()) as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            first = None
+            for row in rows:
+                cursor = conn.execute(
+                    "INSERT INTO jobs (run_id, spec_json, max_attempts, force,"
+                    " submitted_at) VALUES (?, ?, ?, ?, ?)",
+                    row,
+                )
+                if first is None:
+                    first = cursor.lastrowid
+            conn.execute("COMMIT")
+        assert first is not None
+        return list(range(first, first + len(rows)))
+
+    # -- consuming ---------------------------------------------------------
+
+    def _reclaim_expired(self, conn: sqlite3.Connection, now: float) -> None:
+        """Expired leases → back to pending, or terminal once out of budget.
+
+        Caller holds an open ``BEGIN IMMEDIATE`` transaction.
+        """
+        conn.execute(
+            "UPDATE jobs SET state = ?, error ="
+            " 'lease expired after ' || attempts || ' attempt(s); worker '"
+            " || COALESCE(worker, '?') || ' presumed dead',"
+            " worker = NULL, lease_expires_at = NULL, finished_at = ?"
+            " WHERE state = ? AND lease_expires_at < ? AND attempts >= max_attempts",
+            (FAILED, now, RUNNING, now),
+        )
+        conn.execute(
+            "UPDATE jobs SET state = ?, worker = NULL, lease_expires_at = NULL"
+            " WHERE state = ? AND lease_expires_at < ?",
+            (PENDING, RUNNING, now),
+        )
+
+    def claim(self, worker_id: str, lease_s: float | None = None) -> Job | None:
+        """Atomically claim the oldest pending job (or ``None``).
+
+        Reclaims expired leases first, so a crashed worker's job comes
+        back into rotation on the very next claim by anyone.
+        """
+        lease = self.default_lease_s if lease_s is None else float(lease_s)
+        now = time.time()
+        with closing(self._connect()) as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            self._reclaim_expired(conn, now)
+            row = conn.execute(
+                f"SELECT {_COLS} FROM jobs WHERE state = ? ORDER BY id LIMIT 1",
+                (PENDING,),
+            ).fetchone()
+            if row is None:
+                conn.execute("COMMIT")
+                return None
+            job = job_from_row(row)
+            conn.execute(
+                "UPDATE jobs SET state = ?, worker = ?, attempts = attempts + 1,"
+                " lease_expires_at = ?, started_at = ?, error = NULL"
+                " WHERE id = ?",
+                (RUNNING, worker_id, now + lease, now, job.id),
+            )
+            conn.execute("COMMIT")
+        job.state = RUNNING
+        job.worker = worker_id
+        job.attempts += 1
+        job.lease_expires_at = now + lease
+        job.started_at = now
+        job.error = None
+        return job
+
+    def heartbeat(
+        self, job_id: int, worker_id: str, lease_s: float | None = None
+    ) -> bool:
+        """Extend the lease; ``False`` means the job is no longer ours."""
+        lease = self.default_lease_s if lease_s is None else float(lease_s)
+        with closing(self._connect()) as conn:
+            cursor = conn.execute(
+                "UPDATE jobs SET lease_expires_at = ?"
+                " WHERE id = ? AND worker = ? AND state = ?",
+                (time.time() + lease, job_id, worker_id, RUNNING),
+            )
+        return cursor.rowcount == 1
+
+    def ack(self, job_id: int, worker_id: str) -> bool:
+        """Mark a claimed job done; ``False`` if the lease was lost.
+
+        A lost ack is harmless: it means the lease expired and someone
+        else (re)ran the job — and runs are deterministic, so the shared
+        artifact cache holds the same bytes either way.
+        """
+        with closing(self._connect()) as conn:
+            cursor = conn.execute(
+                "UPDATE jobs SET state = ?, finished_at = ?, error = NULL,"
+                " lease_expires_at = NULL WHERE id = ? AND worker = ? AND state = ?",
+                (DONE, time.time(), job_id, worker_id, RUNNING),
+            )
+        return cursor.rowcount == 1
+
+    def fail(
+        self, job_id: int, worker_id: str, error: str, retry: bool = True
+    ) -> bool:
+        """Record a failed attempt; retries until the budget runs out.
+
+        ``retry=False`` fails the job terminally regardless of budget —
+        for deterministic errors (bad spec) that re-running cannot fix.
+        """
+        now = time.time()
+        with closing(self._connect()) as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            row = conn.execute(
+                "SELECT attempts, max_attempts FROM jobs"
+                " WHERE id = ? AND worker = ? AND state = ?",
+                (job_id, worker_id, RUNNING),
+            ).fetchone()
+            if row is None:
+                conn.execute("COMMIT")
+                return False
+            attempts, max_attempts = row
+            if retry and attempts < max_attempts:
+                conn.execute(
+                    "UPDATE jobs SET state = ?, worker = NULL,"
+                    " lease_expires_at = NULL, error = ? WHERE id = ?",
+                    (PENDING, error, job_id),
+                )
+            else:
+                conn.execute(
+                    "UPDATE jobs SET state = ?, lease_expires_at = NULL,"
+                    " finished_at = ?, error = ? WHERE id = ?",
+                    (FAILED, now, error, job_id),
+                )
+            conn.execute("COMMIT")
+        return True
+
+    # -- observing ---------------------------------------------------------
+
+    def job(self, job_id: int) -> Job:
+        with closing(self._connect()) as conn:
+            row = conn.execute(
+                f"SELECT {_COLS} FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        if row is None:
+            raise ClusterError(f"no job {job_id!r} in queue {self.queue_dir}")
+        return job_from_row(row)
+
+    def jobs(
+        self,
+        ids: Sequence[int] | None = None,
+        state: str | None = None,
+    ) -> list[Job]:
+        """Jobs in id order — all of them, a subset, or one state."""
+        if state is not None and state not in STATES:
+            raise ClusterError(f"unknown job state {state!r}; one of {STATES}")
+        query = f"SELECT {_COLS} FROM jobs"
+        params: tuple = ()
+        clauses = []
+        if ids is not None:
+            ids = list(ids)
+            if not ids:
+                return []
+            clauses.append(f"id IN ({', '.join('?' * len(ids))})")
+            params += tuple(ids)
+        if state is not None:
+            clauses.append("state = ?")
+            params += (state,)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY id"
+        with closing(self._connect()) as conn:
+            rows = conn.execute(query, params).fetchall()
+        found = [job_from_row(row) for row in rows]
+        if ids is not None and len(found) != len(set(ids)):
+            missing = sorted(set(ids) - {job.id for job in found})
+            raise ClusterError(
+                f"no such job(s) {missing} in queue {self.queue_dir}"
+            )
+        return found
+
+    def states(self, ids: Sequence[int] | None = None) -> dict[int, str]:
+        """``{job id: state}`` — the cheap poll for gather loops.
+
+        Unlike :meth:`jobs` this reads two columns and never rebuilds
+        specs, so waiting on a thousand-job sweep stays O(ids) per poll.
+        """
+        query = "SELECT id, state FROM jobs"
+        params: tuple = ()
+        if ids is not None:
+            ids = list(ids)
+            if not ids:
+                return {}
+            query += f" WHERE id IN ({', '.join('?' * len(ids))})"
+            params = tuple(ids)
+        with closing(self._connect()) as conn:
+            rows = conn.execute(query, params).fetchall()
+        found = dict(rows)
+        if ids is not None and len(found) != len(set(ids)):
+            missing = sorted(set(ids) - set(found))
+            raise ClusterError(
+                f"no such job(s) {missing} in queue {self.queue_dir}"
+            )
+        return found
+
+    def reap(self) -> None:
+        """Reclaim expired leases now (normally claim/active do this).
+
+        Lets a pure observer — e.g. a gather loop with every worker dead
+        — still drive crashed jobs to pending/failed instead of watching
+        them stay 'running' forever.
+        """
+        with closing(self._connect()) as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            self._reclaim_expired(conn, time.time())
+            conn.execute("COMMIT")
+
+    def counts(self) -> dict[str, int]:
+        """``{state: number of jobs}`` with every state present."""
+        with closing(self._connect()) as conn:
+            rows = conn.execute(
+                "SELECT state, COUNT(*) FROM jobs GROUP BY state"
+            ).fetchall()
+        out = {state: 0 for state in STATES}
+        out.update(dict(rows))
+        return out
+
+    def active(self) -> bool:
+        """True while any job is pending or could still come back.
+
+        Reclaims expired leases first so a drain loop polling this sees
+        a crashed worker's job as pending, not as forever-running.
+        """
+        now = time.time()
+        with closing(self._connect()) as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            self._reclaim_expired(conn, now)
+            row = conn.execute(
+                "SELECT COUNT(*) FROM jobs WHERE state IN (?, ?)",
+                (PENDING, RUNNING),
+            ).fetchone()
+            conn.execute("COMMIT")
+        return row[0] > 0

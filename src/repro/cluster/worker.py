@@ -1,0 +1,184 @@
+"""Worker daemons: claim → run → ack, crash-safe and drainable.
+
+A :class:`Worker` owns one claim-execute loop over a
+:class:`~repro.cluster.queue.JobQueue`.  Each claimed job runs through
+the ordinary :func:`repro.api.runner.run` with the queue's shared
+``artifacts/`` directory as the content-addressed cache — so a duplicate
+spec (same run-id) submitted by any sweep, concurrent or not, simulates
+exactly once and every later worker answers it from disk.
+
+Liveness is the queue's lease protocol: while a job simulates, a
+heartbeat thread extends the lease every ``lease_s / 4`` seconds; a
+worker that dies without acking (even ``kill -9``) simply stops
+heartbeating and the job is reclaimed by whoever claims next.
+
+Failure policy: a :class:`~repro.errors.ConfigurationError` is
+deterministic — re-running cannot help — so it fails the job terminally
+at once; any other exception charges one attempt and requeues until the
+job's budget runs out.
+
+Two loops:
+
+* :meth:`Worker.drain` — run until the queue has nothing pending *and*
+  nothing running (it waits out other workers' running jobs, because a
+  failure would requeue them), then return.  This is what
+  ``run_many(executor="queue")`` spawns and what ``repro worker
+  --drain`` runs.
+* :meth:`Worker.serve` — poll forever (a daemon).  ``repro worker``
+  runs this; SIGTERM/SIGINT request a *graceful drain*: the current job
+  finishes and acks, then the loop exits cleanly.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import threading
+from pathlib import Path
+
+from repro.api.registry import ExperimentRegistry
+from repro.api.runner import run
+from repro.cluster.jobs import Job
+from repro.cluster.queue import JobQueue
+from repro.errors import ConfigurationError
+
+__all__ = ["Worker", "drain_queue"]
+
+
+class Worker:
+    """One claim-execute loop bound to a queue (see module docstring)."""
+
+    def __init__(
+        self,
+        queue: JobQueue | str | Path,
+        worker_id: str | None = None,
+        lease_s: float | None = None,
+        poll_s: float = 0.2,
+        registry: ExperimentRegistry | None = None,
+    ) -> None:
+        self.queue = queue if isinstance(queue, JobQueue) else JobQueue(queue)
+        self.worker_id = worker_id or f"{socket.gethostname()}:{os.getpid()}"
+        self.lease_s = (
+            self.queue.default_lease_s if lease_s is None else float(lease_s)
+        )
+        if self.lease_s <= 0:
+            raise ConfigurationError(f"lease_s must be > 0, got {lease_s!r}")
+        self.poll_s = float(poll_s)
+        self.registry = registry
+        self.jobs_run = 0
+        self._stop = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    def request_stop(self) -> None:
+        """Ask the loop to exit after the current job (graceful drain)."""
+        self._stop.set()
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → :meth:`request_stop` (daemon entry points only:
+        signal handlers are process-global and main-thread-only)."""
+
+        def handler(signum, frame):  # noqa: ARG001 - signal API
+            self.request_stop()
+
+        signal.signal(signal.SIGTERM, handler)
+        signal.signal(signal.SIGINT, handler)
+
+    # -- the claim-execute step -------------------------------------------
+
+    def _heartbeat_loop(self, job_id: int, done: threading.Event) -> None:
+        interval = max(self.lease_s / 4.0, 0.05)
+        while not done.wait(interval):
+            if not self.queue.heartbeat(job_id, self.worker_id, self.lease_s):
+                return  # lease lost: the job is someone else's now
+
+    def process(self, job: Job) -> bool:
+        """Execute one claimed job; returns True if we acked it."""
+        done = threading.Event()
+        beat = threading.Thread(
+            target=self._heartbeat_loop, args=(job.id, done), daemon=True
+        )
+        beat.start()
+        try:
+            run(
+                job.spec,
+                registry=self.registry,
+                out_dir=self.queue.artifact_dir,
+                force=job.force,
+            )
+        except ConfigurationError as exc:
+            self.queue.fail(
+                job.id,
+                self.worker_id,
+                f"{type(exc).__name__}: {exc}",
+                retry=False,
+            )
+            return False
+        except Exception as exc:  # noqa: BLE001 - the queue is the error record
+            self.queue.fail(job.id, self.worker_id, f"{type(exc).__name__}: {exc}")
+            return False
+        else:
+            return self.queue.ack(job.id, self.worker_id)
+        finally:
+            done.set()
+            beat.join(timeout=self.lease_s)
+            self.jobs_run += 1
+
+    def run_one(self) -> bool:
+        """Claim and execute one job; ``False`` when nothing was claimable."""
+        job = self.queue.claim(self.worker_id, self.lease_s)
+        if job is None:
+            return False
+        self.process(job)
+        return True
+
+    # -- loops -------------------------------------------------------------
+
+    def drain(self, max_jobs: int | None = None) -> int:
+        """Work until the queue is quiescent; returns jobs executed.
+
+        Keeps polling while *other* workers still have running jobs —
+        one of them failing or dying would requeue work this drain is
+        responsible for finishing.
+        """
+        while not self.stopping:
+            if max_jobs is not None and self.jobs_run >= max_jobs:
+                break
+            if self.run_one():
+                continue
+            if not self.queue.active():
+                break
+            self._stop.wait(self.poll_s)
+        return self.jobs_run
+
+    def serve(self, max_jobs: int | None = None) -> int:
+        """Poll until :meth:`request_stop` (or ``max_jobs``); daemon mode."""
+        while not self.stopping:
+            if max_jobs is not None and self.jobs_run >= max_jobs:
+                break
+            if not self.run_one():
+                self._stop.wait(self.poll_s)
+        return self.jobs_run
+
+
+def drain_queue(
+    queue_dir: str | Path,
+    lease_s: float | None = None,
+    poll_s: float = 0.2,
+) -> int:
+    """Module-level drain entry point (picklable for ``multiprocessing``).
+
+    Installs the graceful-drain signal handlers: a parent that
+    ``terminate()``\\ s this process (SIGTERM) lets the current job
+    finish and ack instead of aborting it mid-run — which matters on a
+    shared queue, where the aborted job could belong to someone else's
+    sweep and would be charged a retry attempt for our impatience.
+    """
+    worker = Worker(JobQueue(queue_dir), lease_s=lease_s, poll_s=poll_s)
+    worker.install_signal_handlers()
+    return worker.drain()

@@ -48,3 +48,20 @@ class ReplayError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator received unsatisfiable parameters."""
+
+
+class ClusterError(ReproError):
+    """The distributed queue/worker machinery failed or was misused.
+
+    Examples: gathering jobs that were never submitted, a queue directory
+    that is not a job queue, or a gather that timed out.
+    """
+
+
+class JobFailedError(ClusterError):
+    """A queued job reached a terminal failure.
+
+    Raised by :func:`repro.cluster.client.gather` when a job exhausted its
+    retry budget (or failed fatally on a configuration error); carries the
+    queue's recorded error string for each failed job.
+    """

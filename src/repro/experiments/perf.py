@@ -26,6 +26,7 @@ from typing import Callable
 
 from repro.analysis.tables import Table
 from repro.api.registry import register_experiment
+from repro.api.runner import EXECUTORS as SWEEP_EXECUTORS
 from repro.api.spec import ExperimentSpec
 from repro.core.packet import Packet, reset_packet_ids
 from repro.schedulers import make_scheduler
@@ -38,11 +39,13 @@ __all__ = [
     "BENCH_SCHEMA_VERSION",
     "DEFAULT_SCHEDULERS",
     "ENGINE_BENCHES",
+    "SWEEP_EXECUTORS",
     "bench_e2e_fig2_style",
     "bench_engine_chain",
     "bench_engine_defer",
     "bench_engine_fan",
     "bench_scheduler_ops",
+    "bench_sweep_executor",
     "run_perf_bench",
 ]
 
@@ -219,6 +222,58 @@ ENGINE_BENCHES = (
     ("engine-fan", bench_engine_fan),
     ("engine-defer", bench_engine_defer),
 )
+
+
+# --- sweep executors ---------------------------------------------------------
+
+
+def bench_sweep_executor(
+    executor: str,
+    seeds: int = 4,
+    workers: int = 2,
+    duration: float = 0.04,
+    repeats: int = 1,
+) -> tuple[int, float]:
+    """One seed sweep through ``run_many`` under ``executor``.
+
+    Measures executor *overhead*: the specs are identical across modes
+    (a tiny Table-1 row sweep), ops are the summed deterministic
+    ``engine_events`` of the gathered artifacts, and each repeat uses a
+    fresh cache/queue directory so nothing is answered from disk.  The
+    gap between ``sweep-queue`` and ``sweep-process`` is the price of
+    durability: SQLite claims, leases, heartbeats, and artifact
+    (de)serialisation through the shared store.
+
+    Runs in the calling process only — do not call from inside a
+    daemonised pool worker (children of daemons are forbidden).
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.api.runner import run_many
+
+    if executor not in SWEEP_EXECUTORS:
+        raise ValueError(f"unknown sweep executor {executor!r}")
+    specs = ExperimentSpec(
+        "table1",
+        duration=duration,
+        seeds=tuple(range(1, seeds + 1)),
+        options={"rows": (0,)},
+    ).sweep()
+
+    def run() -> int:
+        with tempfile.TemporaryDirectory() as tmp:
+            kwargs: dict = {"executor": executor}
+            if executor == "queue":
+                kwargs["queue_dir"] = Path(tmp) / "queue"
+            artifacts = run_many(
+                specs,
+                workers=1 if executor == "serial" else workers,
+                **kwargs,
+            )
+        return sum(a.metadata["engine_events"] for a in artifacts)
+
+    return _best_of(run, repeats)
 
 
 # --- the registered driver ---------------------------------------------------

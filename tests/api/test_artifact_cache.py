@@ -3,11 +3,15 @@
 from __future__ import annotations
 
 import json
+import multiprocessing
+import os
+import time
 
 import pytest
 
 from repro.api import (
     ExperimentSpec,
+    RunArtifact,
     cached_artifact,
     load_artifact,
     run,
@@ -17,6 +21,15 @@ from repro.api import (
 from repro.cli import main
 
 TINY = ExperimentSpec("table1", duration=0.04, options={"rows": (0,)})
+
+
+def _hammer_save(payload: dict, out_dir: str, barrier) -> None:
+    """Child-process body for the save-race test: save the same artifact
+    many times, synchronised so the writes genuinely interleave."""
+    artifact = RunArtifact.from_dict(payload)
+    barrier.wait(timeout=10)
+    for _ in range(50):
+        artifact.save(out_dir)
 
 
 class TestArtifactCache:
@@ -82,6 +95,61 @@ class TestArtifactCache:
     def test_without_out_dir_nothing_is_cached(self):
         artifact = run(TINY)
         assert not artifact.from_cache
+
+    def test_truncated_cache_entry_falls_through_to_a_fresh_run(self, tmp_path):
+        """A torn write (e.g. a crashed saver without atomic replace) must
+        read as a miss, then be healed by the fresh run's save."""
+        first = run(TINY, out_dir=tmp_path)
+        path = tmp_path / f"{spec_run_id(TINY)}.json"
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])  # cut mid-JSON
+        assert cached_artifact(TINY, tmp_path) is None
+        healed = run(TINY, out_dir=tmp_path)
+        assert not healed.from_cache
+        assert load_artifact(path).canonical_json() == first.canonical_json()
+
+    def test_save_is_atomic_no_temp_droppings_and_readable_payload(self, tmp_path):
+        artifact = run(TINY)
+        path = artifact.save(tmp_path)
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
+        assert load_artifact(path).canonical_json() == artifact.canonical_json()
+        # umask-default permissions, not mkstemp's 0600 — a shared store
+        # must stay readable by other workers' users
+        umask = os.umask(0)
+        os.umask(umask)
+        assert path.stat().st_mode & 0o777 == 0o666 & ~umask
+
+    def test_racing_savers_of_one_run_id_leave_a_valid_artifact(self, tmp_path):
+        """Two processes hammering save() on the same run-id must never
+        expose a torn file: every concurrent read parses, and the final
+        bytes are one complete artifact."""
+        artifact = run(TINY)
+        payload = artifact.to_dict()
+        path = tmp_path / f"{spec_run_id(TINY)}.json"
+        barrier = multiprocessing.Barrier(2)
+        workers = [
+            multiprocessing.Process(
+                target=_hammer_save, args=(payload, str(tmp_path), barrier)
+            )
+            for _ in range(2)
+        ]
+        for proc in workers:
+            proc.start()
+        failures = 0
+        deadline = time.monotonic() + 10
+        while any(p.is_alive() for p in workers) and time.monotonic() < deadline:
+            try:
+                load_artifact(path)  # concurrent reader: never a torn JSON
+            except FileNotFoundError:
+                pass  # not written yet
+            except ValueError:
+                failures += 1
+        for proc in workers:
+            proc.join(timeout=10)
+            assert proc.exitcode == 0
+        assert failures == 0
+        assert load_artifact(path).canonical_json() == artifact.canonical_json()
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
 
 
 class TestEngineAccounting:

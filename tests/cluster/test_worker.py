@@ -1,0 +1,116 @@
+"""Worker loop tests: run/ack, failure policy, caching, graceful stop."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.cluster.worker as worker_mod
+from repro.api import ExperimentSpec, load_artifact
+from repro.cluster import DONE, FAILED, JobQueue, Worker, gather
+from repro.errors import JobFailedError
+
+TINY = ExperimentSpec("table1", duration=0.04, options={"rows": (0,)})
+
+
+def test_run_one_executes_and_acks(tmp_path):
+    queue = JobQueue(tmp_path)
+    (job_id,) = queue.submit([TINY])
+    worker = Worker(queue, worker_id="w1")
+    assert worker.run_one()
+    assert not worker.run_one()  # queue is empty now
+    assert worker.jobs_run == 1
+    job = queue.job(job_id)
+    assert job.state == DONE
+    assert job.worker == "w1"
+    artifact = load_artifact(queue.artifact_dir / f"{job.run_id}.json")
+    assert artifact.spec == TINY
+
+
+def test_drain_finishes_a_sweep_and_gather_returns_it_in_order(tmp_path):
+    sweep = ExperimentSpec(
+        "table1", duration=0.04, seeds=(3, 1, 2), options={"rows": (0,)}
+    ).sweep()
+    queue = JobQueue(tmp_path)
+    ids = queue.submit(sweep)
+    assert Worker(queue).drain() == 3
+    artifacts = gather(tmp_path, ids, timeout=5)
+    assert [a.spec for a in artifacts] == sweep  # submission order, not seed order
+
+
+def test_duplicate_specs_across_sweeps_simulate_exactly_once(tmp_path, monkeypatch):
+    """The shared artifact cache: the second identical job is a cache hit."""
+    freshness = []
+    real_run = worker_mod.run
+
+    def spying_run(*args, **kwargs):
+        artifact = real_run(*args, **kwargs)
+        freshness.append(artifact.from_cache)
+        return artifact
+
+    monkeypatch.setattr(worker_mod, "run", spying_run)
+    queue = JobQueue(tmp_path)
+    queue.submit([TINY])  # sweep 1
+    queue.submit([TINY])  # a concurrent sweep resubmits the same spec
+    Worker(queue).drain()
+    assert freshness == [False, True]
+
+
+def test_transient_failures_retry_until_the_budget_runs_out(tmp_path, monkeypatch):
+    def exploding_run(*args, **kwargs):
+        raise RuntimeError("simulated worker crash")
+
+    monkeypatch.setattr(worker_mod, "run", exploding_run)
+    queue = JobQueue(tmp_path, max_attempts=3)
+    (job_id,) = queue.submit([TINY])
+    worker = Worker(queue, worker_id="w1")
+    assert worker.drain() == 3  # one execution per attempt, then terminal
+    job = queue.job(job_id)
+    assert job.state == FAILED
+    assert job.attempts == 3
+    assert "RuntimeError: simulated worker crash" in job.error
+    with pytest.raises(JobFailedError, match="simulated worker crash"):
+        gather(tmp_path, [job_id], timeout=5)
+
+
+def test_config_errors_fail_terminally_without_retries(tmp_path):
+    """A deterministic bad spec burns one attempt, not the whole budget."""
+    bad = ExperimentSpec("table1", duration=0.04, options={"rows": (99,)})
+    queue = JobQueue(tmp_path, max_attempts=3)
+    (job_id,) = queue.submit([bad])
+    Worker(queue).drain()
+    job = queue.job(job_id)
+    assert job.state == FAILED
+    assert job.attempts == 1
+    assert "ConfigurationError" in job.error
+
+
+def test_requested_stop_exits_the_loops_immediately(tmp_path):
+    queue = JobQueue(tmp_path)
+    queue.submit([TINY])
+    worker = Worker(queue)
+    worker.request_stop()
+    assert worker.serve() == 0
+    assert worker.drain() == 0
+    assert queue.job(1).state != DONE  # the job was left untouched
+
+
+def test_serve_respects_max_jobs(tmp_path):
+    queue = JobQueue(tmp_path)
+    queue.submit([TINY, TINY.with_(seeds=(2,))])
+    worker = Worker(queue)
+    assert worker.serve(max_jobs=1) == 1
+    assert queue.counts()[DONE] == 1
+
+
+def test_worker_heartbeats_outlive_a_short_lease(tmp_path):
+    """A lease much shorter than the job must not lose the job mid-run:
+    the heartbeat thread keeps extending it while the simulation runs."""
+    queue = JobQueue(tmp_path)
+    (job_id,) = queue.submit([ExperimentSpec(
+        "table1", duration=0.3, options={"rows": (0,)}
+    )])
+    worker = Worker(queue, worker_id="w1", lease_s=0.1)
+    assert worker.run_one()
+    job = queue.job(job_id)
+    assert job.state == DONE
+    assert job.attempts == 1  # never reclaimed, despite lease << runtime

@@ -26,6 +26,14 @@ def test_parser_lists_all_commands():
     assert LEGACY_COMMANDS | {"run", "list"} <= commands
 
 
+def test_cluster_verbs_are_registered():
+    parser = build_parser()
+    sub = next(
+        a for a in parser._actions if isinstance(a, type(parser._subparsers._group_actions[0]))
+    )
+    assert {"submit", "worker", "status"} <= set(sub.choices)
+
+
 def test_every_registered_experiment_has_an_alias():
     parser = build_parser()
     sub = next(

@@ -39,6 +39,13 @@ def test_theory_counterexamples(capsys):
     assert "omniscient" in out
 
 
+def test_cluster_sweep(capsys):
+    out = _run("cluster_sweep.py", capsys)
+    assert "submitted jobs [1, 2, 3, 4]" in out
+    assert "4 done, 0 failed" in out
+    assert "byte-for-byte: True" in out
+
+
 @pytest.mark.parametrize(
     "name",
     ["replay_experiment.py", "fct_comparison.py", "tail_latency.py",

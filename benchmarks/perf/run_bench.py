@@ -29,10 +29,12 @@ from repro.experiments.perf import (
     BENCH_SCHEMA_VERSION,
     DEFAULT_SCHEDULERS,
     ENGINE_BENCHES,
+    REPLAY_STRATEGIES,
     SWEEP_EXECUTORS,
     bench_e2e_fig2_style,
     bench_scheduler_ops,
     bench_sweep_executor,
+    bench_sweep_replay,
 )
 
 SCHEMA_VERSION = BENCH_SCHEMA_VERSION
@@ -51,7 +53,7 @@ def bench_entry(name: str, scale: int, ops: int, seconds: float) -> dict:
 def run_suite(events: int, packet_scales: list[int], schedulers: list[str],
               duration: float, repeats: int, sweep_seeds: int = 4,
               sweep_workers: int = 2, sweep_duration: float = 0.04,
-              verbose: bool = True) -> list[dict]:
+              replay_modes: int = 3, verbose: bool = True) -> list[dict]:
     benches: list[dict] = []
 
     def note(entry: dict) -> None:
@@ -80,6 +82,16 @@ def run_suite(events: int, packet_scales: list[int], schedulers: list[str],
             duration=sweep_duration, repeats=repeats,
         )
         note(bench_entry(f"sweep-{executor}", sweep_seeds, ops, seconds))
+    # Record-once vs record-per-leg on a replay-mode sweep: the
+    # once/perleg ops-per-sec ratio is the PR-4 record-once speedup.
+    # Runs at the e2e duration, not the executor-sweep one — the win
+    # scales with recording cost, so tiny jobs would understate it.
+    for strategy in REPLAY_STRATEGIES:
+        ops, seconds = bench_sweep_replay(
+            strategy, modes=replay_modes, duration=duration,
+            repeats=repeats,
+        )
+        note(bench_entry(f"sweep-replay-{strategy}", replay_modes, ops, seconds))
     return benches
 
 
@@ -114,6 +126,10 @@ def main(argv=None) -> int:
                         help="worker processes for the process/queue sweeps")
     parser.add_argument("--sweep-duration", type=float, default=0.04,
                         help="simulated seconds per sweep job")
+    parser.add_argument("--replay-modes", type=int, default=4,
+                        dest="replay_modes", metavar="N",
+                        help="modes per sweep-replay bench (record-once vs "
+                             "record-per-leg)")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny preset for CI schema checks")
     parser.add_argument("--label", default="local")
@@ -128,13 +144,15 @@ def main(argv=None) -> int:
         args.duration, args.repeats = 0.005, 1
         args.schedulers = ["fifo", "lstf"]
         args.sweep_seeds, args.sweep_duration = 2, 0.02
+        args.replay_modes = 2
 
     print(f"running perf suite (repeats={args.repeats}) ...", file=sys.stderr)
     benches = run_suite(args.events, args.packets, args.schedulers,
                         args.duration, args.repeats,
                         sweep_seeds=args.sweep_seeds,
                         sweep_workers=args.sweep_workers,
-                        sweep_duration=args.sweep_duration)
+                        sweep_duration=args.sweep_duration,
+                        replay_modes=args.replay_modes)
     document = {
         "schema_version": SCHEMA_VERSION,
         "config": {
@@ -146,6 +164,7 @@ def main(argv=None) -> int:
             "sweep_seeds": args.sweep_seeds,
             "sweep_workers": args.sweep_workers,
             "sweep_duration": args.sweep_duration,
+            "replay_modes": args.replay_modes,
             "python": platform.python_version(),
             "platform": platform.platform(),
         },

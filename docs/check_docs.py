@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Documentation lint: links resolve, the paper map matches the registry.
+
+Two checks, both cheap enough for every CI run:
+
+1. **Internal links** — every relative markdown link in ``docs/*.md``
+   and ``README.md`` must point at a file or directory that exists
+   (anchors are stripped; ``http(s)://`` and ``mailto:`` links are
+   skipped — external availability is not this script's business).
+2. **Paper map × registry** — every experiment name in the second
+   column of the table in ``docs/paper-map.md`` must be a registered
+   experiment (the same set ``repro list`` prints), and every
+   registered experiment must appear in the map, so the map can neither
+   name ghosts nor silently omit a new artefact.
+
+Usage::
+
+    PYTHONPATH=src python docs/check_docs.py
+
+Exits non-zero listing every problem found.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+DOCS = REPO / "docs"
+
+#: ``[text](target)`` — good enough for the hand-written markdown here.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: A table row whose second cell is a backticked name.
+_MAP_ROW = re.compile(r"^\|[^|]*\|\s*`([a-z0-9_-]+)`\s*\|")
+
+
+def check_links(paths: list[Path]) -> list[str]:
+    """Every relative link in ``paths`` resolves to an existing file."""
+    problems = []
+    for path in paths:
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            for target in _LINK.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                resolved = (path.parent / target.split("#", 1)[0]).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{path.relative_to(REPO)}:{lineno}: broken link "
+                        f"-> {target}"
+                    )
+    return problems
+
+
+def check_paper_map(map_path: Path) -> list[str]:
+    """The paper map's experiment column == the live registry, exactly."""
+    from repro.api import experiment_names
+
+    mapped = set()
+    for line in map_path.read_text().splitlines():
+        match = _MAP_ROW.match(line.strip())
+        if match:
+            mapped.add(match.group(1))
+    registered = set(experiment_names())
+    problems = []
+    for ghost in sorted(mapped - registered):
+        problems.append(
+            f"{map_path.relative_to(REPO)}: names unregistered experiment "
+            f"{ghost!r} (repro list knows: {sorted(registered)})"
+        )
+    for missing in sorted(registered - mapped):
+        problems.append(
+            f"{map_path.relative_to(REPO)}: registered experiment "
+            f"{missing!r} is missing from the paper map"
+        )
+    if not mapped:
+        problems.append(f"{map_path.relative_to(REPO)}: no map rows found")
+    return problems
+
+
+def main() -> int:
+    """Run both checks; print problems; 0 iff the docs are clean."""
+    markdown = sorted(DOCS.glob("*.md")) + [REPO / "README.md"]
+    problems = check_links(markdown)
+    problems += check_paper_map(DOCS / "paper-map.md")
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    print(f"docs OK: {len(markdown)} files, links + paper map verified")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

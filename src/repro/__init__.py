@@ -20,7 +20,13 @@ rebuilds their entire evaluation stack in pure Python:
   SQLite job queue with crash-safe leases, worker daemons
   (``repro worker``), and ``run_many(..., executor="queue")`` /
   ``submit``/``status``/``gather`` for sharding sweeps across local
-  processes — byte-identical to serial runs.
+  processes — byte-identical to serial runs,
+* record-once/replay-many (:mod:`repro.core.trace_io`): recorded
+  schedules are content-addressed artifacts in a shared
+  :class:`ScheduleStore`, ``ExperimentSpec(replay_modes=...)`` sweeps
+  candidate UPSes over one recording, and ``run_many`` simulates each
+  unique original schedule exactly once under every executor (see
+  ``docs/replay.md``).
 
 Quick taste (see ``examples/quickstart.py`` for the narrated version)::
 
@@ -85,7 +91,13 @@ from repro.core.replay import (
     replay_schedule,
 )
 from repro.core.slack import initialize_replay_slack, replay_slack
-from repro.core.trace_io import load_schedule, save_schedule
+from repro.core.trace_io import (
+    ScheduleStore,
+    active_schedule_store,
+    load_schedule,
+    save_schedule,
+    use_schedule_store,
+)
 from repro.errors import (
     ConfigurationError,
     ReplayError,
@@ -181,6 +193,7 @@ __all__ = [
     "RocketFuelConfig",
     "RoutingError",
     "RunArtifact",
+    "ScheduleStore",
     "Scheduler",
     "SchedulerError",
     "SimulationError",
@@ -191,6 +204,7 @@ __all__ = [
     "TimetableScheduler",
     "VirtualClockSlack",
     "WorkloadError",
+    "active_schedule_store",
     "build_dumbbell",
     "build_fattree",
     "build_internet2",
@@ -217,5 +231,6 @@ __all__ = [
     "run_many",
     "save_schedule",
     "scheduler_names",
+    "use_schedule_store",
     "web_search_distribution",
 ]

@@ -46,6 +46,15 @@ class RegisteredExperiment:
     can never be silently ignored.  ``params`` declares which spec
     *fields* the driver reads (``"duration"``, ``"seeds"``, …); the CLI
     uses it to reject flags an experiment would ignore.
+
+    ``recordings`` is the record-once/replay-many hook: for drivers
+    built on recorded schedules it maps a spec to the recordings the
+    driver will need, as ``{schedule-store key: zero-arg recorder}``.
+    Recorders must be picklable (``functools.partial`` over a
+    module-level function), because the runner's pre-pass may execute
+    them in worker processes; each returns a
+    :class:`~repro.core.replay.RecordedSchedule`.  ``None`` (the
+    default) means the experiment records nothing reusable.
     """
 
     name: str
@@ -54,8 +63,10 @@ class RegisteredExperiment:
     aliases: tuple[str, ...] = ()
     options: tuple[str, ...] = ()
     params: tuple[str, ...] = ()
+    recordings: Callable | None = None
 
     def __call__(self, spec):
+        """Run the driver on ``spec`` (sugar for ``entry.fn(spec)``)."""
         return self.fn(spec)
 
 
@@ -75,6 +86,7 @@ class ExperimentRegistry:
         aliases: tuple[str, ...] = (),
         options: tuple[str, ...] = (),
         params: tuple[str, ...] = (),
+        recordings: Callable | None = None,
     ) -> Callable[[Callable], Callable]:
         """Decorator: register ``fn`` as the driver for ``name``."""
 
@@ -87,6 +99,7 @@ class ExperimentRegistry:
             entry = RegisteredExperiment(
                 name=name, fn=fn, help=help, aliases=tuple(aliases),
                 options=tuple(options), params=tuple(params),
+                recordings=recordings,
             )
             self._entries[name] = entry
             for alias in aliases:
@@ -119,10 +132,12 @@ class ExperimentRegistry:
         return tuple(sorted(self._entries))
 
     def entries(self) -> tuple[RegisteredExperiment, ...]:
+        """Every registry entry, in canonical-name order."""
         self._load_builtins()
         return tuple(self._entries[n] for n in self.names())
 
     def __contains__(self, name: str) -> bool:
+        """True when ``name`` is a registered name or alias."""
         self._load_builtins()
         return name in self._entries or name in self._aliases
 
@@ -138,10 +153,19 @@ def register_experiment(
     aliases: tuple[str, ...] = (),
     options: tuple[str, ...] = (),
     params: tuple[str, ...] = (),
+    recordings: Callable | None = None,
 ) -> Callable[[Callable], Callable]:
-    """Register a driver on the global :data:`REGISTRY` (decorator)."""
+    """Register a driver on the global :data:`REGISTRY` (decorator).
+
+    ``name`` is the canonical experiment id (plus optional ``aliases``);
+    ``help`` is the one-liner ``repro list`` shows; ``options`` and
+    ``params`` declare the spec options/fields the driver reads (anything
+    else is rejected loudly); ``recordings`` is the record-once hook —
+    see :class:`RegisteredExperiment`.
+    """
     return REGISTRY.register(
-        name, help=help, aliases=aliases, options=options, params=params
+        name, help=help, aliases=aliases, options=options, params=params,
+        recordings=recordings,
     )
 
 

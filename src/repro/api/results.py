@@ -74,6 +74,7 @@ class RunArtifact:
         wall_time_s: float = 0.0,
         events_per_sec: float = 0.0,
     ) -> "RunArtifact":
+        """Wrap a driver's rendered ``table`` (plus accounting) as an artifact."""
         return cls(
             spec=spec,
             title=table.title,
@@ -94,6 +95,11 @@ class RunArtifact:
     # -- serialisation ----------------------------------------------------
 
     def to_dict(self, include_timings: bool = True) -> dict[str, Any]:
+        """The artifact as JSON-serialisable data (see :meth:`from_dict`).
+
+        ``include_timings=False`` drops the wall-clock section — the
+        canonical, determinism-checked view.
+        """
         payload: dict[str, Any] = {
             "version": _ARTIFACT_VERSION,
             "spec": self.spec.to_dict(),
@@ -111,6 +117,7 @@ class RunArtifact:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunArtifact":
+        """Rebuild an artifact from :meth:`to_dict` output (or a saved file)."""
         version = data.get("version", _ARTIFACT_VERSION)
         if version != _ARTIFACT_VERSION:
             raise ConfigurationError(
@@ -129,6 +136,7 @@ class RunArtifact:
         )
 
     def to_json(self, indent: int | None = 2, include_timings: bool = True) -> str:
+        """The artifact as a JSON string (pretty by default; see :meth:`to_dict`)."""
         return json.dumps(self.to_dict(include_timings=include_timings), indent=indent)
 
     def canonical_json(self) -> str:

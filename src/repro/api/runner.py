@@ -26,20 +26,28 @@ distributed results are required to be byte-identical to serial ones
 
 from __future__ import annotations
 
+import contextlib
 import functools
 import multiprocessing
+import signal
+import tempfile
 import time
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.api.registry import REGISTRY, ExperimentRegistry
 from repro.api.results import RunArtifact, load_artifact, spec_run_id
 from repro.api.spec import ExperimentSpec
 from repro.core.packet import reset_packet_ids
+from repro.core.trace_io import ScheduleStore, use_schedule_store
 from repro.errors import ConfigurationError
 from repro.sim.engine import ENGINE_PERF
 
 __all__ = ["EXECUTORS", "cached_artifact", "run", "run_many"]
+
+#: Subdirectory (of an ``out_dir`` or a queue's ``artifacts/``) holding
+#: the sweep's shared recorded-schedule cache.
+SCHEDULE_SUBDIR = "schedules"
 
 
 def cached_artifact(spec: ExperimentSpec, out_dir: str | Path) -> RunArtifact | None:
@@ -67,6 +75,7 @@ def run(
     registry: ExperimentRegistry | None = None,
     out_dir: str | Path | None = None,
     force: bool = False,
+    schedule_dir: str | Path | None = None,
 ) -> RunArtifact:
     """Execute one spec and return its artifact.
 
@@ -74,6 +83,15 @@ def run(
     previously saved artifact for the same spec is returned as-is
     (``artifact.from_cache`` is set), and fresh results are saved there.
     ``force=True`` always re-simulates (and overwrites the cache entry).
+
+    ``schedule_dir`` names the recorded-schedule cache
+    (:class:`~repro.core.trace_io.ScheduleStore`) activated around the
+    driver call; replay-driven experiments record each original schedule
+    into it at most once and answer later requests from disk.  It
+    defaults to ``<out_dir>/schedules`` when ``out_dir`` is given, so a
+    warm ``--out`` directory caches both halves of a replay experiment.
+    ``force`` does not invalidate recorded schedules — recording is
+    deterministic, so re-recording could only reproduce the same bytes.
     """
     entry = (registry or REGISTRY).get(spec.experiment)
     unknown = [key for key, _ in spec.options if key not in entry.options]
@@ -87,11 +105,15 @@ def run(
         cached = cached_artifact(spec, out_dir)
         if cached is not None:
             return cached
+    if schedule_dir is None and out_dir is not None:
+        schedule_dir = Path(out_dir) / SCHEDULE_SUBDIR
+    store = ScheduleStore(schedule_dir) if schedule_dir is not None else None
     reset_packet_ids()
     ENGINE_PERF.reset()
     start = time.perf_counter()
     try:
-        output = entry.fn(spec)
+        with use_schedule_store(store):
+            output = entry.fn(spec)
     finally:
         reset_packet_ids()
     wall = time.perf_counter() - start
@@ -117,6 +139,130 @@ def run(
 
 #: The execution modes :func:`run_many` understands.
 EXECUTORS = ("serial", "process", "queue")
+
+
+def _pool_worker_init() -> None:
+    """Restore default signal dispositions in a fresh pool worker.
+
+    ``fork`` children inherit the parent's signal handlers, and a host
+    process may carry a custom graceful-drain SIGTERM handler (the CLI
+    ``worker`` verb installs one in-process).  ``Pool.terminate()``
+    relies on SIGTERM actually killing idle workers; an inherited
+    handler that merely sets a flag would leave a worker blocked on the
+    task-queue semaphore forever and turn pool teardown into a deadlock.
+    """
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_DFL)
+
+
+def _pool(processes: int) -> multiprocessing.pool.Pool:
+    """A worker pool whose children always die on terminate (see above)."""
+    return multiprocessing.get_context().Pool(
+        processes=processes, initializer=_pool_worker_init
+    )
+
+
+def _sweep_recordings(
+    spec_list: Sequence[ExperimentSpec],
+    out_dir: str | Path | None,
+    force: bool,
+) -> dict[str, Callable]:
+    """The recordings a sweep needs, deduplicated across its specs.
+
+    Specs already answered by the ``out_dir`` artifact cache are skipped
+    — they will never touch the schedule store — and specs whose
+    experiment registers no ``recordings`` hook contribute nothing.
+    """
+    needed: dict[str, Callable] = {}
+    for spec in spec_list:
+        entry = REGISTRY.get(spec.experiment)
+        if entry.recordings is None:
+            continue
+        if out_dir is not None and not force \
+                and cached_artifact(spec, out_dir) is not None:
+            continue
+        needed.update(entry.recordings(spec))
+    return needed
+
+
+def _record_one(schedule_dir: str, key: str, recorder: Callable) -> str:
+    """Record one schedule into a store (module-level: picklable for pools)."""
+    ScheduleStore(schedule_dir).get_or_record(key, recorder)
+    return key
+
+
+def _record_sweep_schedules(
+    spec_list: Sequence[ExperimentSpec],
+    schedule_dir: str | Path,
+    workers: int,
+    out_dir: str | Path | None,
+    force: bool,
+) -> list[str]:
+    """The record-once pre-pass: simulate each missing schedule exactly once.
+
+    Runs before any leg of the sweep, so concurrently executing legs
+    (process pool, queue workers) only ever *read* the store and the
+    "recorded exactly once" guarantee holds under every executor.
+    Recording is itself embarrassingly parallel, so with ``workers > 1``
+    and several missing schedules the pre-pass fans out over a process
+    pool; returns the keys it recorded.
+    """
+    store = ScheduleStore(schedule_dir)
+    needed = _sweep_recordings(spec_list, out_dir, force)
+    missing = [(k, rec) for k, rec in needed.items() if not store.has(k)]
+    if not missing:
+        return []
+    if len(missing) > 1 and workers > 1:
+        with _pool(min(workers, len(missing))) as pool:
+            return pool.starmap(
+                _record_one,
+                [(str(schedule_dir), k, rec) for k, rec in missing],
+            )
+    return [_record_one(str(schedule_dir), k, rec) for k, rec in missing]
+
+
+def _sweep_shares_recordings(spec_list: Sequence[ExperimentSpec]) -> bool:
+    """True when some recorded schedule is needed by more than one leg.
+
+    This is the only case an *ephemeral* store earns its keep: with no
+    key shared, every schedule is recorded exactly once by its own leg
+    anyway, and the store's serialise/reload round trips would be pure
+    overhead (measurable at bench scales).
+    """
+    seen: set[str] = set()
+    for spec in spec_list:
+        entry = REGISTRY.get(spec.experiment)
+        if entry.recordings is None:
+            continue
+        for key in entry.recordings(spec):
+            if key in seen:
+                return True
+            seen.add(key)
+    return False
+
+
+@contextlib.contextmanager
+def _sweep_schedule_dir(
+    spec_list: Sequence[ExperimentSpec],
+    out_dir: str | Path | None,
+) -> Iterator[Path | None]:
+    """Where this sweep's shared schedule store lives.
+
+    ``out_dir`` given → its ``schedules/`` subdirectory (durable: later
+    sweeps reuse the recordings, so the store pays off even without
+    sharing inside this sweep).  Otherwise, a temporary directory scoped
+    to the sweep — but only when the sweep actually shares a recording
+    between legs; ``None`` (no store, legs record in-memory) when
+    nothing would be reused.
+    """
+    if out_dir is not None:
+        yield Path(out_dir) / SCHEDULE_SUBDIR
+        return
+    if not _sweep_shares_recordings(spec_list):
+        yield None
+        return
+    with tempfile.TemporaryDirectory(prefix="repro-schedules-") as tmp:
+        yield Path(tmp)
 
 
 def run_many(
@@ -146,6 +292,16 @@ def run_many(
     contract the test suite guards.  ``out_dir``/``force`` behave as in
     :func:`run`; with a warm cache a sweep only simulates the specs it
     has never seen.
+
+    Record once, replay many: before fanning out, the sweep is
+    partitioned by the recorded schedules its specs need (each
+    experiment's registered ``recordings`` hook) and every unique
+    original schedule is simulated exactly once into the sweep's shared
+    :class:`~repro.core.trace_io.ScheduleStore` — rooted at
+    ``<out_dir>/schedules``, the queue's ``artifacts/schedules``, or a
+    temporary directory scoped to this call.  The legs then replay from
+    the store, so a ``replay_modes`` sweep over M modes pays the
+    recording cost once, not M times, under all three executors.
     """
     spec_list: Sequence[ExperimentSpec] = list(specs)
     if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
@@ -172,13 +328,22 @@ def run_many(
         raise ConfigurationError(
             f"queue_dir= only applies to executor='queue', not {executor!r}"
         )
-    if executor == "serial" or workers == 1 or len(spec_list) <= 1:
-        return [run(spec, out_dir=out_dir, force=force) for spec in spec_list]
-    worker = functools.partial(run, out_dir=out_dir, force=force)
-    with multiprocessing.get_context().Pool(
-        processes=min(workers, len(spec_list))
-    ) as pool:
-        return pool.map(worker, spec_list)
+    with _sweep_schedule_dir(spec_list, out_dir) as schedule_dir:
+        if schedule_dir is not None:
+            _record_sweep_schedules(
+                spec_list, schedule_dir, workers, out_dir, force
+            )
+        if executor == "serial" or workers == 1 or len(spec_list) <= 1:
+            return [
+                run(spec, out_dir=out_dir, force=force,
+                    schedule_dir=schedule_dir)
+                for spec in spec_list
+            ]
+        worker = functools.partial(
+            run, out_dir=out_dir, force=force, schedule_dir=schedule_dir
+        )
+        with _pool(min(workers, len(spec_list))) as pool:
+            return pool.map(worker, spec_list)
 
 
 def _run_many_queue(
@@ -206,6 +371,15 @@ def _run_many_queue(
                 results[index] = cached
     misses = [i for i in range(len(spec_list)) if i not in results]
     if misses:
+        # Record-once pre-pass into the queue's shared artifact store:
+        # workers run jobs with out_dir=<queue>/artifacts, so they fetch
+        # recorded schedules from <queue>/artifacts/schedules instead of
+        # re-simulating the originals once per replay-mode leg.
+        queue_schedule_dir = Path(queue_dir) / "artifacts" / SCHEDULE_SUBDIR
+        _record_sweep_schedules(
+            [spec_list[i] for i in misses],
+            queue_schedule_dir, workers, out_dir, force,
+        )
         job_ids = submit([spec_list[i] for i in misses], queue_dir, force=force)
         context = multiprocessing.get_context()
         procs = [

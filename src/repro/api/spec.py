@@ -62,6 +62,16 @@ class ExperimentSpec:
     ``"virtual-clock:rate"``) and overrides the LSTF slack heuristic in
     the drivers that take one (``fig2``, ``fig3``); it is validated at
     construction.
+
+    ``replay_modes`` is the record-once/replay-many sweep axis: each
+    entry is one of :data:`repro.core.replay.REPLAY_MODES` and
+    :meth:`sweep` expands the tuple into one single-mode spec per entry,
+    exactly like ``seeds``.  Replay-driven drivers read
+    :attr:`replay_mode` (the first entry; ``"lstf"`` — the paper's
+    default — when the tuple is empty), and every leg of the expanded
+    sweep reuses the same recorded original schedule through the shared
+    schedule store (see :mod:`repro.core.trace_io`), so an M-mode sweep
+    pays for each unique recording once, not M times.
     """
 
     experiment: str
@@ -73,6 +83,7 @@ class ExperimentSpec:
     seeds: tuple[int, ...] = (1,)
     bandwidth_scale: float = 0.01
     slack_policy: str | None = None
+    replay_modes: tuple[str, ...] = ()
     options: tuple[tuple[str, Any], ...] = field(default=())
 
     def __post_init__(self) -> None:
@@ -93,6 +104,17 @@ class ExperimentSpec:
             from repro.core.heuristics import parse_slack_policy
 
             parse_slack_policy(self.slack_policy)  # fail fast on bad grammar
+        modes = tuple(str(m) for m in self.replay_modes)
+        if modes:
+            from repro.core.replay import REPLAY_MODES
+
+            unknown_modes = [m for m in modes if m not in REPLAY_MODES]
+            if unknown_modes:
+                raise ConfigurationError(
+                    f"unknown replay mode(s) {unknown_modes}; "
+                    f"choose from {REPLAY_MODES}"
+                )
+        object.__setattr__(self, "replay_modes", modes)
         raw = self.options
         if isinstance(raw, Mapping):
             pairs: Iterable[tuple[str, object]] = raw.items()
@@ -121,7 +143,18 @@ class ExperimentSpec:
         """The first (often only) seed — what single-run drivers use."""
         return self.seeds[0]
 
+    @property
+    def replay_mode(self) -> str:
+        """The first (often only) replay mode; ``"lstf"`` when unset.
+
+        Mirrors :attr:`seed`: replay-driven drivers run this mode, and a
+        multi-mode spec is expanded into single-mode specs by
+        :meth:`sweep` before it reaches a driver.
+        """
+        return self.replay_modes[0] if self.replay_modes else "lstf"
+
     def option(self, key: str, default: object = None) -> object:
+        """The value of experiment-specific option ``key`` (or ``default``)."""
         for k, v in self.options:
             if k == key:
                 return v
@@ -137,13 +170,22 @@ class ExperimentSpec:
         self,
         seeds: Iterable[int] | None = None,
         schedulers: Iterable[str] | None = None,
+        replay_modes: Iterable[str] | None = None,
     ) -> list["ExperimentSpec"]:
-        """Expand into one single-seed spec per (seed, scheduler) pair.
+        """Expand into one spec per (seed, scheduler, replay-mode) leg.
 
-        With no arguments this expands :attr:`seeds`; pass ``schedulers``
-        to also split the scheduler sweep into per-scheduler specs (for
-        experiments whose drivers loop over schemes, splitting lets
-        :func:`~repro.api.runner.run_many` parallelise across them).
+        With no arguments this expands :attr:`seeds` and
+        :attr:`replay_modes` (each multi-valued axis becomes one spec per
+        value); pass ``schedulers`` to also split the scheduler sweep
+        into per-scheduler specs (for experiments whose drivers loop over
+        schemes, splitting lets :func:`~repro.api.runner.run_many`
+        parallelise across them).
+
+        Replay-mode legs are emitted innermost — adjacent in the output —
+        so the legs sharing one recorded schedule sit next to each other
+        and the runner's record-once pre-pass (see
+        :func:`~repro.api.runner.run_many`) simulates each unique
+        original schedule exactly once for all of them.
         """
         seed_axis = tuple(seeds) if seeds is not None else self.seeds
         if schedulers is not None:
@@ -152,10 +194,24 @@ class ExperimentSpec:
             )
         else:
             sched_axis = (self.schedulers,)
+        mode_source = (
+            tuple(replay_modes) if replay_modes is not None else self.replay_modes
+        )
+        mode_axis: tuple[tuple[str, ...], ...] = (
+            tuple((m,) for m in mode_source) if mode_source else (self.replay_modes,)
+        )
         out = []
         for seed in seed_axis:
             for scheds in sched_axis:
-                out.append(replace(self, seeds=(seed,), schedulers=scheds))
+                for modes in mode_axis:
+                    out.append(
+                        replace(
+                            self,
+                            seeds=(seed,),
+                            schedulers=scheds,
+                            replay_modes=modes,
+                        )
+                    )
         return out
 
     # -- serialisation ----------------------------------------------------
@@ -172,6 +228,7 @@ class ExperimentSpec:
             "seeds": list(self.seeds),
             "bandwidth_scale": self.bandwidth_scale,
             "slack_policy": self.slack_policy,
+            "replay_modes": list(self.replay_modes),
             "options": {
                 k: (list(v) if isinstance(v, tuple) else v)
                 for k, v in self.options
@@ -188,7 +245,7 @@ class ExperimentSpec:
                 f"unknown spec fields {sorted(unknown)}; known: {sorted(known)}"
             )
         kwargs = dict(data)
-        for key in ("schedulers", "seeds"):
+        for key in ("schedulers", "seeds", "replay_modes"):
             if key in kwargs:
                 kwargs[key] = tuple(kwargs[key])
         options = kwargs.get("options")

@@ -29,12 +29,16 @@ clean error.)
 Shared flags: ``--duration`` (workload horizon, seconds), ``--seed`` /
 ``--seeds`` (a sweep), ``--scale`` (bandwidth scale; 0.01 default, 1.0 =
 the paper's full bandwidths — expect long runtimes), ``--schedulers``
-(override an experiment's scheme sweep), ``--workers`` (parallel seed
-sweeps via multiprocessing), ``--json`` / ``--csv`` (emit the RunArtifact
-or a CSV table instead of ASCII), and ``--out DIR`` (persist artifacts as
-JSON files).  ``--out`` doubles as a content-addressed cache keyed by the
+(override an experiment's scheme sweep), ``--replay-modes`` (a
+replay-mode sweep: one run per candidate UPS, all legs sharing each
+recorded original schedule — record once, replay many; see
+``docs/replay.md``), ``--workers`` (parallel seed sweeps via
+multiprocessing), ``--json`` / ``--csv`` (emit the RunArtifact or a CSV
+table instead of ASCII), and ``--out DIR`` (persist artifacts as JSON
+files).  ``--out`` doubles as a content-addressed cache keyed by the
 spec's run-id: re-running the same spec answers from the saved artifact
-(``--force`` re-simulates).
+(``--force`` re-simulates), and its ``schedules/`` subdirectory caches
+recorded schedules the same way.
 
 ``repro bench`` (registered like any experiment) runs the substrate
 micro-benchmarks of :mod:`repro.experiments.perf`; see
@@ -67,6 +71,7 @@ _FLAG_TO_PARAM = {
     "scale": "bandwidth_scale",
     "schedulers": "schedulers",
     "slack": "slack_policy",
+    "replay_modes": "replay_modes",
 }
 
 
@@ -87,6 +92,11 @@ def _add_spec_args(parser: argparse.ArgumentParser, with_rows: bool) -> None:
     parser.add_argument("--slack", default=None, metavar="POLICY",
                         help="LSTF slack policy override, e.g. 'constant:0.5', "
                              "'flow-size:2', 'virtual-clock:1e6'")
+    parser.add_argument("--replay-modes", nargs="+", default=None,
+                        metavar="MODE", dest="replay_modes",
+                        help="replay-mode sweep (one run per mode, sharing "
+                             "each recorded schedule): lstf, lstf-preemptive, "
+                             "edf, edf-preemptive, priority, omniscient")
     if with_rows:
         parser.add_argument("--rows", type=int, nargs="*", default=None,
                             help="row indices (0-based) to run, table1 only; "
@@ -142,6 +152,7 @@ def spec_from_args(experiment: str, args: argparse.Namespace) -> ExperimentSpec:
         seeds=seeds,
         bandwidth_scale=args.scale if args.scale is not None else 0.01,
         slack_policy=args.slack,
+        replay_modes=tuple(args.replay_modes) if args.replay_modes else (),
         options=options,
     )
 
@@ -151,7 +162,8 @@ def _reject_unused_flags(entry, args: argparse.Namespace) -> None:
     for flag, param in _FLAG_TO_PARAM.items():
         if getattr(args, flag, None) is not None and param not in entry.params:
             raise ConfigurationError(
-                f"experiment {entry.name!r} does not use --{flag}"
+                f"experiment {entry.name!r} does not use "
+                f"--{flag.replace('_', '-')}"
             )
 
 
@@ -170,7 +182,10 @@ def _emit_artifacts(args: argparse.Namespace, artifacts: list) -> None:
 
 
 def _sweep_specs(spec: ExperimentSpec) -> list[ExperimentSpec]:
-    return spec.sweep() if len(spec.seeds) > 1 else [spec]
+    """Expand multi-valued seed / replay-mode axes into one spec per leg."""
+    if len(spec.seeds) > 1 or len(spec.replay_modes) > 1:
+        return spec.sweep()
+    return [spec]
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:

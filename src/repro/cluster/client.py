@@ -40,7 +40,12 @@ def submit(
     force: bool = False,
     max_attempts: int | None = None,
 ) -> list[int]:
-    """Enqueue one job per spec; returns job ids in spec order."""
+    """Enqueue one job per spec; returns job ids in spec order.
+
+    ``queue_dir`` is the directory the workers share; ``force=True``
+    makes workers re-simulate even on an artifact-cache hit;
+    ``max_attempts`` overrides the per-job retry budget (default 3).
+    """
     return JobQueue(queue_dir).submit(
         specs, force=force, max_attempts=max_attempts
     )
@@ -60,6 +65,7 @@ class QueueStatus:
         return all(job.terminal for job in self.jobs)
 
     def to_dict(self) -> dict[str, Any]:
+        """The snapshot as JSON-serialisable data (``repro status --json``)."""
         return {
             "queue_dir": str(self.queue_dir),
             "counts": dict(self.counts),
@@ -87,6 +93,7 @@ class QueueStatus:
         return table
 
     def render(self) -> str:
+        """The snapshot as an ASCII table (``repro status``)."""
         return self.table().render()
 
 

@@ -29,7 +29,9 @@ Replay modes
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Sequence
+import hashlib
+import json
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -47,6 +49,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = [
     "REPLAY_MODES",
+    "SCHEDULE_FORMAT",
+    "SCHEDULE_FORMAT_VERSION",
     "RecordedPacket",
     "RecordedSchedule",
     "ReplayResult",
@@ -54,6 +58,7 @@ __all__ = [
     "replay_schedule",
 ]
 
+#: The replay modes :func:`replay_schedule` understands.
 REPLAY_MODES = (
     "lstf",
     "lstf-preemptive",
@@ -62,6 +67,18 @@ REPLAY_MODES = (
     "priority",
     "omniscient",
 )
+
+#: Magic string identifying a serialised :class:`RecordedSchedule` document.
+SCHEDULE_FORMAT = "repro.recorded_schedule"
+
+#: Version of the serialised document layout (see
+#: :meth:`RecordedSchedule.to_dict`).  v2 added the detached
+#: ``content_hash`` written by :func:`repro.core.trace_io.save_schedule`;
+#: the packet rows are unchanged from v1, so both versions load.
+SCHEDULE_FORMAT_VERSION = 2
+
+#: Document versions :meth:`RecordedSchedule.from_dict` accepts.
+_READABLE_VERSIONS = (1, SCHEDULE_FORMAT_VERSION)
 
 
 class RecordedPacket:
@@ -109,11 +126,51 @@ class RecordedPacket:
 
     @property
     def total_wait(self) -> float:
+        """Total queueing delay the packet accumulated, summed over hops."""
         return sum(self.hop_waits)
 
     def congestion_points(self, epsilon: float = 1e-12) -> int:
         """Hops at which the packet was forced to wait (§2.2)."""
         return sum(1 for w in self.hop_waits if w > epsilon)
+
+    def to_dict(self) -> dict[str, Any]:
+        """One JSON-scalar row of the serialised schedule document.
+
+        Uses the paper's short names for the two schedule-defining times:
+        ``"i"`` is the ingress time ``i(p)``, ``"o"`` the output time
+        ``o(p)``.  Lossless under :meth:`from_dict` (floats survive JSON
+        round-trips exactly).
+        """
+        return {
+            "pid": self.pid,
+            "flow_id": self.flow_id,
+            "flow_size": self.flow_size,
+            "size": self.size,
+            "src": self.src,
+            "dst": self.dst,
+            "i": self.ingress_time,
+            "o": self.output_time,
+            "path": list(self.path),
+            "hop_tx": list(self.hop_tx),
+            "hop_waits": list(self.hop_waits),
+        }
+
+    @classmethod
+    def from_dict(cls, row: Mapping[str, Any]) -> "RecordedPacket":
+        """Rebuild one packet from a :meth:`to_dict` row."""
+        return cls(
+            pid=row["pid"],
+            flow_id=row["flow_id"],
+            flow_size=row["flow_size"],
+            size=row["size"],
+            src=row["src"],
+            dst=row["dst"],
+            ingress_time=row["i"],
+            output_time=row["o"],
+            path=tuple(row["path"]),
+            hop_tx=tuple(row["hop_tx"]),
+            hop_waits=tuple(row["hop_waits"]),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -139,6 +196,7 @@ class RecordedSchedule:
         self.description = description
 
     def __len__(self) -> int:
+        """Number of recorded (delivered) packets."""
         return len(self.packets)
 
     def max_congestion_points(self) -> int:
@@ -146,11 +204,68 @@ class RecordedSchedule:
         return max(p.congestion_points() for p in self.packets)
 
     def congestion_point_histogram(self) -> dict[int, int]:
+        """Map congestion-point count → number of packets with that count."""
         hist: dict[int, int] = {}
         for p in self.packets:
             c = p.congestion_points()
             hist[c] = hist.get(c, 0) + 1
         return dict(sorted(hist.items()))
+
+    # -- the stable serialised format -------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """The schedule as a versioned, JSON-serialisable document.
+
+        Lossless under :meth:`from_dict` — every field (including float
+        times, which JSON round-trips exactly via ``repr``) survives a
+        serialise → deserialise cycle bit-for-bit, so a replay of the
+        reloaded schedule is byte-identical to a replay of this object.
+        """
+        return {
+            "format": SCHEDULE_FORMAT,
+            "version": SCHEDULE_FORMAT_VERSION,
+            "description": self.description,
+            "threshold": self.threshold,
+            "packets": [p.to_dict() for p in self.packets],
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "RecordedSchedule":
+        """Rebuild a schedule from :meth:`to_dict` output.
+
+        Raises :class:`~repro.errors.ReplayError` on a foreign document
+        or an unsupported format version.
+        """
+        if document.get("format") != SCHEDULE_FORMAT:
+            raise ReplayError(
+                f"not a recorded-schedule document (format="
+                f"{document.get('format')!r})"
+            )
+        if document.get("version") not in _READABLE_VERSIONS:
+            raise ReplayError(
+                f"recorded-schedule version {document.get('version')!r} is "
+                f"not supported; this library reads versions "
+                f"{_READABLE_VERSIONS}"
+            )
+        return cls(
+            [RecordedPacket.from_dict(row) for row in document["packets"]],
+            threshold=document["threshold"],
+            description=document.get("description", ""),
+        )
+
+    def canonical_json(self) -> str:
+        """Key-sorted, separator-free JSON — the content-hash preimage."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def content_hash(self) -> str:
+        """SHA-256 over :meth:`canonical_json` — a stable schedule identity.
+
+        Two recordings hash equal iff they describe the same schedule
+        (same packets, times, paths, threshold, description); the hash is
+        what :func:`repro.core.trace_io.save_schedule` embeds for
+        integrity checking and what cache tooling can key on.
+        """
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -231,6 +346,7 @@ class ReplayResult:
 
     @property
     def num_packets(self) -> int:
+        """Number of packets judged (== packets in the recorded schedule)."""
         return len(self.lateness)
 
     @property
@@ -244,10 +360,12 @@ class ReplayResult:
         return float(np.mean(self.lateness > self.schedule.threshold + TIME_EPSILON))
 
     def fraction_overdue_beyond(self, threshold: float) -> float:
+        """Fraction of packets overdue by more than an arbitrary threshold."""
         return float(np.mean(self.lateness > threshold + TIME_EPSILON))
 
     @property
     def max_lateness(self) -> float:
+        """Worst single-packet lateness ``max(o'(p) - o(p))`` in seconds."""
         return float(self.lateness.max())
 
     @property
@@ -266,6 +384,7 @@ class ReplayResult:
         return self._replay_waits[mask] / self._original_waits[mask]
 
     def summary(self) -> str:
+        """One human-readable line: mode, packet count, both §2.3 fractions."""
         return (
             f"replay[{self.mode}] over {self.num_packets} packets: "
             f"{self.fraction_overdue:.4f} overdue, "

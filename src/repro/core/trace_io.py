@@ -1,31 +1,56 @@
-"""Persistence for recorded schedules.
+"""Persistence and caching for recorded schedules.
 
 Recording a large original schedule is the expensive half of a replay
 experiment (the ``repro_why`` of this reproduction: "large replay traces
-slow").  These helpers serialise a
-:class:`~repro.core.replay.RecordedSchedule` to a compact JSON document so
-a trace can be recorded once and replayed under many candidate UPSes,
-parameter sweeps, or future scheduler implementations.
+slow").  This module makes a recorded schedule a first-class, reusable
+artifact:
 
-Format: a versioned JSON object with schedule metadata and one row per
-packet.  JSON keeps traces diffable and language-neutral; gzip (used
-automatically for ``.gz`` paths) brings the size within ~2x of a binary
-encoding.
+* :func:`save_schedule` / :func:`load_schedule` — one schedule to/from
+  one file.  The document is the versioned JSON of
+  :meth:`~repro.core.replay.RecordedSchedule.to_dict` plus a detached
+  ``content_hash`` (SHA-256 of the canonical JSON) verified on load, so
+  a truncated or hand-edited trace fails loudly instead of replaying
+  subtly wrong.  Paths ending ``.gz`` are gzipped transparently.
+* :class:`ScheduleStore` — a content-addressed directory of schedule
+  files keyed by *recording inputs* (see
+  :func:`repro.experiments.replayability.scenario_schedule_key`), the
+  record-once/replay-many cache the experiment runner shares across the
+  legs of a replay-mode sweep.  Writes are atomic (temp file +
+  ``os.replace``), mirroring :meth:`repro.api.results.RunArtifact.save`,
+  so concurrent workers on one directory never observe a torn JSON.
+* :func:`use_schedule_store` / :func:`active_schedule_store` — the
+  process-wide "current store" the runner activates around a driver
+  call; :func:`repro.experiments.replayability.get_recorded_schedule`
+  answers recordings from it.
+
+Format: JSON keeps traces diffable and language-neutral; gzip brings the
+size within ~2x of a binary encoding.  Floats round-trip exactly
+(``json`` serialises via ``repr``), which is what makes a replay of a
+reloaded schedule byte-identical to a replay of the in-memory original —
+the correctness bar the record-once sweep machinery is held to.
 """
 
 from __future__ import annotations
 
+import contextlib
 import gzip
 import json
+import os
+import uuid
+from collections import OrderedDict
 from pathlib import Path
-from typing import IO
+from typing import IO, Callable, Iterator
 
-from repro.core.replay import RecordedPacket, RecordedSchedule
+from repro.core.replay import RecordedSchedule
 from repro.errors import ReplayError
 
-__all__ = ["load_schedule", "save_schedule"]
-
-FORMAT_VERSION = 1
+__all__ = [
+    "ScheduleStore",
+    "active_schedule_store",
+    "load_schedule",
+    "save_schedule",
+    "use_schedule_store",
+]
 
 
 def _open(path: Path, mode: str) -> IO:
@@ -34,65 +59,240 @@ def _open(path: Path, mode: str) -> IO:
     return open(path, mode, encoding="utf-8")
 
 
+def _document(schedule: RecordedSchedule) -> dict:
+    document = schedule.to_dict()
+    document["content_hash"] = schedule.content_hash()
+    return document
+
+
+def _schedule_from_document(
+    document: dict, where: str, verify: bool
+) -> RecordedSchedule:
+    if not isinstance(document, dict) or "format" not in document:
+        raise ReplayError(f"{where} is not a recorded-schedule file")
+    expected = document.pop("content_hash", None)
+    schedule = RecordedSchedule.from_dict(document)
+    if verify and expected is not None and schedule.content_hash() != expected:
+        raise ReplayError(
+            f"{where} failed its content-hash check — the file was "
+            f"corrupted or edited after recording"
+        )
+    return schedule
+
+
 def save_schedule(schedule: RecordedSchedule, path: str | Path) -> None:
-    """Write a recorded schedule to ``path`` (gzipped iff it ends ``.gz``)."""
+    """Write a recorded schedule to ``path`` (gzipped iff it ends ``.gz``).
+
+    The document embeds the schedule's content hash;
+    :func:`load_schedule` verifies it.
+    """
     path = Path(path)
-    document = {
-        "format": "repro.recorded_schedule",
-        "version": FORMAT_VERSION,
-        "description": schedule.description,
-        "threshold": schedule.threshold,
-        "packets": [
-            {
-                "pid": p.pid,
-                "flow_id": p.flow_id,
-                "flow_size": p.flow_size,
-                "size": p.size,
-                "src": p.src,
-                "dst": p.dst,
-                "i": p.ingress_time,
-                "o": p.output_time,
-                "path": list(p.path),
-                "hop_tx": list(p.hop_tx),
-                "hop_waits": list(p.hop_waits),
-            }
-            for p in schedule.packets
-        ],
-    }
     with _open(path, "w") as fh:
-        json.dump(document, fh)
+        json.dump(_document(schedule), fh)
 
 
-def load_schedule(path: str | Path) -> RecordedSchedule:
-    """Read a schedule previously written by :func:`save_schedule`."""
+def load_schedule(path: str | Path, verify: bool = True) -> RecordedSchedule:
+    """Read and verify a schedule previously written by :func:`save_schedule`.
+
+    Raises :class:`~repro.errors.ReplayError` for foreign files,
+    unsupported format versions, and (with ``verify``, the default)
+    content-hash mismatches.  ``verify=False`` skips the hash check —
+    it costs a full canonical re-serialisation, which the hot
+    :class:`ScheduleStore` read path cannot afford; hand-carried trace
+    files should keep the default.
+    """
     path = Path(path)
     with _open(path, "r") as fh:
         document = json.load(fh)
-    if document.get("format") != "repro.recorded_schedule":
-        raise ReplayError(f"{path} is not a recorded-schedule file")
-    if document.get("version") != FORMAT_VERSION:
-        raise ReplayError(
-            f"{path} uses format version {document.get('version')!r}; this "
-            f"library reads version {FORMAT_VERSION}"
+    return _schedule_from_document(document, str(path), verify)
+
+
+#: Process-wide parse memo for store reads: (path, mtime_ns, size) →
+#: parsed schedule.  Legs of a serial sweep share one process, so
+#: without this every leg would re-parse the same multi-thousand-packet
+#: JSON it just helped write; with it, only the first read per process
+#: parses.  Keyed on stat identity: an atomic replace changes mtime/size
+#: and misses (and recording is deterministic, so even a theoretical
+#: stale hit could only return identical content).  Bounded because
+#: schedules are large, but sized to hold a full Table 1 sweep (14
+#: scenarios) with room to spare — an LRU smaller than the sweep's
+#: working set would thrash to zero hits under the legs' cyclic reads.
+_PARSE_MEMO: "OrderedDict[tuple, RecordedSchedule]" = OrderedDict()
+_PARSE_MEMO_MAX = 32
+
+
+def _memo_key(path: Path) -> tuple | None:
+    try:
+        st = path.stat()
+    except OSError:
+        return None
+    return (str(path), st.st_mtime_ns, st.st_size)
+
+
+def _memo_put(key: tuple, schedule: RecordedSchedule) -> None:
+    _PARSE_MEMO[key] = schedule
+    _PARSE_MEMO.move_to_end(key)
+    while len(_PARSE_MEMO) > _PARSE_MEMO_MAX:
+        _PARSE_MEMO.popitem(last=False)
+
+
+class ScheduleStore:
+    """A content-addressed, on-disk cache of recorded schedules.
+
+    One directory, one file per schedule, named ``<key>.json`` where the
+    key is derived from the *recording inputs* (topology, original
+    scheduler, load, seed, …) so any leg of any sweep that needs the same
+    original run addresses the same file.  The store also keeps an
+    append-only ``recordings.log`` — one line per *actual* recording —
+    which is how the test suite (and the ``sweep-replay`` bench) assert
+    the record-once guarantee: a sweep over M replay modes must grow the
+    log by exactly the number of unique schedules, not M times that.
+    """
+
+    #: File name of the append-only record of actual recordings.
+    LOG_NAME = "recordings.log"
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path(self, key: str) -> Path:
+        """The file a schedule with ``key`` lives at (may not exist yet)."""
+        return self.root / f"{key}.json"
+
+    def has(self, key: str) -> bool:
+        """True when a schedule file for ``key`` exists (content untested)."""
+        return self.path(key).is_file()
+
+    def get(self, key: str) -> RecordedSchedule | None:
+        """The cached schedule for ``key``, or None.
+
+        Unreadable or corrupt entries (truncated writes by a killed
+        process) are treated as misses, not errors — the caller records
+        afresh and the atomic :meth:`put` heals the entry.  Store reads
+        skip the content-hash check (entries are written atomically by
+        this same store, and re-hashing on the sweep hot path would cost
+        more than the simulation it saves at small scales) and are
+        memoised per process on the file's stat identity, so the legs of
+        a serial sweep parse each schedule once, not once per leg.
+        """
+        path = self.path(key)
+        memo_key = _memo_key(path)
+        if memo_key is not None and memo_key in _PARSE_MEMO:
+            _PARSE_MEMO.move_to_end(memo_key)
+            return _PARSE_MEMO[memo_key]
+        try:
+            schedule = load_schedule(path, verify=False)
+        except (OSError, ValueError, TypeError, KeyError, ReplayError):
+            return None
+        if memo_key is not None:
+            _memo_put(memo_key, schedule)
+        return schedule
+
+    def put(self, key: str, schedule: RecordedSchedule) -> Path:
+        """Persist ``schedule`` under ``key`` atomically; returns the path.
+
+        Temp file + ``os.replace`` in the store directory: concurrent
+        readers see either no file or a complete, hash-verified one.
+        Racing writers of the same key both succeed (last replace wins;
+        recording is deterministic, so the contents agree anyway).
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(key)
+        tmp_name = str(
+            self.root / f".{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
         )
-    packets = [
-        RecordedPacket(
-            pid=row["pid"],
-            flow_id=row["flow_id"],
-            flow_size=row["flow_size"],
-            size=row["size"],
-            src=row["src"],
-            dst=row["dst"],
-            ingress_time=row["i"],
-            output_time=row["o"],
-            path=tuple(row["path"]),
-            hop_tx=tuple(row["hop_tx"]),
-            hop_waits=tuple(row["hop_waits"]),
+        fd = os.open(tmp_name, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o666)
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(_document(schedule), handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+        return path
+
+    def get_or_record(
+        self, key: str, recorder: Callable[[], RecordedSchedule]
+    ) -> RecordedSchedule:
+        """The schedule for ``key`` — from cache, or by running ``recorder``.
+
+        A cache miss records, persists, logs the recording, and returns
+        the schedule *reloaded from disk*, so every consumer — the leg
+        that paid for the recording and every later one — replays the
+        identical post-round-trip object (round-trips are lossless, but
+        structural identity makes the byte-identity argument airtight).
+        """
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        schedule = recorder()
+        self.put(key, schedule)
+        self._log_recording(key)
+        reloaded = self.get(key)
+        return schedule if reloaded is None else reloaded
+
+    # -- the record-once audit trail --------------------------------------
+
+    def _log_recording(self, key: str) -> None:
+        """Append one line for an actual recording (O_APPEND: atomic for
+        short lines, so concurrent workers interleave but never tear)."""
+        line = f"{key} pid={os.getpid()}\n"
+        fd = os.open(
+            str(self.root / self.LOG_NAME),
+            os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+            0o666,
         )
-        for row in document["packets"]
-    ]
-    return RecordedSchedule(
-        packets,
-        threshold=document["threshold"],
-        description=document.get("description", ""),
-    )
+        try:
+            os.write(fd, line.encode())
+        finally:
+            os.close(fd)
+
+    def recorded_keys(self) -> list[str]:
+        """Keys actually recorded into this store, in recording order.
+
+        Reads ``recordings.log``; a key appears once per recording, so
+        ``len(store.recorded_keys())`` is the number of simulations the
+        store paid for — the quantity the record-once tests assert on.
+        """
+        try:
+            text = (self.root / self.LOG_NAME).read_text()
+        except OSError:
+            return []
+        return [line.split()[0] for line in text.splitlines() if line.strip()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ScheduleStore {self.root}>"
+
+
+#: The store :func:`active_schedule_store` answers with (None = no cache).
+_ACTIVE_STORE: ScheduleStore | None = None
+
+
+def active_schedule_store() -> ScheduleStore | None:
+    """The schedule store the current run records into / reads from.
+
+    Set by :func:`use_schedule_store`; ``None`` means "no cache — record
+    in memory every time", the behaviour of a bare driver call outside
+    the runner.
+    """
+    return _ACTIVE_STORE
+
+
+@contextlib.contextmanager
+def use_schedule_store(store: ScheduleStore | None) -> Iterator[ScheduleStore | None]:
+    """Make ``store`` the active schedule store for the enclosed block.
+
+    The experiment runner wraps each driver call in this so
+    :func:`repro.experiments.replayability.get_recorded_schedule` can
+    answer recordings from the sweep's shared cache.  Nests and restores
+    the previous store on exit; passing ``None`` disables caching inside
+    the block.
+    """
+    global _ACTIVE_STORE
+    previous = _ACTIVE_STORE
+    _ACTIVE_STORE = store
+    try:
+        yield store
+    finally:
+        _ACTIVE_STORE = previous

@@ -27,8 +27,11 @@ preferred entry point is now::
 from repro.experiments.replayability import (
     ReplayOutcome,
     ReplayScenario,
+    build_recorded_schedule,
+    get_recorded_schedule,
     run_replay,
     scenario_from_spec,
+    scenario_schedule_key,
     table1_scenarios,
     validate_row_indices,
 )
@@ -50,6 +53,8 @@ __all__ = [
     "ReplayOutcome",
     "ReplayScenario",
     "TailExperimentResult",
+    "build_recorded_schedule",
+    "get_recorded_schedule",
     "run_fairness_experiment",
     "run_fct_experiment",
     "run_gadget_experiment",
@@ -59,6 +64,7 @@ __all__ = [
     "run_tail_experiment",
     "run_weighted_fairness_experiment",
     "scenario_from_spec",
+    "scenario_schedule_key",
     "table1_scenarios",
     "validate_row_indices",
 ]

@@ -24,6 +24,7 @@ have satisfied) and ``"nearest"`` (unbiased noise).
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass
 
@@ -35,7 +36,9 @@ from repro.errors import ConfigurationError
 from repro.experiments.replayability import (
     ReplayScenario,
     build_recorded_schedule,
+    get_recorded_schedule,
     scenario_from_spec,
+    scenario_schedule_key,
     topology_factory,
 )
 
@@ -74,7 +77,7 @@ def run_information_experiment(
     if scenario is None:
         scenario = ReplayScenario(name="information", duration=0.15, seed=1)
     if schedule is None:
-        schedule = build_recorded_schedule(scenario)
+        schedule = get_recorded_schedule(scenario)
     factory = topology_factory(scenario)
     threshold = schedule.threshold
 
@@ -100,12 +103,23 @@ def run_information_experiment(
     return points
 
 
+def _info_recordings(spec: ExperimentSpec) -> dict:
+    """Registry hook: the single recording an info spec sweeps over."""
+    scenario = scenario_from_spec(spec)
+    return {
+        scenario_schedule_key(scenario): functools.partial(
+            build_recorded_schedule, scenario
+        )
+    }
+
+
 @register_experiment(
     "info",
     help="§5 extension: replay quality vs quantised slack information",
     options=("rounding", "steps_in_t"),
     params=("duration", "seeds", "bandwidth_scale", "schedulers",
             "topology", "utilization"),
+    recordings=_info_recordings,
 )
 def _run_info(spec: ExperimentSpec) -> tuple[Table, dict]:
     scenario = scenario_from_spec(spec)

@@ -39,6 +39,7 @@ __all__ = [
     "BENCH_SCHEMA_VERSION",
     "DEFAULT_SCHEDULERS",
     "ENGINE_BENCHES",
+    "REPLAY_STRATEGIES",
     "SWEEP_EXECUTORS",
     "bench_e2e_fig2_style",
     "bench_engine_chain",
@@ -46,6 +47,7 @@ __all__ = [
     "bench_engine_fan",
     "bench_scheduler_ops",
     "bench_sweep_executor",
+    "bench_sweep_replay",
     "run_perf_bench",
 ]
 
@@ -274,6 +276,55 @@ def bench_sweep_executor(
         return sum(a.metadata["engine_events"] for a in artifacts)
 
     return _best_of(run, repeats)
+
+
+#: The two recording strategies ``bench_sweep_replay`` prices against
+#: each other: ``"perleg"`` re-records the original schedule for every
+#: replay-mode leg (independent ``run()`` calls, the pre-PR-4 cost
+#: model); ``"once"`` runs the same legs through ``run_many``'s shared
+#: schedule store (record once, replay many).
+REPLAY_STRATEGIES = ("perleg", "once")
+
+
+def bench_sweep_replay(
+    strategy: str,
+    modes: int = 3,
+    duration: float = 0.04,
+    repeats: int = 1,
+) -> tuple[int, float]:
+    """One replay-mode sweep, recorded per-leg or once (the PR-4 tentpole).
+
+    The sweep is a single Table 1 scenario replayed under ``modes``
+    candidate UPSes.  Ops are legs completed, so the
+    ``sweep-replay-once`` : ``sweep-replay-perleg`` ops/sec ratio *is*
+    the record-once speedup; it grows with the number of modes because
+    per-leg pays one recording per mode and record-once pays exactly
+    one.  Results are byte-identical between strategies (guarded by
+    ``tests/experiments/test_record_once.py``); this bench prices the
+    difference.
+    """
+    from repro.api.runner import run, run_many
+    from repro.core.replay import REPLAY_MODES
+
+    if strategy not in REPLAY_STRATEGIES:
+        raise ValueError(f"unknown sweep-replay strategy {strategy!r}")
+    mode_axis = tuple(m for m in REPLAY_MODES if m != "omniscient")[:modes]
+    specs = ExperimentSpec(
+        "table1",
+        duration=duration,
+        options={"rows": (0,)},
+        replay_modes=mode_axis,
+    ).sweep()
+
+    def run_sweep() -> int:
+        if strategy == "once":
+            run_many(specs)  # serial, sharing a sweep-scoped schedule store
+        else:
+            for spec in specs:  # independent runs: one recording per leg
+                run(spec)
+        return len(specs)
+
+    return _best_of(run_sweep, repeats)
 
 
 # --- the registered driver ---------------------------------------------------

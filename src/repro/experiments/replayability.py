@@ -7,6 +7,20 @@ a candidate UPS, returning the two Table 1 columns (fraction overdue, and
 overdue by more than one bottleneck transmission time ``T``) plus the
 queueing-delay ratios behind Figure 1.
 
+Record once, replay many: recording the original schedule is the
+expensive half of every replay experiment, and it depends only on the
+scenario's *recording inputs* (topology, original scheduler, load, seed,
+duration, scale) — never on the replay mode or slack policy under test.
+:func:`get_recorded_schedule` therefore answers recordings through the
+active :class:`~repro.core.trace_io.ScheduleStore` when the runner has
+one open (``run_many`` over a ``replay_modes`` sweep, ``--out`` caches,
+queue workers), keyed by :func:`scenario_schedule_key`; each unique
+schedule simulates once and every replay-mode leg reloads it.
+Recordings are pid-stream independent (:func:`build_recorded_schedule`
+resets the packet-id counter) and excluded from the run's deterministic
+``engine_events`` accounting, so a leg's artifact is byte-identical
+whether its schedule was recorded in-process or fetched from the store.
+
 Scale: the defaults run every scenario at 1/100th of the paper's
 bandwidths on a 20-host Internet2 (2 edge routers per core router instead
 of 10).  Utilisation — the quantity the paper sweeps — is set against each
@@ -17,20 +31,26 @@ duration=...`` reproduces the full-scale setup if you have the hours.
 
 from __future__ import annotations
 
+import functools
+import hashlib
+import json
 import random
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 from typing import Callable, Iterable
 
 from repro.analysis.tables import Table
 from repro.api.registry import register_experiment
 from repro.api.spec import ExperimentSpec
+from repro.core.packet import reset_packet_ids
 from repro.core.replay import (
     RecordedSchedule,
     ReplayResult,
     record_schedule,
     replay_schedule,
 )
+from repro.core.trace_io import active_schedule_store
 from repro.errors import ConfigurationError
+from repro.sim.engine import ENGINE_PERF
 from repro.schedulers import (
     FifoPlusScheduler,
     FifoScheduler,
@@ -51,8 +71,11 @@ from repro.workload.flows import PoissonWorkload, poisson_flows
 __all__ = [
     "ReplayOutcome",
     "ReplayScenario",
+    "build_recorded_schedule",
+    "get_recorded_schedule",
     "run_replay",
     "scenario_from_spec",
+    "scenario_schedule_key",
     "table1_scenarios",
     "validate_row_indices",
 ]
@@ -208,23 +231,88 @@ class ReplayOutcome:
         )
 
 
-def build_recorded_schedule(scenario: ReplayScenario) -> RecordedSchedule:
-    """Record the original schedule for a scenario (no replay)."""
-    factory = topology_factory(scenario)
-    network = factory()
-    network.install_schedulers(_original_scheduler_factory(scenario))
-    flows = poisson_flows(
-        hosts=[h.name for h in network.hosts],
-        sizes=_size_distribution(scenario),
-        workload=PoissonWorkload(
-            utilization=scenario.utilization,
-            reference_bandwidth=reference_bandwidth(scenario),
-            duration=scenario.duration,
-            seed=scenario.seed,
-        ),
+def scenario_schedule_key(scenario: ReplayScenario) -> str:
+    """The schedule-store key for a scenario's recorded original schedule.
+
+    Derived from every :class:`ReplayScenario` field *except* ``name``:
+    the display name never changes what gets recorded, so two scenarios
+    that differ only in labelling (a Table 1 row and a Figure 1 sweep
+    point, say) share one cache entry.
+    """
+    payload = {
+        f.name: getattr(scenario, f.name)
+        for f in fields(ReplayScenario)
+        if f.name != "name"
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+    return f"sched-{digest[:12]}"
+
+
+def _recording_description(scenario: ReplayScenario) -> str:
+    """Deterministic schedule description from recording inputs only.
+
+    Deliberately not ``scenario.name``: the stored schedule must be
+    byte-identical no matter which experiment triggered the recording.
+    """
+    return (
+        f"{scenario.topology}/{scenario.scheduler}"
+        f"/util={scenario.utilization:g}/seed={scenario.seed}"
+        f"/dur={scenario.duration:g}/scale={scenario.bandwidth_scale:g}"
     )
-    install_udp_flows(network, flows)
-    return record_schedule(network, description=scenario.name)
+
+
+def build_recorded_schedule(scenario: ReplayScenario) -> RecordedSchedule:
+    """Record the original schedule for a scenario (no replay, no cache).
+
+    Context-independent by construction, which is what makes recordings
+    cacheable: the packet-id counter is reset so the recorded pids never
+    depend on what ran earlier in the process, and the recording's
+    engine work is excluded from :data:`~repro.sim.engine.ENGINE_PERF`
+    so a run's deterministic event count is the same whether its
+    schedule was recorded here or loaded from a
+    :class:`~repro.core.trace_io.ScheduleStore`.
+    """
+    with ENGINE_PERF.paused():
+        reset_packet_ids()
+        factory = topology_factory(scenario)
+        network = factory()
+        network.install_schedulers(_original_scheduler_factory(scenario))
+        flows = poisson_flows(
+            hosts=[h.name for h in network.hosts],
+            sizes=_size_distribution(scenario),
+            workload=PoissonWorkload(
+                utilization=scenario.utilization,
+                reference_bandwidth=reference_bandwidth(scenario),
+                duration=scenario.duration,
+                seed=scenario.seed,
+            ),
+        )
+        install_udp_flows(network, flows)
+        schedule = record_schedule(
+            network, description=_recording_description(scenario)
+        )
+        reset_packet_ids()
+    return schedule
+
+
+def get_recorded_schedule(scenario: ReplayScenario) -> RecordedSchedule:
+    """The scenario's recorded schedule — cached when a store is active.
+
+    With an active :class:`~repro.core.trace_io.ScheduleStore` (the
+    runner opens one around every driver call that has somewhere durable
+    to put it), the schedule is answered from the store and recorded at
+    most once per key; without one it is recorded in memory, the
+    pre-store behaviour.
+    """
+    store = active_schedule_store()
+    if store is None:
+        return build_recorded_schedule(scenario)
+    return store.get_or_record(
+        scenario_schedule_key(scenario),
+        functools.partial(build_recorded_schedule, scenario),
+    )
 
 
 def run_replay(
@@ -233,9 +321,25 @@ def run_replay(
     schedule: RecordedSchedule | None = None,
     **replay_kwargs,
 ) -> ReplayOutcome:
-    """Record (or reuse) the original schedule and replay it under ``mode``."""
+    """Record (or reuse) the original schedule and replay it under ``mode``.
+
+    Parameters
+    ----------
+    scenario:
+        The Table 1 row to run.
+    mode:
+        One of :data:`repro.core.replay.REPLAY_MODES`.
+    schedule:
+        A pre-recorded schedule to reuse.  When given, *no recording
+        happens* — this is the record-once path: record (or load) the
+        scenario's schedule once, then call ``run_replay(schedule=...)``
+        for every mode under test.  ``None`` fetches the schedule via
+        :func:`get_recorded_schedule`.
+    replay_kwargs:
+        Forwarded to :func:`repro.core.replay.replay_schedule`.
+    """
     if schedule is None:
-        schedule = build_recorded_schedule(scenario)
+        schedule = get_recorded_schedule(scenario)
     result = replay_schedule(
         schedule, topology_factory(scenario), mode=mode, **replay_kwargs
     )
@@ -299,13 +403,8 @@ def scenario_from_spec(spec: ExperimentSpec, default_scheduler: str = "random") 
     )
 
 
-@register_experiment(
-    "table1",
-    help="Table 1: LSTF replayability across topologies, loads, schedulers",
-    options=("rows",),
-    params=("duration", "seeds", "bandwidth_scale"),
-)
-def _run_table1(spec: ExperimentSpec) -> tuple[Table, dict]:
+def _table1_row_scenarios(spec: ExperimentSpec) -> list[ReplayScenario]:
+    """The scenarios a table1 spec runs (honouring the ``rows`` option)."""
     scenarios = table1_scenarios(
         duration=spec.duration, seed=spec.seed, bandwidth_scale=spec.bandwidth_scale
     )
@@ -316,12 +415,37 @@ def _run_table1(spec: ExperimentSpec) -> tuple[Table, dict]:
             len(scenarios),
         )
         scenarios = [scenarios[i] for i in indices]
+    return scenarios
+
+
+def _table1_recordings(spec: ExperimentSpec) -> dict[str, Callable]:
+    """Registry hook: the recordings a table1 spec needs (key → recorder)."""
+    return {
+        scenario_schedule_key(s): functools.partial(build_recorded_schedule, s)
+        for s in _table1_row_scenarios(spec)
+    }
+
+
+@register_experiment(
+    "table1",
+    help="Table 1: LSTF replayability across topologies, loads, schedulers",
+    options=("rows",),
+    params=("duration", "seeds", "bandwidth_scale", "replay_modes"),
+    recordings=_table1_recordings,
+)
+def _run_table1(spec: ExperimentSpec) -> tuple[Table, dict]:
+    mode = spec.replay_mode
+    scenarios = _table1_row_scenarios(spec)
     table = Table(
         ["scenario", "packets", "overdue", "overdue > T"],
-        title="Table 1 — LSTF replayability",
+        title=f"Table 1 — {mode} replayability",
     )
     for scenario in scenarios:
-        outcome = run_replay(scenario)
+        # Record once, replay many: fetch the schedule through the store
+        # and hand it to run_replay explicitly, so every replay-mode leg
+        # of a sweep replays the same recorded artifact.
+        schedule = get_recorded_schedule(scenario)
+        outcome = run_replay(scenario, mode=mode, schedule=schedule)
         table.add_row(
             [
                 scenario.name,
@@ -330,29 +454,48 @@ def _run_table1(spec: ExperimentSpec) -> tuple[Table, dict]:
                 outcome.fraction_overdue_beyond_t,
             ]
         )
-    return table, {"mode": "lstf", "scenarios": [s.name for s in scenarios]}
+    return table, {"mode": mode, "scenarios": [s.name for s in scenarios]}
+
+
+def _fig1_scenarios(spec: ExperimentSpec) -> list[ReplayScenario]:
+    """One scenario per original scheduler in a fig1 spec's sweep."""
+    return [
+        scenario_from_spec(
+            spec.with_(name=f"fig1/{scheduler}", schedulers=(scheduler,))
+        )
+        for scheduler in (spec.schedulers or ORIGINALS)
+    ]
+
+
+def _fig1_recordings(spec: ExperimentSpec) -> dict[str, Callable]:
+    """Registry hook: the recordings a fig1 spec needs (key → recorder)."""
+    return {
+        scenario_schedule_key(s): functools.partial(build_recorded_schedule, s)
+        for s in _fig1_scenarios(spec)
+    }
 
 
 @register_experiment(
     "fig1",
     help="Figure 1: LSTF:original queueing-delay-ratio quantiles",
     params=("duration", "seeds", "bandwidth_scale", "schedulers",
-            "topology", "utilization"),
+            "topology", "utilization", "replay_modes"),
+    recordings=_fig1_recordings,
 )
 def _run_fig1(spec: ExperimentSpec) -> tuple[Table, dict]:
     import numpy as np
 
-    schedulers = spec.schedulers or ORIGINALS
+    mode = spec.replay_mode
+    scenarios = _fig1_scenarios(spec)
     table = Table(
         ["original", "p10", "p50", "p90", "p99", "frac <= 1"],
-        title="Figure 1 — LSTF:original queueing delay ratio",
+        title=f"Figure 1 — {mode}:original queueing delay ratio",
     )
-    for scheduler in schedulers:
-        scenario = scenario_from_spec(
-            spec.with_(name=f"fig1/{scheduler}", schedulers=(scheduler,))
-        )
-        ratios = run_replay(scenario).result.queueing_delay_ratios()
+    for scenario in scenarios:
+        schedule = get_recorded_schedule(scenario)
+        outcome = run_replay(scenario, mode=mode, schedule=schedule)
+        ratios = outcome.result.queueing_delay_ratios()
         q = np.quantile(ratios, [0.1, 0.5, 0.9, 0.99])
-        table.add_row([scheduler, q[0], q[1], q[2], q[3],
+        table.add_row([scenario.scheduler, q[0], q[1], q[2], q[3],
                        float(np.mean(ratios <= 1.0 + 1e-9))])
-    return table, {"mode": "lstf", "schedulers": list(schedulers)}
+    return table, {"mode": mode, "schedulers": [s.scheduler for s in scenarios]}

@@ -28,10 +28,11 @@ being comparable themselves.
 from __future__ import annotations
 
 from collections import deque
+from contextlib import contextmanager
 from heapq import heappop, heappush
 from math import inf
 from time import perf_counter
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 from repro.errors import SimulationError
 
@@ -69,7 +70,24 @@ class EnginePerf:
 
     @property
     def events_per_sec(self) -> float:
+        """Accumulated events divided by accumulated wall time (0 if idle)."""
         return self.events / self.wall_s if self.wall_s > 0.0 else 0.0
+
+    @contextmanager
+    def paused(self) -> Iterator[None]:
+        """Exclude a block's engine work from the accumulator.
+
+        The experiment layer wraps *cacheable* work in this — recording a
+        schedule that later legs of a sweep answer from the schedule
+        store — so a run's deterministic ``engine_events`` count is the
+        same whether the recording happened here or was loaded from disk.
+        Single-threaded by design, like the accumulator itself.
+        """
+        events, wall_s = self.events, self.wall_s
+        try:
+            yield
+        finally:
+            self.events, self.wall_s = events, wall_s
 
 
 #: The accumulator :meth:`Engine.run` reports into.

@@ -33,6 +33,10 @@ specs = st.builds(
         st.none(),
         st.sampled_from(["constant", "constant:0.5", "flow-size:2", "virtual-clock:1e6"]),
     ),
+    replay_modes=st.lists(
+        st.sampled_from(["lstf", "lstf-preemptive", "edf", "priority", "omniscient"]),
+        max_size=2,
+    ).map(tuple),
     options=st.dictionaries(
         st.text(min_size=1, max_size=8),
         st.one_of(option_scalars, st.lists(option_scalars, max_size=3).map(tuple)),
@@ -97,3 +101,36 @@ def test_sweep_expands_seeds_and_schedulers():
     assert {(s.seed, s.schedulers) for s in full} == {
         (1, ("fifo",)), (1, ("fifo+",)), (2, ("fifo",)), (2, ("fifo+",)),
     }
+
+
+def test_sweep_expands_replay_modes_innermost():
+    """Mode legs come out adjacent, so legs sharing one recorded schedule
+    sit next to each other in the sweep."""
+    spec = ExperimentSpec(
+        "table1", seeds=(1, 2), replay_modes=("lstf", "priority")
+    )
+    legs = spec.sweep()
+    assert [(s.seed, s.replay_mode) for s in legs] == [
+        (1, "lstf"), (1, "priority"), (2, "lstf"), (2, "priority"),
+    ]
+    assert all(len(s.replay_modes) == 1 for s in legs)
+
+
+def test_replay_mode_accessor_defaults_to_lstf():
+    assert ExperimentSpec("table1").replay_mode == "lstf"
+    assert ExperimentSpec("table1").replay_modes == ()
+    spec = ExperimentSpec("table1", replay_modes=("edf", "priority"))
+    assert spec.replay_mode == "edf"
+    assert spec.sweep(replay_modes=("omniscient",))[0].replay_mode == "omniscient"
+
+
+def test_replay_modes_validated_at_construction():
+    with pytest.raises(ConfigurationError, match="unknown replay mode"):
+        ExperimentSpec("table1", replay_modes=("lstf", "clairvoyant"))
+
+
+def test_replay_modes_round_trip():
+    spec = ExperimentSpec("table1", replay_modes=("lstf", "edf-preemptive"))
+    wire = json.loads(json.dumps(spec.to_dict()))
+    assert ExperimentSpec.from_dict(wire) == spec
+    assert ExperimentSpec.from_dict(wire).replay_modes == ("lstf", "edf-preemptive")

@@ -1,4 +1,5 @@
-"""Tests for recorded-schedule persistence."""
+"""Tests for recorded-schedule persistence, the stable serialised format,
+and the content-addressed schedule store."""
 
 from __future__ import annotations
 
@@ -8,10 +9,17 @@ import json
 import numpy as np
 import pytest
 
-from repro.core.replay import record_schedule, replay_schedule
-from repro.core.trace_io import load_schedule, save_schedule
+from repro.core.replay import RecordedSchedule, record_schedule, replay_schedule
+from repro.core.trace_io import (
+    ScheduleStore,
+    active_schedule_store,
+    load_schedule,
+    save_schedule,
+    use_schedule_store,
+)
 from repro.errors import ReplayError
-from repro.topology.simple import build_dumbbell
+from repro.schedulers import FifoScheduler, FqScheduler, LifoScheduler, SjfScheduler
+from repro.topology.simple import build_dumbbell, build_parking_lot
 from repro.transport.udp import install_udp_flows
 from repro.workload.distributions import BoundedPareto
 from repro.workload.flows import PoissonWorkload, poisson_flows
@@ -82,3 +90,143 @@ def test_rejects_future_version(tmp_path, schedule_and_factory):
     path.write_text(json.dumps(doc))
     with pytest.raises(ReplayError):
         load_schedule(path)
+
+
+def test_reads_version1_files(tmp_path, schedule_and_factory):
+    """Pre-hash (v1) trace files still load: the packet layout is
+    unchanged, v1 just lacks the detached content hash."""
+    schedule, _make = schedule_and_factory
+    path = tmp_path / "trace.json"
+    save_schedule(schedule, path)
+    doc = json.loads(path.read_text())
+    doc.pop("content_hash")
+    doc["version"] = 1
+    path.write_text(json.dumps(doc))
+    loaded = load_schedule(path)
+    assert len(loaded) == len(schedule)
+    assert loaded.packets[0].hop_waits == schedule.packets[0].hop_waits
+
+
+def test_rejects_tampered_content(tmp_path, schedule_and_factory):
+    """The embedded content hash catches post-recording edits."""
+    schedule, _make = schedule_and_factory
+    path = tmp_path / "trace.json"
+    save_schedule(schedule, path)
+    doc = json.loads(path.read_text())
+    doc["packets"][0]["o"] += 1e-3  # a subtly corrupted target time
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ReplayError, match="content-hash"):
+        load_schedule(path)
+
+
+# --- the stable serialised format across schedulers and topologies ----------
+
+_TOPOLOGIES = {
+    "dumbbell": functools.partial(build_dumbbell, num_pairs=3),
+    "parking-lot": functools.partial(build_parking_lot, num_hops=3),
+}
+_SCHEDULERS = {
+    "fifo": FifoScheduler,
+    "fq": FqScheduler,
+    "sjf": SjfScheduler,
+    "lifo": LifoScheduler,
+}
+
+
+def _record(topology: str, scheduler: str) -> tuple[RecordedSchedule, object]:
+    make = _TOPOLOGIES[topology]
+    net = make()
+    net.install_uniform(_SCHEDULERS[scheduler])
+    flows = poisson_flows(
+        hosts=[h.name for h in net.hosts],
+        sizes=BoundedPareto(1.2, 1500, 30_000),
+        workload=PoissonWorkload(0.5, 10e6, duration=0.05, seed=11),
+    )
+    install_udp_flows(net, flows)
+    return record_schedule(net, description=f"{topology}/{scheduler}"), make
+
+
+@pytest.mark.parametrize("topology", sorted(_TOPOLOGIES))
+@pytest.mark.parametrize("scheduler", sorted(_SCHEDULERS))
+def test_round_trip_replay_is_byte_identical(tmp_path, topology, scheduler):
+    """serialize → deserialize → replay equals replaying the in-memory
+    schedule, across 4 original schedulers x 2 topologies (the satellite's
+    acceptance matrix)."""
+    schedule, make = _record(topology, scheduler)
+    reloaded = RecordedSchedule.from_dict(json.loads(schedule.canonical_json()))
+    assert reloaded.content_hash() == schedule.content_hash()
+
+    path = tmp_path / "trace.json"
+    save_schedule(schedule, path)
+    from_disk = load_schedule(path)
+    assert from_disk.content_hash() == schedule.content_hash()
+
+    direct = replay_schedule(schedule, make, mode="lstf")
+    replayed = replay_schedule(from_disk, make, mode="lstf")
+    assert np.array_equal(direct.lateness, replayed.lateness)
+
+
+def test_content_hash_distinguishes_schedules():
+    a, _ = _record("dumbbell", "fifo")
+    b, _ = _record("dumbbell", "lifo")
+    assert a.content_hash() != b.content_hash()
+
+
+# --- the schedule store ------------------------------------------------------
+
+
+class TestScheduleStore:
+    def _schedule(self):
+        schedule, _make = _record("dumbbell", "fifo")
+        return schedule
+
+    def test_put_get_round_trip(self, tmp_path):
+        store = ScheduleStore(tmp_path)
+        schedule = self._schedule()
+        store.put("sched-abc", schedule)
+        loaded = store.get("sched-abc")
+        assert loaded is not None
+        assert loaded.content_hash() == schedule.content_hash()
+
+    def test_get_miss_and_corrupt_entry_return_none(self, tmp_path):
+        store = ScheduleStore(tmp_path)
+        assert store.get("nope") is None
+        store.path("torn").parent.mkdir(parents=True, exist_ok=True)
+        store.path("torn").write_text('{"format": "repro.recorded_sche')
+        assert store.get("torn") is None
+
+    def test_get_or_record_records_once_and_logs(self, tmp_path):
+        store = ScheduleStore(tmp_path)
+        calls = []
+
+        def recorder():
+            calls.append(1)
+            return self._schedule()
+
+        first = store.get_or_record("k", recorder)
+        second = store.get_or_record("k", recorder)
+        assert len(calls) == 1
+        assert store.recorded_keys() == ["k"]
+        assert first.content_hash() == second.content_hash()
+
+    def test_get_or_record_returns_post_round_trip_object(self, tmp_path):
+        """Every consumer replays the reloaded object, recorder included."""
+        store = ScheduleStore(tmp_path)
+        in_memory = self._schedule()
+        stored = store.get_or_record("k", lambda: in_memory)
+        assert stored is not in_memory
+        assert stored.content_hash() == in_memory.content_hash()
+
+
+def test_use_schedule_store_nests_and_restores(tmp_path):
+    assert active_schedule_store() is None
+    outer = ScheduleStore(tmp_path / "outer")
+    inner = ScheduleStore(tmp_path / "inner")
+    with use_schedule_store(outer):
+        assert active_schedule_store() is outer
+        with use_schedule_store(inner):
+            assert active_schedule_store() is inner
+        with use_schedule_store(None):  # explicit opt-out
+            assert active_schedule_store() is None
+        assert active_schedule_store() is outer
+    assert active_schedule_store() is None

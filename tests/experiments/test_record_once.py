@@ -1,0 +1,191 @@
+"""Record-once/replay-many acceptance tests (the PR-4 tentpole).
+
+The contract: a replay-mode sweep over M modes records each unique
+original schedule *exactly once* (recorder call counts / the store's
+``recordings.log``) and its gathered artifacts are *byte-identical* to
+the record-per-leg path, under all three executors.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.api import ExperimentSpec, run, run_many
+from repro.core.trace_io import ScheduleStore, use_schedule_store
+from repro.errors import ConfigurationError
+from repro.experiments import replayability
+from repro.experiments.replayability import (
+    ReplayScenario,
+    build_recorded_schedule,
+    get_recorded_schedule,
+    run_replay,
+    scenario_schedule_key,
+)
+
+MODES = ("lstf", "priority", "edf")
+
+
+def _legs(**overrides) -> list[ExperimentSpec]:
+    spec = ExperimentSpec(
+        "table1",
+        duration=0.03,
+        options={"rows": (0,)},
+        replay_modes=MODES,
+        **overrides,
+    )
+    return spec.sweep()
+
+
+@pytest.fixture
+def recorder_calls(monkeypatch):
+    """Count invocations of the actual schedule recorder."""
+    calls: list[ReplayScenario] = []
+    real = build_recorded_schedule
+
+    def counting(scenario):
+        calls.append(scenario)
+        return real(scenario)
+
+    monkeypatch.setattr(replayability, "build_recorded_schedule", counting)
+    return calls
+
+
+class TestExactlyOnce:
+    def test_serial_sweep_records_each_schedule_exactly_once(
+        self, recorder_calls
+    ):
+        artifacts = run_many(_legs())
+        assert len(artifacts) == len(MODES)
+        assert len(recorder_calls) == 1  # one scenario, three modes
+        assert [a.metadata["mode"] for a in artifacts] == list(MODES)
+
+    def test_two_scenarios_three_modes_is_two_recordings(self, recorder_calls):
+        legs = ExperimentSpec(
+            "table1", duration=0.03, options={"rows": (0, 5)},
+            replay_modes=MODES,
+        ).sweep()
+        run_many(legs)
+        assert len(recorder_calls) == 2
+        keys = {scenario_schedule_key(s) for s in recorder_calls}
+        assert len(keys) == 2
+
+    @pytest.mark.parametrize("executor", ["serial", "process", "queue"])
+    def test_store_log_shows_one_recording_per_executor(
+        self, tmp_path, executor
+    ):
+        kwargs: dict = {"executor": executor, "workers": 2}
+        if executor == "queue":
+            kwargs["queue_dir"] = tmp_path / "q"
+            store_root = tmp_path / "q" / "artifacts" / "schedules"
+        else:
+            kwargs["out_dir"] = tmp_path / "out"
+            store_root = tmp_path / "out" / "schedules"
+        run_many(_legs(), **kwargs)
+        assert ScheduleStore(store_root).recorded_keys() == [
+            scenario_schedule_key(replayability.table1_scenarios(
+                duration=0.03, seed=1, bandwidth_scale=0.01
+            )[0])
+        ]
+
+    def test_warm_schedule_store_records_nothing(
+        self, tmp_path, recorder_calls
+    ):
+        out = tmp_path / "out"
+        run_many(_legs(), out_dir=out)
+        assert len(recorder_calls) == 1
+        # a different replay-mode sweep over the same scenario: the
+        # artifact cache misses, but the schedule store answers every
+        # recording, so the recorder never runs again
+        run_many(_legs()[:1], out_dir=out, force=True)
+        assert len(recorder_calls) == 1
+
+
+class TestByteIdentity:
+    """Record-once artifacts == record-per-leg artifacts, bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def per_leg_reference(self):
+        """The record-per-leg path: independent run() calls, no store."""
+        return [run(s).canonical_json() for s in _legs()]
+
+    @pytest.mark.parametrize("executor", ["serial", "process", "queue"])
+    def test_executors_match_per_leg_recording(
+        self, tmp_path, executor, per_leg_reference
+    ):
+        kwargs: dict = {"executor": executor, "workers": 2}
+        if executor == "queue":
+            kwargs["queue_dir"] = tmp_path / "q"
+        artifacts = run_many(_legs(), **kwargs)
+        assert [a.canonical_json() for a in artifacts] == per_leg_reference
+
+    def test_recordings_are_pid_stream_independent(self):
+        """A recording is byte-identical no matter what ran before it in
+        the process — the property the shared store depends on."""
+        scenario = replayability.table1_scenarios(duration=0.03)[0]
+        first = build_recorded_schedule(scenario)
+        # pollute the packet-id counter with an unrelated simulation
+        run(ExperimentSpec("table1", duration=0.02, options={"rows": (0,)}))
+        second = build_recorded_schedule(scenario)
+        assert first.content_hash() == second.content_hash()
+
+
+class TestRunReplayScheduleKwarg:
+    """Regression: ``run_replay(schedule=...)`` must never re-record."""
+
+    def _scenario(self):
+        return ReplayScenario(name="kwarg-path", duration=0.03, seed=1)
+
+    def test_given_schedule_is_not_rerecorded(self, recorder_calls):
+        scenario = self._scenario()
+        schedule = build_recorded_schedule(scenario)
+        recorder_calls.clear()
+        outcome = run_replay(scenario, mode="lstf", schedule=schedule)
+        assert len(recorder_calls) == 0  # recorder invoked zero times
+        assert outcome.schedule is schedule
+
+    def test_reuse_across_modes_equals_fresh_recordings(self, recorder_calls):
+        scenario = self._scenario()
+        schedule = build_recorded_schedule(scenario)
+        recorder_calls.clear()
+        reused = [
+            run_replay(scenario, mode=m, schedule=schedule) for m in MODES
+        ]
+        assert len(recorder_calls) == 0
+        fresh = [run_replay(scenario, mode=m) for m in MODES]
+        assert len(recorder_calls) == len(MODES)  # one recording per call
+        for a, b in zip(reused, fresh):
+            assert a.fraction_overdue == b.fraction_overdue
+            assert a.fraction_overdue_beyond_t == b.fraction_overdue_beyond_t
+
+
+class TestScheduleKeyAndStore:
+    def test_key_ignores_display_name_only(self):
+        a = ReplayScenario(name="row 0", duration=0.03)
+        b = ReplayScenario(name="fig1/random", duration=0.03)
+        c = ReplayScenario(name="row 0", duration=0.03, seed=2)
+        assert scenario_schedule_key(a) == scenario_schedule_key(b)
+        assert scenario_schedule_key(a) != scenario_schedule_key(c)
+
+    def test_get_recorded_schedule_uses_active_store(
+        self, tmp_path, recorder_calls
+    ):
+        scenario = ReplayScenario(name="store-path", duration=0.03)
+        store = ScheduleStore(tmp_path)
+        with use_schedule_store(store):
+            first = get_recorded_schedule(scenario)
+            second = get_recorded_schedule(scenario)
+        assert len(recorder_calls) == 1
+        assert first.content_hash() == second.content_hash()
+        # without a store every call records afresh
+        get_recorded_schedule(scenario)
+        assert len(recorder_calls) == 2
+
+
+def test_replay_modes_rejected_by_non_replay_experiments():
+    with pytest.raises(ConfigurationError, match="replay"):
+        # the runner rejects spec *options* it does not read; replay_modes
+        # is a param, so the CLI-level guard is exercised in test_cli —
+        # here we check the spec itself validates mode names
+        ExperimentSpec("table1", replay_modes=("clairvoyant",))

@@ -122,6 +122,23 @@ def test_flags_an_experiment_ignores_are_rejected(capsys):
     assert "does not use --scale" in capsys.readouterr().err
     assert main(["run", "table1", "--slack", "constant"]) == 2
     assert "does not use --slack" in capsys.readouterr().err
+    assert main(["run", "fig2", "--replay-modes", "lstf"]) == 2
+    assert "does not use --replay-modes" in capsys.readouterr().err
+
+
+def test_replay_mode_sweep_emits_one_artifact_per_mode(capsys):
+    assert main(["run", "table1", "--rows", "0", "--duration", "0.03",
+                 "--replay-modes", "lstf", "priority", "--json"]) == 0
+    artifacts = json.loads(capsys.readouterr().out)
+    assert [a["spec"]["replay_modes"] for a in artifacts] == [
+        ["lstf"], ["priority"]
+    ]
+    assert [a["metadata"]["mode"] for a in artifacts] == ["lstf", "priority"]
+
+
+def test_replay_modes_validated_before_simulation(capsys):
+    assert main(["run", "table1", "--replay-modes", "clairvoyant"]) == 2
+    assert "unknown replay mode" in capsys.readouterr().err
 
 
 def test_info_command(capsys):

@@ -40,7 +40,7 @@ from repro.api.results import RunArtifact, load_artifact, spec_run_id
 from repro.api.spec import ExperimentSpec
 from repro.core.packet import reset_packet_ids
 from repro.core.trace_io import ScheduleStore, use_schedule_store
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require_positive_int
 from repro.sim.engine import ENGINE_PERF
 
 __all__ = ["EXECUTORS", "cached_artifact", "run", "run_many"]
@@ -272,6 +272,7 @@ def run_many(
     force: bool = False,
     executor: str | None = None,
     queue_dir: str | Path | None = None,
+    batch_size: int | None = None,
 ) -> list[RunArtifact]:
     """Execute several specs under one of three executors.
 
@@ -282,6 +283,13 @@ def run_many(
       drain-worker processes are spawned, and the call blocks until the
       sweep's artifacts can be gathered.  External ``repro worker``
       daemons already pointed at the same queue pitch in too.
+      ``batch_size`` caps how many jobs each drain worker leases per
+      broker round trip (``1`` recovers the per-job protocol) —
+      batching amortises the queue's claim/heartbeat/report cost across
+      jobs without changing results.  When not given, the default
+      (:data:`repro.cluster.worker.DEFAULT_BATCH_SIZE`) is clamped to
+      ``ceil(jobs / workers)`` so batching never serialises a sweep
+      onto fewer workers than requested.
 
     ``executor=None`` infers the mode: ``"queue"`` when ``queue_dir`` is
     given, else ``"serial"``/``"process"`` from ``workers`` (the
@@ -304,10 +312,7 @@ def run_many(
     recording cost once, not M times, under all three executors.
     """
     spec_list: Sequence[ExperimentSpec] = list(specs)
-    if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
-        raise ConfigurationError(
-            f"workers must be an integer >= 1, got {workers!r}"
-        )
+    require_positive_int(workers, "workers")
     if executor is None:
         executor = (
             "queue" if queue_dir is not None
@@ -317,16 +322,24 @@ def run_many(
         raise ConfigurationError(
             f"unknown executor {executor!r}; one of {EXECUTORS}"
         )
+    if batch_size is not None:
+        require_positive_int(batch_size, "batch_size")
     if executor == "queue":
         if queue_dir is None:
             raise ConfigurationError(
                 "executor='queue' needs queue_dir= (the queue directory "
                 "workers share)"
             )
-        return _run_many_queue(spec_list, workers, queue_dir, out_dir, force)
+        return _run_many_queue(
+            spec_list, workers, queue_dir, out_dir, force, batch_size
+        )
     if queue_dir is not None:
         raise ConfigurationError(
             f"queue_dir= only applies to executor='queue', not {executor!r}"
+        )
+    if batch_size is not None:
+        raise ConfigurationError(
+            f"batch_size= only applies to executor='queue', not {executor!r}"
         )
     with _sweep_schedule_dir(spec_list, out_dir) as schedule_dir:
         if schedule_dir is not None:
@@ -352,6 +365,7 @@ def _run_many_queue(
     queue_dir: str | Path,
     out_dir: str | Path | None,
     force: bool,
+    batch_size: int | None,
 ) -> list[RunArtifact]:
     """Queue-executor backend: submit, spawn drain workers, gather.
 
@@ -359,7 +373,7 @@ def _run_many_queue(
     top of this module, so a top-level import would be circular.
     """
     from repro.cluster.client import gather, submit
-    from repro.cluster.worker import drain_queue
+    from repro.cluster.worker import DEFAULT_BATCH_SIZE, drain_queue
 
     # out_dir keeps its run()/run_many() cache contract: specs already
     # answered there never reach the queue at all.
@@ -371,25 +385,51 @@ def _run_many_queue(
                 results[index] = cached
     misses = [i for i in range(len(spec_list)) if i not in results]
     if misses:
+        missed_specs = [spec_list[i] for i in misses]
+        if batch_size is None:
+            # The default trades broker round trips against work-sharing
+            # granularity — but it must never cost parallelism the caller
+            # asked for.  Clamp so all `workers` drain workers can claim
+            # a batch (an explicit batch_size= is honored as given).
+            per_worker = -(-len(misses) // workers)  # ceil division
+            batch_size = max(1, min(DEFAULT_BATCH_SIZE, per_worker))
         # Record-once pre-pass into the queue's shared artifact store:
         # workers run jobs with out_dir=<queue>/artifacts, so they fetch
         # recorded schedules from <queue>/artifacts/schedules instead of
-        # re-simulating the originals once per replay-mode leg.
-        queue_schedule_dir = Path(queue_dir) / "artifacts" / SCHEDULE_SUBDIR
-        _record_sweep_schedules(
-            [spec_list[i] for i in misses],
-            queue_schedule_dir, workers, out_dir, force,
-        )
-        job_ids = submit([spec_list[i] for i in misses], queue_dir, force=force)
+        # re-simulating the originals once per replay-mode leg.  Only
+        # worth the parent's time when some key IS shared between legs —
+        # otherwise each key belongs to exactly one leg, that leg
+        # records it into the store itself, and the exactly-once
+        # guarantee holds with no pre-pass (and no pre-pass pool).
+        if _sweep_shares_recordings(missed_specs):
+            queue_schedule_dir = Path(queue_dir) / "artifacts" / SCHEDULE_SUBDIR
+            _record_sweep_schedules(
+                missed_specs, queue_schedule_dir, workers, out_dir, force,
+            )
+        job_ids = submit(missed_specs, queue_dir, force=force)
         context = multiprocessing.get_context()
+        # Workers beyond one per claimable batch can never claim on the
+        # happy path (the first ceil(jobs/batch) claims empty the
+        # queue), so don't pay their fork/poll/join.  poll_s well under
+        # the drain default: these workers exist only for this call, and
+        # every poll interval they sleep after the last job lands is
+        # latency the gathering caller eats.
+        batches = -(-len(misses) // batch_size)  # ceil division
         procs = [
-            context.Process(target=drain_queue, args=(str(queue_dir),))
-            for _ in range(min(workers, len(misses)))
+            context.Process(
+                target=drain_queue,
+                args=(str(queue_dir),),
+                kwargs={"batch_size": batch_size, "poll_s": 0.05},
+            )
+            for _ in range(min(workers, batches))
         ]
         for proc in procs:
             proc.start()
         try:
-            gathered = gather(queue_dir, job_ids)
+            # A tight poll ceiling: the workers are local children, the
+            # state read is two indexed columns, and every interval past
+            # the last report is pure caller latency.
+            gathered = gather(queue_dir, job_ids, poll_s=0.02)
         finally:
             for proc in procs:
                 proc.join(timeout=60.0)

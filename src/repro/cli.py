@@ -17,8 +17,17 @@ Distributed sweeps ride the same registry through the job queue of
     python -m repro submit fig3 --seeds 1 2 3 4 --queue runs/q   # enqueue
     python -m repro worker --queue runs/q &                      # N daemons
     python -m repro status --queue runs/q                        # watch
+    python -m repro gather runs/q                                # collect
+    python -m repro gc --queue runs/q                            # GC schedules
     python -m repro submit fig3 --seeds 1 2 3 4 --queue runs/q --wait
     python -m repro run fig3 --seeds 1 2 3 4 --executor queue --queue runs/q
+
+Workers lease jobs in batches (``--batch-size``, default 4) under one
+persistent worker lease, which amortises the broker's claim/heartbeat/
+report cost across tiny jobs; ``--batch-size 1`` recovers the per-job
+protocol.  ``repro gather QUEUE_DIR`` lets any process — not just the
+submitter — block on a sweep and collect its artifacts; ``repro gc
+--queue DIR`` prunes recorded schedules no live job needs.
 
 Flags are honored exactly as given — a spec never lies about the run it
 describes.  (One deliberate divergence from the pre-registry CLI: fig2
@@ -56,6 +65,7 @@ from typing import Sequence
 
 from repro.analysis.tables import Table
 from repro.api import EXECUTORS, REGISTRY, ExperimentSpec, run_many, spec_run_id
+from repro.cluster.worker import DEFAULT_BATCH_SIZE
 from repro.errors import ConfigurationError, ReproError
 
 __all__ = ["main", "build_parser"]
@@ -125,6 +135,11 @@ def _add_experiment_args(parser: argparse.ArgumentParser, with_rows: bool) -> No
                         help="job-queue directory for --executor queue "
                              "(implies it); local drain workers are spawned "
                              "and external `repro worker` daemons join in")
+    parser.add_argument("--batch-size", type=int, default=None, metavar="N",
+                        dest="batch_size",
+                        help="with --executor queue: jobs each worker leases "
+                             "per broker round trip (default 4; 1 = the "
+                             "per-job protocol)")
     _add_output_args(parser)
     parser.add_argument("--out", default=None, metavar="DIR",
                         help="persist each artifact under DIR; DIR doubles "
@@ -207,6 +222,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         artifacts = run_many(
             _sweep_specs(spec), workers=args.workers, out_dir=args.out,
             force=args.force, executor=args.executor, queue_dir=args.queue,
+            batch_size=args.batch_size,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -258,13 +274,13 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     try:
         queue = JobQueue(args.queue)
         worker = Worker(queue, worker_id=args.id, lease_s=args.lease,
-                        poll_s=args.poll)
+                        poll_s=args.poll, batch_size=args.batch_size)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     worker.install_signal_handlers()
     print(f"worker {worker.worker_id} serving {queue.queue_dir} "
-          f"(lease {worker.lease_s:g}s, "
+          f"(lease {worker.lease_s:g}s, batch {worker.batch_size}, "
           f"{'drain' if args.drain else 'daemon'} mode)", file=sys.stderr)
     if args.drain:
         count = worker.drain(max_jobs=args.max_jobs)
@@ -272,6 +288,53 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         count = worker.serve(max_jobs=args.max_jobs)
     print(f"worker {worker.worker_id} exiting after {count} job(s)",
           file=sys.stderr)
+    return 0
+
+
+def _cmd_gather(args: argparse.Namespace) -> int:
+    """Block until a queue's jobs are terminal and print their artifacts.
+
+    The non-submitter's collection path: any process that can see the
+    queue directory can gather a sweep, without holding the job ids the
+    submitter printed (``--jobs`` narrows to a subset).
+    """
+    from repro.cluster import client
+
+    try:
+        job_ids = args.jobs
+        if job_ids is None:
+            job_ids = [job.id for job in client.status(args.queue).jobs]
+            if not job_ids:
+                raise ConfigurationError(
+                    f"queue {args.queue} has no jobs to gather — nothing "
+                    f"was submitted yet?"
+                )
+        artifacts = client.gather(args.queue, job_ids, timeout=args.timeout)
+        if args.out:
+            for artifact in artifacts:
+                print(f"wrote {artifact.save(args.out)}", file=sys.stderr)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _emit_artifacts(args, artifacts)
+    return 0
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    """Prune recorded schedules no live job of the queue still needs."""
+    from repro.cluster import client
+
+    try:
+        removed, kept = client.prune_schedules(args.queue,
+                                               dry_run=args.dry_run)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    verb = "would remove" if args.dry_run else "removed"
+    for key in removed:
+        print(f"{verb} {key}", file=sys.stderr)
+    print(f"{verb} {len(removed)} schedule(s), kept {len(kept)} in use "
+          f"({args.queue})")
     return 0
 
 
@@ -350,9 +413,37 @@ def build_parser() -> argparse.ArgumentParser:
                         "its job reclaimed (default 30)")
     p.add_argument("--poll", type=float, default=0.2, metavar="S",
                    help="idle poll interval in seconds (default 0.2)")
+    p.add_argument("--batch-size", type=int, default=DEFAULT_BATCH_SIZE,
+                   metavar="N", dest="batch_size",
+                   help="jobs leased per broker round trip (default "
+                        f"{DEFAULT_BATCH_SIZE}; 1 = the per-job protocol)")
     p.add_argument("--id", default=None, metavar="NAME",
                    help="worker identity (default host:pid)")
     p.set_defaults(fn=_cmd_worker)
+
+    p = sub.add_parser(
+        "gather",
+        help="block until a queue's jobs finish and print their artifacts")
+    p.add_argument("queue", metavar="QUEUE_DIR",
+                   help="queue directory to collect from (any process can "
+                        "gather, not just the submitter)")
+    p.add_argument("--jobs", type=int, nargs="+", default=None, metavar="ID",
+                   help="only these job ids (default: every job in the queue)")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="give up after S seconds (default: wait forever)")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="also save each gathered artifact under DIR")
+    _add_output_args(p)
+    p.set_defaults(fn=_cmd_gather)
+
+    p = sub.add_parser(
+        "gc",
+        help="prune recorded schedules no pending/running job still needs")
+    p.add_argument("--queue", required=True, metavar="DIR",
+                   help="queue directory whose schedule store to collect")
+    p.add_argument("--dry-run", action="store_true", dest="dry_run",
+                   help="report what would be removed without removing it")
+    p.set_defaults(fn=_cmd_gc)
 
     p = sub.add_parser(
         "status", help="snapshot a job queue: counts plus one row per job")

@@ -24,12 +24,20 @@ content-addressed cache, so duplicate specs across concurrent sweeps
 simulate exactly once; determinism makes that sharing sound.
 """
 
-from repro.cluster.client import QueueStatus, gather, status, submit
+from repro.cluster.client import (
+    QueueStatus,
+    gather,
+    prune_schedules,
+    schedule_keys_in_use,
+    status,
+    submit,
+)
 from repro.cluster.jobs import DONE, FAILED, PENDING, RUNNING, STATES, Job
 from repro.cluster.queue import JobQueue
-from repro.cluster.worker import Worker, drain_queue
+from repro.cluster.worker import DEFAULT_BATCH_SIZE, Worker, drain_queue
 
 __all__ = [
+    "DEFAULT_BATCH_SIZE",
     "DONE",
     "FAILED",
     "Job",
@@ -41,6 +49,8 @@ __all__ = [
     "Worker",
     "drain_queue",
     "gather",
+    "prune_schedules",
+    "schedule_keys_in_use",
     "status",
     "submit",
 ]

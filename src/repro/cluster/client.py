@@ -20,7 +20,7 @@ dropped.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
@@ -31,7 +31,14 @@ from repro.cluster.jobs import DONE, FAILED, STATES, Job
 from repro.cluster.queue import JobQueue
 from repro.errors import ClusterError, ConfigurationError, JobFailedError
 
-__all__ = ["QueueStatus", "gather", "status", "submit"]
+__all__ = [
+    "QueueStatus",
+    "gather",
+    "prune_schedules",
+    "schedule_keys_in_use",
+    "status",
+    "submit",
+]
 
 
 def submit(
@@ -58,6 +65,10 @@ class QueueStatus:
     queue_dir: Path
     counts: dict[str, int]
     jobs: list[Job]
+    #: Live worker registrations (the batch-claim lease records): one
+    #: dict per worker with ``worker`` / ``registered_at`` /
+    #: ``lease_expires_at`` / ``running`` (jobs currently held).
+    workers: list[dict] = field(default_factory=list)
 
     @property
     def done(self) -> bool:
@@ -70,11 +81,14 @@ class QueueStatus:
             "queue_dir": str(self.queue_dir),
             "counts": dict(self.counts),
             "jobs": [job.to_dict() for job in self.jobs],
+            "workers": [dict(worker) for worker in self.workers],
         }
 
     def table(self) -> Table:
         """The ``repro status`` view: one row per job."""
         head = ", ".join(f"{self.counts[s]} {s}" for s in STATES)
+        if self.workers:
+            head += f"; {len(self.workers)} worker(s) registered"
         table = Table(
             ["job", "experiment", "run_id", "state", "attempts", "worker",
              "error"],
@@ -110,6 +124,7 @@ def status(
         queue_dir=queue.queue_dir,
         counts=queue.counts(),
         jobs=queue.jobs(ids=job_ids),
+        workers=queue.workers(),
     )
 
 
@@ -139,13 +154,22 @@ def gather(
     pairs — full job records and artifacts load once, at the end — and
     it reaps expired leases, so a sweep whose every worker crashed
     converges to a :class:`JobFailedError` instead of hanging.
+    ``poll_s`` is the *ceiling* of an adaptive interval: polling starts
+    an order of magnitude tighter and backs off exponentially, so a
+    batch of tiny jobs is noticed within milliseconds of its report
+    while a long sweep still costs only ``1/poll_s`` reads a second.
     """
     queue = JobQueue(queue_dir, create=False)
     ids = list(job_ids)
     deadline = None if timeout is None else time.monotonic() + float(timeout)
+    sleep_s = min(float(poll_s), 0.005)
     # Reaping is a write transaction and leases move on the lease
     # timescale, so reap far less often than the read-only state poll —
-    # no point contending with workers' claims every poll_s.
+    # no point contending with workers' claims every poll_s.  The first
+    # reap runs immediately, though: a non-submitter gathering an old
+    # queue may be looking at jobs whose workers died long ago, and the
+    # promised fast convergence to JobFailedError depends on driving
+    # those leases to pending/failed before the first timeout check.
     reap_every = max(poll_s, queue.default_lease_s / 4.0)
     next_reap = time.monotonic()
     while True:
@@ -170,4 +194,70 @@ def gather(
                 f"{unfinished} — are any workers running against "
                 f"{queue.queue_dir}?"
             )
-        time.sleep(poll_s)
+        time.sleep(sleep_s)
+        sleep_s = min(sleep_s * 2.0, float(poll_s))
+
+
+# -- schedule-store garbage collection ------------------------------------
+
+
+def _keys_in_use(queue: JobQueue) -> set[str]:
+    """The in-use key set of :func:`schedule_keys_in_use`, given a queue."""
+    from repro.api.registry import REGISTRY
+    from repro.cluster.jobs import PENDING, RUNNING
+
+    keys: set[str] = set()
+    # query the live states only: a long-lived queue dir holds thousands
+    # of terminal rows, and rebuilding their specs just to skip them
+    # would make every gc run O(history)
+    for state in (PENDING, RUNNING):
+        for job in queue.jobs(state=state):
+            entry = REGISTRY.get(job.spec.experiment)
+            if entry.recordings is None:
+                continue
+            keys.update(entry.recordings(job.spec))
+    return keys
+
+
+def schedule_keys_in_use(queue_dir: str | Path) -> set[str]:
+    """The recorded-schedule keys the queue's *live* jobs still need.
+
+    A key is in use while any pending or running job's experiment
+    declares it through the registry's ``recordings`` hook — those jobs
+    will fetch the schedule from the store when a worker picks them up.
+    Terminal jobs contribute nothing: their artifacts are already in the
+    cache, so they never touch the schedule store again (a ``--force``
+    resubmission re-records from scratch).  ``queue_dir`` must be an
+    existing queue; a typo'd path raises
+    :class:`~repro.errors.ClusterError` rather than reporting an empty
+    working set and licensing a full wipe.
+    """
+    return _keys_in_use(JobQueue(queue_dir, create=False))
+
+
+def prune_schedules(
+    queue_dir: str | Path, dry_run: bool = False
+) -> tuple[list[str], list[str]]:
+    """Garbage-collect a queue's recorded-schedule store (``repro gc``).
+
+    Long-lived queue directories accumulate schedules for sweeps that
+    finished long ago; this removes every store entry whose key is not
+    in :func:`schedule_keys_in_use` and returns ``(removed, kept)`` key
+    lists.  Removal is atomic per entry (one ``unlink`` each), so a
+    worker racing the GC sees either a complete schedule file or a
+    clean miss it re-records — never a torn one.  ``dry_run=True`` only
+    reports what would go.
+    """
+    from repro.api.runner import SCHEDULE_SUBDIR
+    from repro.core.trace_io import ScheduleStore
+
+    queue = JobQueue(queue_dir, create=False)
+    in_use = _keys_in_use(queue)
+    store = ScheduleStore(queue.artifact_dir / SCHEDULE_SUBDIR)
+    if dry_run:
+        present = store.keys()
+        removed = sorted(k for k in present if k not in in_use)
+        kept = sorted(k for k in present if k in in_use)
+        return removed, kept
+    removed = store.prune(in_use)
+    return removed, sorted(set(store.keys()) & in_use)

@@ -15,13 +15,32 @@ network filesystems routinely break SQLite locking outright.
 Cross-machine federation is a roadmap item and will need a different
 broker, not a shared ``queue.db``.
 
-Crash safety is lease-based: :meth:`claim` hands a job out with a lease
-deadline, the worker's heartbeat thread keeps pushing the deadline
+Crash safety is lease-based: :meth:`claim_batch` hands jobs out with a
+lease deadline, the worker's heartbeat keeps pushing the deadline
 forward, and a worker that dies (including SIGKILL) simply stops
-heartbeating — the next :meth:`claim` by anyone reclaims the expired
-job.  ``attempts`` counts claims, so a job that keeps killing its
-workers exhausts ``max_attempts`` and lands in a terminal ``failed``
+heartbeating — the next :meth:`claim_batch` by anyone reclaims every
+expired job.  ``attempts`` counts claims, so a job that keeps killing
+its workers exhausts ``max_attempts`` and lands in a terminal ``failed``
 record instead of looping forever.
+
+The broker cost is amortised across jobs, not paid per job:
+
+* :meth:`claim_batch` leases up to *n* runnable jobs in **one**
+  ``BEGIN IMMEDIATE`` transaction (claiming four tiny jobs costs one
+  SQLite write round trip, not four);
+* workers hold a **persistent lease record** — one row in the
+  ``leases`` table, registered once per worker — and renew it with
+  :meth:`heartbeat_worker`, a single timer-driven transaction that
+  pushes the worker row *and every job the worker holds* forward
+  together, instead of one heartbeat per held job;
+* :meth:`report_batch` writes a whole batch of outcomes (acks and
+  failures alike) back in one transaction.
+
+Crash semantics are unchanged by batching: all jobs in a SIGKILLed
+worker's batch share the worker's deadline, so the whole batch expires
+and is reclaimed together, each job charged exactly the one attempt its
+claim burned.  The ``leases`` table is created on first open, so a
+queue directory from before batch claims upgrades in place.
 
 Connections are opened per operation and never cached: cheap for a
 coarse-grained work queue (jobs are whole simulations), and it means the
@@ -50,7 +69,7 @@ from repro.cluster.jobs import (
     Job,
     job_from_row,
 )
-from repro.errors import ClusterError, ConfigurationError
+from repro.errors import ClusterError, ConfigurationError, require_positive_int
 
 __all__ = ["JobQueue"]
 
@@ -71,6 +90,11 @@ CREATE TABLE IF NOT EXISTS jobs (
     error            TEXT
 );
 CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state, id);
+CREATE TABLE IF NOT EXISTS leases (
+    worker           TEXT PRIMARY KEY,
+    registered_at    REAL NOT NULL,
+    lease_expires_at REAL NOT NULL
+);
 """
 
 _COLS = ", ".join(JOB_COLUMNS)
@@ -112,6 +136,10 @@ class JobQueue:
         self.queue_dir.mkdir(parents=True, exist_ok=True)
         self.artifact_dir.mkdir(parents=True, exist_ok=True)
         with closing(self._connect()) as conn:
+            # WAL is a persistent database property: set it once here
+            # rather than per connection, so the per-operation connects
+            # stay pure open/query/close.
+            conn.execute("PRAGMA journal_mode=WAL")
             conn.executescript(_SCHEMA)
 
     @property
@@ -125,10 +153,10 @@ class JobQueue:
 
     def _connect(self) -> sqlite3.Connection:
         # autocommit mode + explicit BEGIN IMMEDIATE where atomicity
-        # spans a read-modify-write; WAL lets readers coexist with the
+        # spans a read-modify-write; WAL (set at queue init — it is a
+        # persistent database property) lets readers coexist with the
         # single writer.
         conn = sqlite3.connect(self.db_path, timeout=30.0, isolation_level=None)
-        conn.execute("PRAGMA journal_mode=WAL")
         conn.execute("PRAGMA synchronous=NORMAL")
         return conn
 
@@ -183,7 +211,9 @@ class JobQueue:
     def _reclaim_expired(self, conn: sqlite3.Connection, now: float) -> None:
         """Expired leases → back to pending, or terminal once out of budget.
 
-        Caller holds an open ``BEGIN IMMEDIATE`` transaction.
+        Also drops expired worker-lease rows: a registration whose
+        deadline passed belongs to a presumed-dead worker.  Caller holds
+        an open ``BEGIN IMMEDIATE`` transaction.
         """
         conn.execute(
             "UPDATE jobs SET state = ?, error ="
@@ -198,45 +228,174 @@ class JobQueue:
             " WHERE state = ? AND lease_expires_at < ?",
             (PENDING, RUNNING, now),
         )
+        conn.execute(
+            "DELETE FROM leases WHERE lease_expires_at < ?", (now,)
+        )
+
+    def _upsert_lease(
+        self, conn: sqlite3.Connection, worker_id: str, now: float,
+        deadline: float,
+    ) -> None:
+        """Create or renew ``worker_id``'s registration row (open txn)."""
+        conn.execute(
+            "INSERT INTO leases (worker, registered_at, lease_expires_at)"
+            " VALUES (?, ?, ?) ON CONFLICT (worker)"
+            " DO UPDATE SET lease_expires_at = excluded.lease_expires_at",
+            (worker_id, now, deadline),
+        )
 
     def claim(self, worker_id: str, lease_s: float | None = None) -> Job | None:
         """Atomically claim the oldest pending job (or ``None``).
 
-        Reclaims expired leases first, so a crashed worker's job comes
-        back into rotation on the very next claim by anyone.
+        The single-job special case of :meth:`claim_batch`; ``lease_s``
+        overrides the queue's default lease.
         """
+        jobs = self.claim_batch(worker_id, 1, lease_s=lease_s)
+        return jobs[0] if jobs else None
+
+    def claim_batch(
+        self, worker_id: str, n: int, lease_s: float | None = None
+    ) -> list[Job]:
+        """Atomically lease up to ``n`` runnable jobs, oldest first.
+
+        One ``BEGIN IMMEDIATE`` transaction covers the whole batch:
+        expired leases are reclaimed (so a crashed worker's jobs come
+        back into rotation on the very next claim by anyone), up to
+        ``n`` pending jobs flip to running under ``worker_id``, each
+        charged one attempt, and the worker's persistent lease record is
+        registered or renewed to the same deadline (``lease_s`` seconds
+        out, default the queue's).  Every claimed job shares that
+        deadline, which is what makes a killed worker's *whole batch*
+        expire — and get reclaimed — together.  Returns the claimed jobs
+        in id order; an empty list means nothing was claimable.
+        """
+        require_positive_int(n, "claim_batch n")
         lease = self.default_lease_s if lease_s is None else float(lease_s)
         now = time.time()
         with closing(self._connect()) as conn:
             conn.execute("BEGIN IMMEDIATE")
             self._reclaim_expired(conn, now)
-            row = conn.execute(
-                f"SELECT {_COLS} FROM jobs WHERE state = ? ORDER BY id LIMIT 1",
-                (PENDING,),
-            ).fetchone()
-            if row is None:
+            rows = conn.execute(
+                f"SELECT {_COLS} FROM jobs WHERE state = ? ORDER BY id LIMIT ?",
+                (PENDING, n),
+            ).fetchall()
+            if not rows:
                 conn.execute("COMMIT")
-                return None
-            job = job_from_row(row)
+                return []
+            jobs = [job_from_row(row) for row in rows]
+            placeholders = ", ".join("?" * len(jobs))
             conn.execute(
                 "UPDATE jobs SET state = ?, worker = ?, attempts = attempts + 1,"
                 " lease_expires_at = ?, started_at = ?, error = NULL"
-                " WHERE id = ?",
-                (RUNNING, worker_id, now + lease, now, job.id),
+                f" WHERE id IN ({placeholders})",
+                (RUNNING, worker_id, now + lease, now, *[j.id for j in jobs]),
+            )
+            self._upsert_lease(conn, worker_id, now, now + lease)
+            conn.execute("COMMIT")
+        for job in jobs:
+            job.state = RUNNING
+            job.worker = worker_id
+            job.attempts += 1
+            job.lease_expires_at = now + lease
+            job.started_at = now
+            job.error = None
+        return jobs
+
+    # -- worker leases -----------------------------------------------------
+
+    def register_worker(
+        self, worker_id: str, lease_s: float | None = None
+    ) -> None:
+        """Create (or renew) ``worker_id``'s persistent lease record.
+
+        Workers register once per lifetime, then keep the single record
+        alive with :meth:`heartbeat_worker` — no per-job lease traffic.
+        ``lease_s`` sets the first deadline (default the queue's).
+        """
+        lease = self.default_lease_s if lease_s is None else float(lease_s)
+        now = time.time()
+        with closing(self._connect()) as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            self._upsert_lease(conn, worker_id, now, now + lease)
+            conn.execute("COMMIT")
+
+    def unregister_worker(self, worker_id: str) -> None:
+        """Drop ``worker_id``'s lease record (graceful worker exit).
+
+        Jobs the worker somehow still holds are untouched — their
+        per-job deadlines expire and reclaim them normally.
+        """
+        with closing(self._connect()) as conn:
+            conn.execute("DELETE FROM leases WHERE worker = ?", (worker_id,))
+
+    def heartbeat_worker(
+        self, worker_id: str, lease_s: float | None = None
+    ) -> bool:
+        """Renew the worker's lease and every job it holds, in one commit.
+
+        This is the whole per-interval liveness cost of a worker,
+        however many jobs its current batch holds: one transaction
+        pushes the ``leases`` row and all of ``worker_id``'s running
+        jobs ``lease_s`` seconds out (default the queue's).  ``False``
+        means the registration is gone — the worker was presumed dead
+        and reaped; anything it was running belongs to someone else now.
+        """
+        lease = self.default_lease_s if lease_s is None else float(lease_s)
+        now = time.time()
+        with closing(self._connect()) as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            cursor = conn.execute(
+                "UPDATE leases SET lease_expires_at = ? WHERE worker = ?",
+                (now + lease, worker_id),
+            )
+            if cursor.rowcount != 1:
+                conn.execute("COMMIT")
+                return False
+            conn.execute(
+                "UPDATE jobs SET lease_expires_at = ?"
+                " WHERE worker = ? AND state = ?",
+                (now + lease, worker_id, RUNNING),
             )
             conn.execute("COMMIT")
-        job.state = RUNNING
-        job.worker = worker_id
-        job.attempts += 1
-        job.lease_expires_at = now + lease
-        job.started_at = now
-        job.error = None
-        return job
+        return True
+
+    def workers(self) -> list[dict]:
+        """The live worker registrations: one dict per ``leases`` row.
+
+        Each carries ``worker``, ``registered_at``, ``lease_expires_at``
+        and ``running`` (jobs currently held).  Rows whose lease already
+        expired are not reported — that worker is presumed dead, and on
+        a quiescent queue (no claims to trigger a reclaim) its stale row
+        could otherwise haunt ``repro status`` forever.
+        """
+        with closing(self._connect()) as conn:
+            rows = conn.execute(
+                "SELECT l.worker, l.registered_at, l.lease_expires_at,"
+                " (SELECT COUNT(*) FROM jobs j"
+                "   WHERE j.worker = l.worker AND j.state = ?)"
+                " FROM leases l WHERE l.lease_expires_at >= ?"
+                " ORDER BY l.worker",
+                (RUNNING, time.time()),
+            ).fetchall()
+        return [
+            {
+                "worker": worker,
+                "registered_at": registered_at,
+                "lease_expires_at": lease_expires_at,
+                "running": running,
+            }
+            for worker, registered_at, lease_expires_at, running in rows
+        ]
 
     def heartbeat(
         self, job_id: int, worker_id: str, lease_s: float | None = None
     ) -> bool:
-        """Extend the lease; ``False`` means the job is no longer ours."""
+        """Extend one job's lease; ``False`` means the job is no longer ours.
+
+        The legacy per-job beat (``lease_s`` overrides the default lease);
+        batch workers renew everything at once with
+        :meth:`heartbeat_worker` instead.
+        """
         lease = self.default_lease_s if lease_s is None else float(lease_s)
         with closing(self._connect()) as conn:
             cursor = conn.execute(
@@ -253,13 +412,7 @@ class JobQueue:
         else (re)ran the job — and runs are deterministic, so the shared
         artifact cache holds the same bytes either way.
         """
-        with closing(self._connect()) as conn:
-            cursor = conn.execute(
-                "UPDATE jobs SET state = ?, finished_at = ?, error = NULL,"
-                " lease_expires_at = NULL WHERE id = ? AND worker = ? AND state = ?",
-                (DONE, time.time(), job_id, worker_id, RUNNING),
-            )
-        return cursor.rowcount == 1
+        return self.report_batch(worker_id, [(job_id, None, True)])[job_id]
 
     def fail(
         self, job_id: int, worker_id: str, error: str, retry: bool = True
@@ -269,32 +422,63 @@ class JobQueue:
         ``retry=False`` fails the job terminally regardless of budget —
         for deterministic errors (bad spec) that re-running cannot fix.
         """
+        return self.report_batch(worker_id, [(job_id, error, retry)])[job_id]
+
+    def report_batch(
+        self,
+        worker_id: str,
+        results: Sequence[tuple[int, str | None, bool]],
+    ) -> dict[int, bool]:
+        """Write a batch of outcomes back in one transaction.
+
+        ``results`` holds one ``(job_id, error, retry)`` triple per
+        executed job: ``error=None`` acks the job done; a string records
+        a failed attempt, requeued while budget remains unless
+        ``retry=False`` (deterministic failures go terminal at once).
+        Returns ``{job_id: accepted}`` — ``False`` marks a job that was
+        no longer ours (lease expired mid-batch and someone reclaimed
+        it), which determinism makes harmless.
+        """
+        if not results:
+            return {}
         now = time.time()
+        out: dict[int, bool] = {}
         with closing(self._connect()) as conn:
             conn.execute("BEGIN IMMEDIATE")
-            row = conn.execute(
-                "SELECT attempts, max_attempts FROM jobs"
-                " WHERE id = ? AND worker = ? AND state = ?",
-                (job_id, worker_id, RUNNING),
-            ).fetchone()
-            if row is None:
-                conn.execute("COMMIT")
-                return False
-            attempts, max_attempts = row
-            if retry and attempts < max_attempts:
-                conn.execute(
-                    "UPDATE jobs SET state = ?, worker = NULL,"
-                    " lease_expires_at = NULL, error = ? WHERE id = ?",
-                    (PENDING, error, job_id),
-                )
-            else:
-                conn.execute(
-                    "UPDATE jobs SET state = ?, lease_expires_at = NULL,"
-                    " finished_at = ?, error = ? WHERE id = ?",
-                    (FAILED, now, error, job_id),
-                )
+            for job_id, error, retry in results:
+                if error is None:
+                    cursor = conn.execute(
+                        "UPDATE jobs SET state = ?, finished_at = ?,"
+                        " error = NULL, lease_expires_at = NULL"
+                        " WHERE id = ? AND worker = ? AND state = ?",
+                        (DONE, now, job_id, worker_id, RUNNING),
+                    )
+                    out[job_id] = cursor.rowcount == 1
+                    continue
+                row = conn.execute(
+                    "SELECT attempts, max_attempts FROM jobs"
+                    " WHERE id = ? AND worker = ? AND state = ?",
+                    (job_id, worker_id, RUNNING),
+                ).fetchone()
+                if row is None:
+                    out[job_id] = False
+                    continue
+                attempts, max_attempts = row
+                if retry and attempts < max_attempts:
+                    conn.execute(
+                        "UPDATE jobs SET state = ?, worker = NULL,"
+                        " lease_expires_at = NULL, error = ? WHERE id = ?",
+                        (PENDING, error, job_id),
+                    )
+                else:
+                    conn.execute(
+                        "UPDATE jobs SET state = ?, lease_expires_at = NULL,"
+                        " finished_at = ?, error = ? WHERE id = ?",
+                        (FAILED, now, error, job_id),
+                    )
+                out[job_id] = True
             conn.execute("COMMIT")
-        return True
+        return out
 
     # -- observing ---------------------------------------------------------
 
@@ -389,11 +573,23 @@ class JobQueue:
     def active(self) -> bool:
         """True while any job is pending or could still come back.
 
-        Reclaims expired leases first so a drain loop polling this sees
-        a crashed worker's job as pending, not as forever-running.
+        Sees a crashed worker's job as pending, not as forever-running:
+        the common no-expiry case is answered by a single read-only
+        query (drain loops poll this, and a write transaction per poll
+        would contend with the workers actually claiming); only when
+        some running lease has actually expired does it escalate to a
+        write transaction that reclaims and recounts.
         """
         now = time.time()
         with closing(self._connect()) as conn:
+            live, expired = conn.execute(
+                "SELECT COUNT(*),"
+                " SUM(state = ? AND lease_expires_at < ?)"
+                " FROM jobs WHERE state IN (?, ?)",
+                (RUNNING, now, PENDING, RUNNING),
+            ).fetchone()
+            if not expired:
+                return live > 0
             conn.execute("BEGIN IMMEDIATE")
             self._reclaim_expired(conn, now)
             row = conn.execute(

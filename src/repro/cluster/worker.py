@@ -1,4 +1,4 @@
-"""Worker daemons: claim → run → ack, crash-safe and drainable.
+"""Worker daemons: claim a batch → run → report, crash-safe and drainable.
 
 A :class:`Worker` owns one claim-execute loop over a
 :class:`~repro.cluster.queue.JobQueue`.  Each claimed job runs through
@@ -7,10 +7,18 @@ the ordinary :func:`repro.api.runner.run` with the queue's shared
 spec (same run-id) submitted by any sweep, concurrent or not, simulates
 exactly once and every later worker answers it from disk.
 
-Liveness is the queue's lease protocol: while a job simulates, a
-heartbeat thread extends the lease every ``lease_s / 4`` seconds; a
-worker that dies without acking (even ``kill -9``) simply stops
-heartbeating and the job is reclaimed by whoever claims next.
+The broker is amortised across jobs (the batch-claim protocol of
+:mod:`repro.cluster.queue`): each loop iteration leases up to
+``batch_size`` jobs in one transaction, executes them in claim order,
+and writes the whole batch of outcomes back with one
+:meth:`~repro.cluster.queue.JobQueue.report_batch` commit.  Liveness is
+a *persistent worker lease*: one registration row, renewed by a single
+heartbeat thread calling
+:meth:`~repro.cluster.queue.JobQueue.heartbeat_worker` every
+``lease_s / 4`` seconds, which pushes every held job's deadline forward
+together.  A worker that dies without reporting (even ``kill -9``)
+simply stops heartbeating and its whole batch is reclaimed, each job
+charged exactly the one attempt its claim burned.
 
 Failure policy: a :class:`~repro.errors.ConfigurationError` is
 deterministic — re-running cannot help — so it fails the job terminally
@@ -25,8 +33,10 @@ Two loops:
   ``run_many(executor="queue")`` spawns and what ``repro worker
   --drain`` runs.
 * :meth:`Worker.serve` — poll forever (a daemon).  ``repro worker``
-  runs this; SIGTERM/SIGINT request a *graceful drain*: the current job
-  finishes and acks, then the loop exits cleanly.
+  runs this; SIGTERM/SIGINT request a *graceful drain*: the current
+  batch finishes and reports (claimed jobs are ours to finish — a
+  requeue would charge them an attempt for our impatience), then the
+  loop exits cleanly and the lease record is unregistered.
 """
 
 from __future__ import annotations
@@ -35,19 +45,28 @@ import os
 import signal
 import socket
 import threading
+import time
 from pathlib import Path
 
 from repro.api.registry import ExperimentRegistry
 from repro.api.runner import run
 from repro.cluster.jobs import Job
 from repro.cluster.queue import JobQueue
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require_positive_int
 
-__all__ = ["Worker", "drain_queue"]
+__all__ = ["DEFAULT_BATCH_SIZE", "Worker", "drain_queue"]
+
+#: How many jobs one loop iteration claims (and one report commits) by
+#: default.  Chosen from BENCH_pr5 data: on the tiny-job ``sweep-queue``
+#: bench, batches of 4+ put the queue executor within ~1x of the local
+#: process pool, and larger batches stop helping while costing work-
+#: sharing granularity (jobs held in a batch cannot be stolen by idle
+#: workers).  ``--batch-size 1`` recovers the per-job protocol exactly.
+DEFAULT_BATCH_SIZE = 4
 
 
 class Worker:
-    """One claim-execute loop bound to a queue (see module docstring)."""
+    """One batched claim-execute loop bound to a queue (see module docs)."""
 
     def __init__(
         self,
@@ -56,7 +75,9 @@ class Worker:
         lease_s: float | None = None,
         poll_s: float = 0.2,
         registry: ExperimentRegistry | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> None:
+        """Bind a worker to ``queue``; ``batch_size`` caps jobs per claim."""
         self.queue = queue if isinstance(queue, JobQueue) else JobQueue(queue)
         self.worker_id = worker_id or f"{socket.gethostname()}:{os.getpid()}"
         self.lease_s = (
@@ -64,19 +85,22 @@ class Worker:
         )
         if self.lease_s <= 0:
             raise ConfigurationError(f"lease_s must be > 0, got {lease_s!r}")
+        self.batch_size = require_positive_int(batch_size, "batch_size")
         self.poll_s = float(poll_s)
         self.registry = registry
         self.jobs_run = 0
         self._stop = threading.Event()
+        self._renew_at = float("-inf")  # idle-loop lease renewal deadline
 
     # -- lifecycle ---------------------------------------------------------
 
     @property
     def stopping(self) -> bool:
+        """True once a graceful stop was requested (loops exit soon)."""
         return self._stop.is_set()
 
     def request_stop(self) -> None:
-        """Ask the loop to exit after the current job (graceful drain)."""
+        """Ask the loop to exit after the current batch (graceful drain)."""
         self._stop.set()
 
     def install_signal_handlers(self) -> None:
@@ -91,19 +115,20 @@ class Worker:
 
     # -- the claim-execute step -------------------------------------------
 
-    def _heartbeat_loop(self, job_id: int, done: threading.Event) -> None:
+    def _heartbeat_loop(
+        self, done: threading.Event, lease_lost: threading.Event
+    ) -> None:
         interval = max(self.lease_s / 4.0, 0.05)
         while not done.wait(interval):
-            if not self.queue.heartbeat(job_id, self.worker_id, self.lease_s):
-                return  # lease lost: the job is someone else's now
+            if not self.queue.heartbeat_worker(self.worker_id, self.lease_s):
+                # lease reaped: our jobs are someone else's now — tell
+                # the executing loop so it stops burning CPU on a batch
+                # another worker is already re-running
+                lease_lost.set()
+                return
 
-    def process(self, job: Job) -> bool:
-        """Execute one claimed job; returns True if we acked it."""
-        done = threading.Event()
-        beat = threading.Thread(
-            target=self._heartbeat_loop, args=(job.id, done), daemon=True
-        )
-        beat.start()
+    def _execute(self, job: Job) -> tuple[int, str | None, bool]:
+        """Run one claimed job; returns its ``report_batch`` triple."""
         try:
             run(
                 job.spec,
@@ -112,57 +137,130 @@ class Worker:
                 force=job.force,
             )
         except ConfigurationError as exc:
-            self.queue.fail(
-                job.id,
-                self.worker_id,
-                f"{type(exc).__name__}: {exc}",
-                retry=False,
-            )
-            return False
+            return (job.id, f"{type(exc).__name__}: {exc}", False)
         except Exception as exc:  # noqa: BLE001 - the queue is the error record
-            self.queue.fail(job.id, self.worker_id, f"{type(exc).__name__}: {exc}")
-            return False
-        else:
-            return self.queue.ack(job.id, self.worker_id)
+            return (job.id, f"{type(exc).__name__}: {exc}", True)
+        return (job.id, None, True)
+
+    def _run_claimed(self, jobs: list[Job]) -> dict[int, bool]:
+        """Execute claimed jobs under one heartbeat; report them in one commit.
+
+        The single worker-lease heartbeat covers the whole batch (the
+        claim already registered our lease row), and the batched report
+        happens even if an execution raises something unexpected — the
+        jobs finished by then must not wait for lease expiry.  If the
+        heartbeat discovers our lease was reaped (we stalled long enough
+        to be presumed dead), the rest of the batch is abandoned: those
+        jobs already belong to another worker, so executing them here
+        would only duplicate work whose report would be rejected anyway.
+        """
+        done = threading.Event()
+        lease_lost = threading.Event()
+        beat = threading.Thread(
+            target=self._heartbeat_loop, args=(done, lease_lost), daemon=True
+        )
+        beat.start()
+        results: list[tuple[int, str | None, bool]] = []
+        try:
+            for job in jobs:
+                if lease_lost.is_set():
+                    break
+                results.append(self._execute(job))
         finally:
             done.set()
             beat.join(timeout=self.lease_s)
-            self.jobs_run += 1
+            accepted = self.queue.report_batch(self.worker_id, results)
+            self.jobs_run += len(results)
+        # acked = ran clean AND the queue took our done report; a failure
+        # report being accepted is not an ack
+        return {
+            job_id: error is None and accepted.get(job_id, False)
+            for job_id, error, _retry in results
+        }
+
+    def process(self, job: Job) -> bool:
+        """Execute one already-claimed job; returns True if we acked it."""
+        return self._run_claimed([job]).get(job.id, False)
 
     def run_one(self) -> bool:
         """Claim and execute one job; ``False`` when nothing was claimable."""
-        job = self.queue.claim(self.worker_id, self.lease_s)
-        if job is None:
-            return False
-        self.process(job)
-        return True
+        return self.run_batch(limit=1) > 0
+
+    def run_batch(self, limit: int | None = None) -> int:
+        """Claim up to ``batch_size`` jobs (capped at ``limit``) and run them.
+
+        One claim transaction, one report transaction, one heartbeat
+        timer for the lot; returns the number of jobs executed (0 when
+        nothing was claimable).
+        """
+        n = self.batch_size if limit is None else min(self.batch_size, limit)
+        jobs = self.queue.claim_batch(self.worker_id, n, self.lease_s)
+        if not jobs:
+            return 0
+        self._run_claimed(jobs)
+        return len(jobs)
 
     # -- loops -------------------------------------------------------------
+
+    def _budget(self, max_jobs: int | None) -> int | None:
+        """Jobs this loop may still run (``None`` = unlimited)."""
+        return None if max_jobs is None else max_jobs - self.jobs_run
+
+    def _keep_registered(self) -> None:
+        """Keep the lease record alive while the loop idles.
+
+        Claims and in-batch heartbeats renew the row as a side effect;
+        this covers the gaps between them, on the lease timescale (one
+        write per ``lease_s / 4``, not per poll), so an idle daemon
+        stays visible in ``repro status`` instead of being reaped as
+        presumed dead.
+        """
+        now = time.monotonic()
+        if now >= self._renew_at:
+            self.queue.register_worker(self.worker_id, self.lease_s)
+            self._renew_at = now + self.lease_s / 4.0
 
     def drain(self, max_jobs: int | None = None) -> int:
         """Work until the queue is quiescent; returns jobs executed.
 
         Keeps polling while *other* workers still have running jobs —
         one of them failing or dying would requeue work this drain is
-        responsible for finishing.
+        responsible for finishing.  ``max_jobs`` bounds how many jobs
+        this worker executes before returning early.  Registers the
+        worker's lease record on entry and unregisters it on the way
+        out.
         """
-        while not self.stopping:
-            if max_jobs is not None and self.jobs_run >= max_jobs:
-                break
-            if self.run_one():
-                continue
-            if not self.queue.active():
-                break
-            self._stop.wait(self.poll_s)
+        try:
+            while not self.stopping:
+                self._keep_registered()
+                budget = self._budget(max_jobs)
+                if budget is not None and budget <= 0:
+                    break
+                if self.run_batch(limit=budget):
+                    continue
+                if not self.queue.active():
+                    break
+                self._stop.wait(self.poll_s)
+        finally:
+            self.queue.unregister_worker(self.worker_id)
         return self.jobs_run
 
     def serve(self, max_jobs: int | None = None) -> int:
-        """Poll until :meth:`request_stop` (or ``max_jobs``); daemon mode."""
-        while not self.stopping:
-            if max_jobs is not None and self.jobs_run >= max_jobs:
-                break
-            if not self.run_one():
-                self._stop.wait(self.poll_s)
+        """Poll until :meth:`request_stop` (or ``max_jobs``); daemon mode.
+
+        Registers the worker's lease record on entry (renewed while
+        idle) and unregisters it on the way out.
+        """
+        try:
+            while not self.stopping:
+                self._keep_registered()
+                budget = self._budget(max_jobs)
+                if budget is not None and budget <= 0:
+                    break
+                if not self.run_batch(limit=budget):
+                    self._stop.wait(self.poll_s)
+        finally:
+            self.queue.unregister_worker(self.worker_id)
         return self.jobs_run
 
 
@@ -170,15 +268,21 @@ def drain_queue(
     queue_dir: str | Path,
     lease_s: float | None = None,
     poll_s: float = 0.2,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> int:
     """Module-level drain entry point (picklable for ``multiprocessing``).
 
-    Installs the graceful-drain signal handlers: a parent that
-    ``terminate()``\\ s this process (SIGTERM) lets the current job
-    finish and ack instead of aborting it mid-run — which matters on a
-    shared queue, where the aborted job could belong to someone else's
-    sweep and would be charged a retry attempt for our impatience.
+    ``lease_s`` / ``poll_s`` / ``batch_size`` configure the
+    :class:`Worker` exactly as its constructor does.  Installs the
+    graceful-drain signal handlers: a parent that ``terminate()``\\ s
+    this process (SIGTERM) lets the current batch finish and report
+    instead of aborting it mid-run — which matters on a shared queue,
+    where the aborted jobs could belong to someone else's sweep and
+    would be charged a retry attempt for our impatience.
     """
-    worker = Worker(JobQueue(queue_dir), lease_s=lease_s, poll_s=poll_s)
+    worker = Worker(
+        JobQueue(queue_dir), lease_s=lease_s, poll_s=poll_s,
+        batch_size=batch_size,
+    )
     worker.install_signal_handlers()
     return worker.drain()

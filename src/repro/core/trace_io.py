@@ -34,12 +34,13 @@ from __future__ import annotations
 
 import contextlib
 import gzip
+import hashlib
 import json
 import os
 import uuid
 from collections import OrderedDict
 from pathlib import Path
-from typing import IO, Callable, Iterator
+from typing import IO, Callable, Iterable, Iterator
 
 from repro.core.replay import RecordedSchedule
 from repro.errors import ReplayError
@@ -59,10 +60,24 @@ def _open(path: Path, mode: str) -> IO:
     return open(path, mode, encoding="utf-8")
 
 
-def _document(schedule: RecordedSchedule) -> dict:
-    document = schedule.to_dict()
-    document["content_hash"] = schedule.content_hash()
-    return document
+def _document_text(schedule: RecordedSchedule) -> str:
+    """The schedule-file bytes: canonical JSON with its hash spliced in.
+
+    One ``to_dict`` + one serialisation produce both the content hash
+    (SHA-256 over the canonical text, exactly
+    :meth:`~repro.core.replay.RecordedSchedule.content_hash`) and the
+    file body — serialising a multi-thousand-packet schedule twice per
+    save used to cost as much as the recording simulation itself.  The
+    hash is prepended as the first key of the same canonical object,
+    which keeps the on-disk format identical to the one
+    :func:`load_schedule` always read: a flat JSON document whose
+    ``content_hash`` key is detached before ``from_dict``.
+    """
+    canonical = schedule.canonical_json()
+    digest = hashlib.sha256(canonical.encode()).hexdigest()
+    # to_dict() always carries format/version keys, so the canonical
+    # text is a non-empty object we can splice a first key into.
+    return f'{{"content_hash":"{digest}",{canonical[1:]}'
 
 
 def _schedule_from_document(
@@ -88,7 +103,7 @@ def save_schedule(schedule: RecordedSchedule, path: str | Path) -> None:
     """
     path = Path(path)
     with _open(path, "w") as fh:
-        json.dump(_document(schedule), fh)
+        fh.write(_document_text(schedule))
 
 
 def load_schedule(path: str | Path, verify: bool = True) -> RecordedSchedule:
@@ -204,7 +219,7 @@ class ScheduleStore:
         fd = os.open(tmp_name, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o666)
         try:
             with os.fdopen(fd, "w") as handle:
-                json.dump(_document(schedule), handle)
+                handle.write(_document_text(schedule))
             os.replace(tmp_name, path)
         except BaseException:
             with contextlib.suppress(OSError):
@@ -231,6 +246,42 @@ class ScheduleStore:
         self._log_recording(key)
         reloaded = self.get(key)
         return schedule if reloaded is None else reloaded
+
+    def keys(self) -> list[str]:
+        """The keys currently present in the store, sorted.
+
+        Scans the store directory for ``<key>.json`` entries; in-flight
+        temp files (dot-prefixed) are not entries and are skipped.
+        """
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            path.stem
+            for path in self.root.glob("*.json")
+            if not path.name.startswith(".")
+        )
+
+    def prune(self, in_use: Iterable[str]) -> list[str]:
+        """Remove every entry whose key is not in ``in_use``; GC for
+        long-lived stores.
+
+        Returns the removed keys, sorted.  Each removal is a single
+        ``unlink`` — atomic, so a concurrent reader sees either the
+        complete file or a miss it can re-record — and an entry someone
+        else already removed is skipped silently.  The
+        ``recordings.log`` audit trail is deliberately left intact: it
+        records history (how many simulations were ever paid for), not
+        current contents.
+        """
+        keep = set(in_use)
+        removed = []
+        for key in self.keys():
+            if key in keep:
+                continue
+            with contextlib.suppress(FileNotFoundError):
+                self.path(key).unlink()
+                removed.append(key)
+        return sorted(removed)
 
     # -- the record-once audit trail --------------------------------------
 

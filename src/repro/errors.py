@@ -65,3 +65,17 @@ class JobFailedError(ClusterError):
     retry budget (or failed fatally on a configuration error); carries the
     queue's recorded error string for each failed job.
     """
+
+
+def require_positive_int(value: object, name: str) -> int:
+    """Validate a count-like knob: an ``int`` >= 1 (bools rejected).
+
+    Returns ``value`` unchanged, or raises :class:`ConfigurationError`
+    naming ``name`` — the one validator behind ``workers`` /
+    ``batch_size`` / claim sizes, so they can never drift apart.
+    """
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise ConfigurationError(
+            f"{name} must be an integer >= 1, got {value!r}"
+        )
+    return value

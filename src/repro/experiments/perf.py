@@ -26,7 +26,7 @@ from typing import Callable
 
 from repro.analysis.tables import Table
 from repro.api.registry import register_experiment
-from repro.api.runner import EXECUTORS as SWEEP_EXECUTORS
+from repro.api.runner import EXECUTORS as RUN_MANY_EXECUTORS
 from repro.api.spec import ExperimentSpec
 from repro.core.packet import Packet, reset_packet_ids
 from repro.schedulers import make_scheduler
@@ -229,6 +229,16 @@ ENGINE_BENCHES = (
 # --- sweep executors ---------------------------------------------------------
 
 
+#: The executor variants ``bench_sweep_executor`` prices against each
+#: other: ``run_many``'s three modes, plus ``"queue-batched"`` — the
+#: queue executor at its default batch size.  The plain ``"queue"``
+#: bench pins ``batch_size=1`` (the pre-batching per-job protocol), so
+#: its trajectory stays comparable across PRs and the
+#: ``sweep-queue-batched`` : ``sweep-queue`` ratio *is* the batch-claim
+#: speedup.
+SWEEP_EXECUTORS = RUN_MANY_EXECUTORS + ("queue-batched",)
+
+
 def bench_sweep_executor(
     executor: str,
     seeds: int = 4,
@@ -244,7 +254,9 @@ def bench_sweep_executor(
     fresh cache/queue directory so nothing is answered from disk.  The
     gap between ``sweep-queue`` and ``sweep-process`` is the price of
     durability: SQLite claims, leases, heartbeats, and artifact
-    (de)serialisation through the shared store.
+    (de)serialisation through the shared store — and the gap between
+    ``sweep-queue-batched`` and ``sweep-queue`` is how much of that
+    price batch claims and persistent worker leases win back.
 
     Runs in the calling process only — do not call from inside a
     daemonised pool worker (children of daemons are forbidden).
@@ -267,6 +279,10 @@ def bench_sweep_executor(
         with tempfile.TemporaryDirectory() as tmp:
             kwargs: dict = {"executor": executor}
             if executor == "queue":
+                kwargs["queue_dir"] = Path(tmp) / "queue"
+                kwargs["batch_size"] = 1  # the per-job protocol, unchanged
+            elif executor == "queue-batched":
+                kwargs["executor"] = "queue"  # default (batched) claims
                 kwargs["queue_dir"] = Path(tmp) / "queue"
             artifacts = run_many(
                 specs,

@@ -87,6 +87,113 @@ class TestClaim:
             queue.jobs(ids=[1, 99])
 
 
+class TestClaimBatch:
+    def test_one_transaction_leases_up_to_n_jobs_in_order(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        ids = queue.submit(SWEEP)
+        jobs = queue.claim_batch("w1", 2)
+        assert [job.id for job in jobs] == ids[:2]
+        assert all(job.state == RUNNING for job in jobs)
+        assert all(job.worker == "w1" for job in jobs)
+        assert all(job.attempts == 1 for job in jobs)
+        # the batch shares one deadline: expiry reclaims it as a unit
+        assert len({job.lease_expires_at for job in jobs}) == 1
+        rest = queue.claim_batch("w2", 5)
+        assert [job.id for job in rest] == ids[2:]  # partial batch is fine
+        assert queue.claim_batch("w3", 5) == []
+
+    def test_claim_batch_registers_a_worker_lease_row(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(SWEEP)
+        jobs = queue.claim_batch("w1", 3)
+        (lease,) = queue.workers()
+        assert lease["worker"] == "w1"
+        assert lease["running"] == 3
+        assert lease["lease_expires_at"] == jobs[0].lease_expires_at
+
+    def test_claim_batch_rejects_bad_n(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        for bad in (0, -1, 1.5, True):
+            with pytest.raises(ConfigurationError, match="claim_batch n"):
+                queue.claim_batch("w", bad)
+
+    def test_whole_batch_expires_and_is_reclaimed_together(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        ids = queue.submit(SWEEP)
+        queue.claim_batch("w1", 3, lease_s=0.05)
+        time.sleep(0.08)  # w1 "crashed": no heartbeat, no report
+        reclaimed = queue.claim_batch("w2", 5)
+        assert [job.id for job in reclaimed] == ids
+        assert all(job.attempts == 2 for job in reclaimed)
+        assert {w["worker"] for w in queue.workers()} == {"w2"}  # w1 reaped
+
+    def test_report_batch_commits_mixed_outcomes_at_once(self, tmp_path):
+        queue = JobQueue(tmp_path, max_attempts=2)
+        ids = queue.submit(SWEEP)
+        queue.claim_batch("w1", 3)
+        out = queue.report_batch("w1", [
+            (ids[0], None, True),            # ack
+            (ids[1], "transient boom", True),  # requeue (budget remains)
+            (ids[2], "bad spec", False),       # terminal, no retry
+        ])
+        assert out == {ids[0]: True, ids[1]: True, ids[2]: True}
+        states = queue.states(ids=ids)
+        assert states == {ids[0]: DONE, ids[1]: PENDING, ids[2]: FAILED}
+        assert queue.job(ids[1]).error == "transient boom"
+
+    def test_report_batch_rejects_jobs_that_are_no_longer_ours(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        (job_id,) = queue.submit([TINY])
+        queue.claim_batch("w1", 1, lease_s=0.05)
+        time.sleep(0.08)
+        queue.claim_batch("w2", 1)  # reclaims from the presumed-dead w1
+        out = queue.report_batch("w1", [(job_id, None, True)])
+        assert out == {job_id: False}
+        assert queue.job(job_id).state == RUNNING  # still w2's
+        assert queue.report_batch("w1", []) == {}
+
+
+class TestWorkerLeases:
+    def test_heartbeat_worker_renews_every_held_job_in_one_call(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        ids = queue.submit(SWEEP)
+        queue.claim_batch("w1", 3, lease_s=0.15)
+        for _ in range(4):
+            time.sleep(0.05)
+            assert queue.heartbeat_worker("w1", lease_s=0.15)
+        # 0.2s elapsed > the original lease, yet nothing was reclaimed
+        assert queue.claim_batch("w2", 5) == []
+        out = queue.report_batch("w1", [(i, None, True) for i in ids])
+        assert all(out.values())
+
+    def test_heartbeat_worker_reports_a_reaped_registration(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit([TINY])
+        queue.claim_batch("w1", 1, lease_s=0.05)
+        time.sleep(0.08)
+        queue.reap()  # w1 presumed dead: job requeued, lease row dropped
+        assert not queue.heartbeat_worker("w1")
+
+    def test_register_and_unregister_roundtrip(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.register_worker("idle-daemon", lease_s=60.0)
+        (lease,) = queue.workers()
+        assert lease["worker"] == "idle-daemon"
+        assert lease["running"] == 0
+        queue.unregister_worker("idle-daemon")
+        assert queue.workers() == []
+
+    def test_expired_registrations_are_not_reported(self, tmp_path):
+        """A dead idle daemon must not haunt `repro status` forever: on a
+        quiescent queue nothing triggers a reclaim, so workers() itself
+        filters rows whose lease already lapsed."""
+        queue = JobQueue(tmp_path)
+        queue.register_worker("dead-daemon", lease_s=0.05)
+        assert [w["worker"] for w in queue.workers()] == ["dead-daemon"]
+        time.sleep(0.08)
+        assert queue.workers() == []  # presumed dead, not shown
+
+
 class TestRetries:
     def test_fail_requeues_until_budget_runs_out(self, tmp_path):
         queue = JobQueue(tmp_path, max_attempts=2)

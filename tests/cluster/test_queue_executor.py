@@ -108,6 +108,16 @@ class TestDeterminism:
         with pytest.raises(ClusterError, match="not a job queue"):
             gather(tmp_path / "typo", [1], timeout=1)
 
+    def test_per_job_protocol_matches_batched_byte_for_byte(self, tmp_path):
+        """--batch-size is an overhead knob, never a results knob."""
+        batched = run_many(SWEEP, workers=2, executor="queue",
+                           queue_dir=tmp_path / "qb")  # default batch
+        per_job = run_many(SWEEP, workers=2, executor="queue",
+                           queue_dir=tmp_path / "q1", batch_size=1)
+        assert [a.canonical_json() for a in per_job] == [
+            a.canonical_json() for a in batched
+        ]
+
     def test_executor_validation(self, tmp_path):
         with pytest.raises(ConfigurationError, match="unknown executor"):
             run_many(SWEEP, executor="carrier-pigeon")
@@ -119,6 +129,11 @@ class TestDeterminism:
             run_many(SWEEP, workers=0)
         with pytest.raises(ConfigurationError, match="workers must be"):
             run_many(SWEEP, workers=2.5)
+        with pytest.raises(ConfigurationError, match="batch_size must be"):
+            run_many(SWEEP, executor="queue", queue_dir=tmp_path / "q",
+                     batch_size=0)
+        with pytest.raises(ConfigurationError, match="batch_size= only applies"):
+            run_many(SWEEP, executor="serial", batch_size=4)
         assert run_many([], executor="queue", queue_dir=tmp_path / "q") == []
 
 
@@ -153,6 +168,56 @@ class TestCrashSafety:
         assert job.attempts == 2  # the victim's claim burned attempt one
         (artifact,) = gather(tmp_path, [job_id], timeout=5)
         assert artifact.spec.duration == 0.3
+
+    def test_sigkilled_mid_batch_reclaims_the_whole_batch(self, tmp_path):
+        """Batch crash semantics: kill -9 a worker holding a 4-job batch
+        and the *entire* batch is reclaimed after lease expiry, each job
+        charged exactly the one attempt its claim burned — and the
+        gathered artifacts stay byte-identical to serial ``run_many``."""
+        sweep = ExperimentSpec(
+            "table1", duration=0.25, seeds=(1, 2, 3, 4), options={"rows": (0,)}
+        ).sweep()
+        queue = JobQueue(tmp_path, default_lease_s=0.8)
+        job_ids = queue.submit(sweep)
+        victim = _worker_process(tmp_path, "--lease", "0.8",
+                                 "--batch-size", "4")
+        try:
+            _wait_for(
+                lambda: all(
+                    state == RUNNING
+                    for state in queue.states(ids=job_ids).values()
+                ),
+                timeout=30.0,
+                what="the victim to claim the whole batch",
+            )
+            held_by = {job.worker for job in queue.jobs(ids=job_ids)}
+            assert len(held_by) == 1  # one claim_batch took all four
+            victim.kill()  # SIGKILL mid-batch: no report, no heartbeat
+            victim.wait(timeout=10.0)
+            _wait_for(
+                lambda: queue.reap() or all(
+                    state == "pending"
+                    for state in queue.states(ids=job_ids).values()
+                ),
+                timeout=10.0,
+                what="lease expiry to reclaim the whole batch",
+            )
+            # the one claim charged one attempt per job, nothing more
+            assert [job.attempts for job in queue.jobs(ids=job_ids)] == [1] * 4
+            survivor = Worker(queue, worker_id="survivor", lease_s=0.8,
+                              poll_s=0.05, batch_size=4)
+            assert survivor.drain() == 4
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+        jobs = queue.jobs(ids=job_ids)
+        assert [job.state for job in jobs] == [DONE] * 4
+        assert {job.worker for job in jobs} == {"survivor"}
+        assert [job.attempts for job in jobs] == [2] * 4  # retry advanced once
+        gathered = gather(tmp_path, job_ids, timeout=5)
+        assert [a.canonical_json() for a in gathered] == [
+            a.canonical_json() for a in run_many(sweep)
+        ]
 
     def test_sigterm_drains_a_daemon_worker_gracefully(self, tmp_path):
         queue = JobQueue(tmp_path)

@@ -1,0 +1,253 @@
+"""Concurrency stress tests for the batch-claim job queue.
+
+The queue's whole correctness argument rests on three invariants that
+must hold under arbitrary interleavings of ``claim_batch`` /
+``heartbeat_worker`` / ``report_batch`` across workers:
+
+* **no double execution** — a job is never held (and run) by two live
+  workers at once; with no lease expiry in play, every job is claimed
+  exactly once overall;
+* **no lost jobs** — every submitted job reaches a terminal state, even
+  when workers abandon whole claimed batches (the SIGKILL model: no
+  report, no heartbeat, lease expiry reclaims the batch);
+* **exactly-once terminal transition** — across all racing workers, each
+  job's successful ``done`` report is accepted exactly once
+  (``report_batch`` returns ``True`` once per job, ever).
+
+These are seed-matrix-driven torture loops, not unit tests: N threads
+(and one multi-process variant) race randomized batch sizes over one
+shared queue directory.  Jobs are *not* simulated here — reports are
+synthesized — so the loops exercise pure broker protocol at full speed.
+Marked ``slow``: CI runs them in the scheduled/label-triggered stress
+job; locally ``pytest -m slow tests/cluster`` selects them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import threading
+import time
+
+import pytest
+
+from repro.api import ExperimentSpec
+from repro.cluster import DONE, FAILED, PENDING, JobQueue
+
+pytestmark = pytest.mark.slow
+
+#: Scale knob for the scheduled CI job: multiplies the job counts below
+#: (e.g. ``REPRO_STRESS_SCALE=5`` for a nightly soak).
+SCALE = max(1, int(os.environ.get("REPRO_STRESS_SCALE", "1")))
+
+
+def _sweep(n: int) -> list[ExperimentSpec]:
+    return ExperimentSpec(
+        "table1", duration=0.04, seeds=tuple(range(1, n + 1)),
+        options={"rows": (0,)},
+    ).sweep()
+
+
+class _Ledger:
+    """Thread-shared record of who claimed and who successfully reported."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.claims: list[int] = []        # every job id ever claimed
+        self.acked: list[int] = []         # job ids whose report was accepted
+        self.held: set[int] = set()        # ids currently held by live workers
+
+    def claim(self, ids: list[int], exclusive: bool) -> None:
+        with self.lock:
+            if exclusive:
+                overlap = self.held & set(ids)
+                assert not overlap, f"jobs {overlap} double-claimed while held"
+            self.held.update(ids)
+            self.claims.extend(ids)
+
+    def release(self, results: dict[int, bool]) -> None:
+        with self.lock:
+            self.held.difference_update(results)
+            self.acked.extend(i for i, accepted in results.items() if accepted)
+
+
+def _worker_loop(
+    queue: JobQueue,
+    worker_id: str,
+    ledger: _Ledger,
+    seed: int,
+    max_batch: int,
+    abandon_first: bool,
+    exclusive: bool,
+    deadline: float,
+) -> None:
+    rng = random.Random(seed)
+    abandoned = not abandon_first
+    while time.monotonic() < deadline:
+        jobs = queue.claim_batch(worker_id, rng.randint(1, max_batch))
+        if not jobs:
+            if not queue.active():
+                return
+            time.sleep(0.001)
+            continue
+        ids = [job.id for job in jobs]
+        if not abandoned:
+            # the SIGKILL model: hold the whole batch, never report,
+            # never heartbeat — lease expiry must reclaim all of it.
+            abandoned = True
+            with ledger.lock:
+                ledger.held.difference_update(ids)
+            continue
+        ledger.claim(ids, exclusive=exclusive)
+        results = queue.report_batch(
+            worker_id, [(job_id, None, True) for job_id in ids]
+        )
+        ledger.release(results)
+    pytest.fail(f"stress worker {worker_id} hit the deadline — queue wedged?")
+
+
+def _run_threads(queue, ledger, workers, max_batch, seed, abandon, exclusive):
+    deadline = time.monotonic() + 60.0
+    failures: list[BaseException] = []
+
+    def guarded(*args):
+        # invariant violations fire inside worker threads; without this
+        # they would die silently and only show up as downstream state
+        # mismatches with the precise diagnostic lost
+        try:
+            _worker_loop(*args)
+        except BaseException as exc:  # noqa: BLE001 - re-raised in main
+            failures.append(exc)
+
+    threads = [
+        threading.Thread(
+            target=guarded,
+            args=(queue, f"w{i}", ledger, seed * 1000 + i, max_batch,
+                  abandon and i % 2 == 0, exclusive, deadline),
+        )
+        for i in range(workers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=90.0)
+        assert not thread.is_alive(), "stress worker never finished"
+    if failures:
+        raise failures[0]
+
+
+class TestRacingClaims:
+    """No crashes: claims partition the queue exactly."""
+
+    @pytest.mark.parametrize("workers,max_batch,seed", [
+        (4, 3, 1),
+        (8, 2, 2),
+        (3, 7, 3),
+        (6, 4, 4),
+    ])
+    def test_no_job_is_double_claimed_lost_or_double_done(
+        self, tmp_path, workers, max_batch, seed
+    ):
+        jobs = 40 * SCALE
+        queue = JobQueue(tmp_path, default_lease_s=60.0)
+        ids = queue.submit(_sweep(jobs))
+        ledger = _Ledger()
+        _run_threads(queue, ledger, workers, max_batch, seed,
+                     abandon=False, exclusive=True)
+        # no double execution: with no expiry possible (60s lease),
+        # every job was claimed exactly once across all workers
+        assert sorted(ledger.claims) == ids
+        # exactly-once terminal transition: one accepted done per job
+        assert sorted(ledger.acked) == ids
+        # no lost jobs: every row is terminal-done
+        states = queue.states(ids=ids)
+        assert all(state == DONE for state in states.values())
+        assert queue.counts()[DONE] == jobs
+
+    def test_batches_never_overlap_across_workers(self, tmp_path):
+        """Each claim_batch's ids are disjoint from every other live batch."""
+        queue = JobQueue(tmp_path, default_lease_s=60.0)
+        queue.submit(_sweep(30 * SCALE))
+        ledger = _Ledger()
+        _run_threads(queue, ledger, workers=6, max_batch=5, seed=99,
+                     abandon=False, exclusive=True)
+        assert len(ledger.claims) == len(set(ledger.claims))
+
+
+class TestCrashingWorkers:
+    """Abandoned batches (the SIGKILL model) are reclaimed, never lost."""
+
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_abandoned_batches_converge_to_done_exactly_once(
+        self, tmp_path, seed
+    ):
+        jobs = 24 * SCALE
+        # short lease so reclaim happens on the test's timescale; a
+        # budget big enough that abandonment can never exhaust it
+        # (each of the 6 workers abandons at most one batch)
+        queue = JobQueue(tmp_path, default_lease_s=0.05, max_attempts=50)
+        ids = queue.submit(_sweep(jobs))
+        ledger = _Ledger()
+        _run_threads(queue, ledger, workers=6, max_batch=4, seed=seed,
+                     abandon=True, exclusive=False)
+        # no lost jobs, and the terminal state is done for every one
+        states = queue.states(ids=ids)
+        assert all(state == DONE for state in states.values())
+        # exactly-once: re-claims after expiry may re-run a job, but
+        # only one worker's done report is ever accepted per job
+        assert sorted(ledger.acked) == ids
+        # bounded retries: nothing burned more than workers+1 attempts
+        assert all(job.attempts <= 7 for job in queue.jobs(ids=ids))
+
+
+def _process_worker(queue_dir: str, worker_id: str, out):
+    """Claim/report loop for the multi-process variant (module level:
+    picklable for ``multiprocessing``)."""
+    queue = JobQueue(queue_dir)
+    rng = random.Random(worker_id)
+    accepted: list[int] = []
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        jobs = queue.claim_batch(worker_id, rng.randint(1, 4))
+        if not jobs:
+            if not queue.active():
+                break
+            time.sleep(0.001)
+            continue
+        results = queue.report_batch(
+            worker_id, [(job.id, None, True) for job in jobs]
+        )
+        accepted.extend(i for i, ok in results.items() if ok)
+    out.put((worker_id, accepted))
+
+
+class TestAcrossProcesses:
+    def test_processes_racing_claim_batch_partition_the_queue(self, tmp_path):
+        """The same partition invariant with real OS processes (separate
+        SQLite connections, real file locking, no GIL serialisation)."""
+        jobs = 30 * SCALE
+        queue = JobQueue(tmp_path, default_lease_s=60.0)
+        ids = queue.submit(_sweep(jobs))
+        ctx = multiprocessing.get_context()
+        out = ctx.Queue()
+        procs = [
+            ctx.Process(target=_process_worker,
+                        args=(str(tmp_path), f"p{i}", out))
+            for i in range(4)
+        ]
+        for proc in procs:
+            proc.start()
+        accepted: list[int] = []
+        for _ in procs:
+            _, ids_done = out.get(timeout=90.0)
+            accepted.extend(ids_done)
+        for proc in procs:
+            proc.join(timeout=30.0)
+            assert proc.exitcode == 0
+        assert sorted(accepted) == ids
+        states = queue.states(ids=ids)
+        assert all(state == DONE for state in states.values())
+        assert queue.counts() == {
+            PENDING: 0, "running": 0, DONE: jobs, FAILED: 0,
+        }

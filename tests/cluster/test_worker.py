@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 import repro.cluster.worker as worker_mod
@@ -82,6 +84,120 @@ def test_config_errors_fail_terminally_without_retries(tmp_path):
     assert job.state == FAILED
     assert job.attempts == 1
     assert "ConfigurationError" in job.error
+
+
+def test_run_batch_claims_up_to_batch_size_and_reports_once(tmp_path, monkeypatch):
+    """One claim transaction and one report transaction cover the batch."""
+    sweep = ExperimentSpec(
+        "table1", duration=0.04, seeds=(1, 2, 3, 4, 5), options={"rows": (0,)}
+    ).sweep()
+    queue = JobQueue(tmp_path)
+    ids = queue.submit(sweep)
+    worker = Worker(queue, worker_id="w1", batch_size=3)
+    reports = []
+    real_report = queue.report_batch
+
+    def spying_report(worker_id, results):
+        reports.append([job_id for job_id, _, _ in results])
+        return real_report(worker_id, results)
+
+    monkeypatch.setattr(queue, "report_batch", spying_report)
+    assert worker.run_batch() == 3
+    assert worker.run_batch() == 2  # the partial tail batch
+    assert worker.run_batch() == 0
+    assert reports == [ids[:3], ids[3:]]
+    assert all(s == DONE for s in queue.states(ids=ids).values())
+
+
+def test_run_batch_mixed_failures_report_with_the_batch(tmp_path, monkeypatch):
+    """A failing job inside a batch is requeued; its batch-mates still ack."""
+    sweep = ExperimentSpec(
+        "table1", duration=0.04, seeds=(1, 2, 3), options={"rows": (0,)}
+    ).sweep()
+    real_run = worker_mod.run
+
+    def selective_run(spec, **kwargs):
+        if spec.seed == 2:
+            raise RuntimeError("seed 2 explodes")
+        return real_run(spec, **kwargs)
+
+    monkeypatch.setattr(worker_mod, "run", selective_run)
+    queue = JobQueue(tmp_path, max_attempts=1)
+    ids = queue.submit(sweep)
+    worker = Worker(queue, batch_size=3)
+    assert worker.run_batch() == 3
+    states = queue.states(ids=ids)
+    assert states == {ids[0]: DONE, ids[1]: FAILED, ids[2]: DONE}
+    assert "seed 2 explodes" in queue.job(ids[1]).error
+
+
+def test_drain_respects_max_jobs_with_batching(tmp_path):
+    """The batch claim is clamped so max_jobs is never overshot."""
+    sweep = ExperimentSpec(
+        "table1", duration=0.04, seeds=(1, 2, 3), options={"rows": (0,)}
+    ).sweep()
+    queue = JobQueue(tmp_path)
+    queue.submit(sweep)
+    worker = Worker(queue, batch_size=8)
+    assert worker.drain(max_jobs=2) == 2
+    assert queue.counts()[DONE] == 2
+
+
+def test_loops_unregister_the_worker_lease_on_exit(tmp_path):
+    queue = JobQueue(tmp_path)
+    queue.submit([TINY])
+    worker = Worker(queue, worker_id="w1")
+    assert worker.drain() == 1
+    assert queue.workers() == []  # the lease record left with the worker
+
+
+def test_idle_daemon_stays_registered_until_stopped(tmp_path):
+    """An idle `serve` loop is visible in the lease table the whole time
+    (status must not report a live-but-idle fleet as absent)."""
+    import threading
+
+    queue = JobQueue(tmp_path)  # empty: the daemon only ever idles
+    worker = Worker(queue, worker_id="idle", poll_s=0.01)
+    thread = threading.Thread(target=worker.serve)
+    thread.start()
+    try:
+        deadline = time.time() + 5.0
+        while time.time() < deadline:
+            if any(w["worker"] == "idle" for w in queue.workers()):
+                break
+            time.sleep(0.01)
+        else:
+            pytest.fail("idle daemon never registered its lease record")
+    finally:
+        worker.request_stop()
+        thread.join(timeout=5.0)
+    assert not thread.is_alive()
+    assert queue.workers() == []  # unregistered on the way out
+
+
+def test_process_returns_false_for_failed_jobs(tmp_path, monkeypatch):
+    """`process` means 'acked done' — an accepted failure report is not
+    an ack, even though the queue took the report."""
+    def exploding_run(*args, **kwargs):
+        raise RuntimeError("boom")
+
+    queue = JobQueue(tmp_path)
+    queue.submit([TINY, TINY.with_(seeds=(2,))])
+    worker = Worker(queue, worker_id="w1")
+    (job,) = queue.claim_batch("w1", 1)
+    monkeypatch.setattr(worker_mod, "run", exploding_run)
+    assert worker.process(job) is False
+    monkeypatch.undo()
+    (job2,) = queue.claim_batch("w1", 1)
+    assert worker.process(job2) is True
+
+
+def test_bad_batch_size_is_rejected(tmp_path):
+    from repro.errors import ConfigurationError
+
+    for bad in (0, -2, 1.5, True):
+        with pytest.raises(ConfigurationError, match="batch_size"):
+            Worker(JobQueue(tmp_path), batch_size=bad)
 
 
 def test_requested_stop_exits_the_loops_immediately(tmp_path):

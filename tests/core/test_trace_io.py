@@ -217,6 +217,45 @@ class TestScheduleStore:
         assert stored is not in_memory
         assert stored.content_hash() == in_memory.content_hash()
 
+    def test_saved_file_verifies_under_the_strict_load_path(self, tmp_path):
+        """The spliced-hash write path produces exactly the document the
+        hash-verifying loader (and the v2 format contract) expects."""
+        store = ScheduleStore(tmp_path)
+        schedule = self._schedule()
+        store.put("k", schedule)
+        strict = load_schedule(store.path("k"), verify=True)
+        assert strict.content_hash() == schedule.content_hash()
+        document = json.loads(store.path("k").read_text())
+        assert document["content_hash"] == schedule.content_hash()
+
+    def test_keys_lists_entries_and_skips_temp_files(self, tmp_path):
+        store = ScheduleStore(tmp_path)
+        assert store.keys() == []  # missing directory is an empty store
+        store.put("b", self._schedule())
+        store.put("a", self._schedule())
+        (tmp_path / ".a.json.123.tmp").write_text("partial")
+        assert store.keys() == ["a", "b"]
+
+    def test_prune_removes_orphans_and_keeps_live_keys(self, tmp_path):
+        store = ScheduleStore(tmp_path)
+        schedule = self._schedule()
+        for key in ("live", "orphan-1", "orphan-2"):
+            store.get_or_record(key, lambda: schedule)
+        removed = store.prune({"live", "never-recorded"})
+        assert removed == ["orphan-1", "orphan-2"]
+        assert store.keys() == ["live"]
+        # the survivor is intact and loadable, not half-deleted
+        assert store.get("live").content_hash() == schedule.content_hash()
+        # pruning never rewrites history: the audit log keeps every line
+        assert sorted(store.recorded_keys()) == ["live", "orphan-1", "orphan-2"]
+
+    def test_prune_everything_and_empty_store(self, tmp_path):
+        store = ScheduleStore(tmp_path)
+        assert store.prune(set()) == []  # empty store: nothing to do
+        store.put("k", self._schedule())
+        assert store.prune(set()) == ["k"]
+        assert store.keys() == []
+
 
 def test_use_schedule_store_nests_and_restores(tmp_path):
     assert active_schedule_store() is None

@@ -31,7 +31,7 @@ def test_cluster_verbs_are_registered():
     sub = next(
         a for a in parser._actions if isinstance(a, type(parser._subparsers._group_actions[0]))
     )
-    assert {"submit", "worker", "status"} <= set(sub.choices)
+    assert {"submit", "worker", "status", "gather", "gc"} <= set(sub.choices)
 
 
 def test_every_registered_experiment_has_an_alias():
@@ -145,6 +145,84 @@ def test_info_command(capsys):
     assert main(["info", "--duration", "0.05"]) == 0
     out = capsys.readouterr().out
     assert "quantisation" in out
+
+
+def test_gather_round_trip_from_a_non_submitter(tmp_path, capsys):
+    """submit -> worker --drain -> `repro gather QUEUE_DIR` collects the
+    sweep without holding the submitter's job ids, byte-identical to a
+    serial run_many of the same specs."""
+    from repro.api import ExperimentSpec, RunArtifact, run_many
+
+    queue_dir = str(tmp_path / "q")
+    assert main(["submit", "table1", "--rows", "0", "--duration", "0.04",
+                 "--seeds", "1", "2", "--queue", queue_dir]) == 0
+    assert main(["worker", "--queue", queue_dir, "--drain"]) == 0
+    capsys.readouterr()
+
+    out_dir = tmp_path / "collected"
+    assert main(["gather", queue_dir, "--json", "--out", str(out_dir)]) == 0
+    captured = capsys.readouterr()
+    payloads = json.loads(captured.out)
+    assert len(payloads) == 2
+    sweep = ExperimentSpec(
+        "table1", duration=0.04, seeds=(1, 2), options={"rows": (0,)}
+    ).sweep()
+    serial = run_many(sweep)
+    gathered = [RunArtifact.from_dict(p) for p in payloads]
+    assert [a.canonical_json() for a in gathered] == [
+        a.canonical_json() for a in serial
+    ]
+    assert len(list(out_dir.glob("*.json"))) == 2  # --out saved copies
+
+    # --jobs narrows to a subset, in the order given
+    assert main(["gather", queue_dir, "--jobs", "2", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["spec"]["seeds"] == [2]
+
+
+def test_gather_errors_are_pointed(tmp_path, capsys):
+    assert main(["gather", str(tmp_path / "typo")]) == 2
+    assert "not a job queue" in capsys.readouterr().err
+    from repro.cluster import JobQueue
+
+    JobQueue(tmp_path / "empty")  # a real queue with nothing submitted
+    assert main(["gather", str(tmp_path / "empty")]) == 2
+    assert "no jobs to gather" in capsys.readouterr().err
+
+
+def test_gc_prunes_orphaned_schedules_and_keeps_live_ones(tmp_path, capsys):
+    """`repro gc --queue` round trip: schedules of finished sweeps are
+    orphans; a pending job's schedule key survives the collection."""
+    queue_dir = str(tmp_path / "q")
+    assert main(["submit", "table1", "--rows", "0", "--duration", "0.04",
+                 "--queue", queue_dir]) == 0
+    assert main(["worker", "--queue", queue_dir, "--drain"]) == 0
+    capsys.readouterr()
+    schedules = tmp_path / "q" / "artifacts" / "schedules"
+    (live,) = [p for p in schedules.glob("*.json")]
+
+    # a second identical submission: pending, so its key is in use
+    assert main(["submit", "table1", "--rows", "0", "--duration", "0.04",
+                 "--queue", queue_dir]) == 0
+    capsys.readouterr()
+    assert main(["gc", "--queue", queue_dir]) == 0
+    assert "removed 0 schedule(s), kept 1" in capsys.readouterr().out
+    assert live.is_file()  # the live hash survived
+
+    # drain the pending job; now nothing needs the schedule
+    assert main(["worker", "--queue", queue_dir, "--drain"]) == 0
+    capsys.readouterr()
+    assert main(["gc", "--queue", queue_dir, "--dry-run"]) == 0
+    assert "would remove 1 schedule(s)" in capsys.readouterr().out
+    assert live.is_file()  # dry run touches nothing
+    assert main(["gc", "--queue", queue_dir]) == 0
+    assert "removed 1 schedule(s), kept 0" in capsys.readouterr().out
+    assert not live.exists()
+
+
+def test_gc_on_a_nonexistent_queue_is_an_error(tmp_path, capsys):
+    assert main(["gc", "--queue", str(tmp_path / "typo")]) == 2
+    assert "not a job queue" in capsys.readouterr().err
 
 
 def test_requires_a_command():

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Documentation lint: links resolve, the paper map matches the registry.
 
-Two checks, both cheap enough for every CI run:
+Three checks, all cheap enough for every CI run:
 
 1. **Internal links** — every relative markdown link in ``docs/*.md``
    and ``README.md`` must point at a file or directory that exists
@@ -12,6 +12,10 @@ Two checks, both cheap enough for every CI run:
    experiment (the same set ``repro list`` prints), and every
    registered experiment must appear in the map, so the map can neither
    name ghosts nor silently omit a new artefact.
+3. **Rule table × lint registry** — the rule column of the table in
+   ``docs/determinism.md`` must equal the ids ``repro lint
+   --list-rules`` knows, so the invariant catalogue can neither
+   document retired rules nor silently omit a new one.
 
 Usage::
 
@@ -33,6 +37,8 @@ DOCS = REPO / "docs"
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 #: A table row whose second cell is a backticked name.
 _MAP_ROW = re.compile(r"^\|[^|]*\|\s*`([a-z0-9_-]+)`\s*\|")
+#: A determinism.md table row whose first cell is a backticked rule id.
+_RULE_ROW = re.compile(r"^\|\s*`([A-Z]+(?:-[A-Z]+)+)`\s*\|")
 
 
 def check_links(paths: list[Path]) -> list[str]:
@@ -78,17 +84,46 @@ def check_paper_map(map_path: Path) -> list[str]:
     return problems
 
 
+def check_rule_table(doc_path: Path) -> list[str]:
+    """determinism.md's rule column == the lint registry, exactly."""
+    from repro.lintkit import rule_ids
+
+    documented = set()
+    for line in doc_path.read_text().splitlines():
+        match = _RULE_ROW.match(line.strip())
+        if match:
+            documented.add(match.group(1))
+    registered = set(rule_ids())
+    problems = []
+    for ghost in sorted(documented - registered):
+        problems.append(
+            f"{doc_path.relative_to(REPO)}: documents unregistered lint "
+            f"rule {ghost!r} (repro lint --list-rules knows: "
+            f"{sorted(registered)})"
+        )
+    for missing in sorted(registered - documented):
+        problems.append(
+            f"{doc_path.relative_to(REPO)}: lint rule {missing!r} is "
+            f"missing from the invariant table"
+        )
+    if not documented:
+        problems.append(f"{doc_path.relative_to(REPO)}: no rule rows found")
+    return problems
+
+
 def main() -> int:
-    """Run both checks; print problems; 0 iff the docs are clean."""
+    """Run all checks; print problems; 0 iff the docs are clean."""
     markdown = sorted(DOCS.glob("*.md")) + [REPO / "README.md"]
     problems = check_links(markdown)
     problems += check_paper_map(DOCS / "paper-map.md")
+    problems += check_rule_table(DOCS / "determinism.md")
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:
         print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
         return 1
-    print(f"docs OK: {len(markdown)} files, links + paper map verified")
+    print(f"docs OK: {len(markdown)} files, links + paper map + rule "
+          f"table verified")
     return 0
 
 

@@ -52,6 +52,13 @@ recorded schedules the same way.
 ``repro bench`` (registered like any experiment) runs the substrate
 micro-benchmarks of :mod:`repro.experiments.perf`; see
 ``benchmarks/perf/README.md`` for the trajectory workflow.
+
+Two maintenance verbs round out the surface: ``repro record EXPERIMENT
+--out PATH`` exports a record-once experiment's recorded schedule(s) as
+standalone hash-verified trace files (:mod:`repro.core.trace_io`
+format), and ``repro lint [PATHS]`` runs the determinism/concurrency
+analyzer of :mod:`repro.lintkit` (rule catalogue:
+``docs/determinism.md``).
 """
 
 from __future__ import annotations
@@ -354,6 +361,97 @@ def _cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the determinism/concurrency analyzer (see docs/determinism.md).
+
+    Exit codes follow lint convention: 0 clean, 1 unsuppressed findings,
+    2 usage/configuration error — so CI can distinguish "the tree is
+    dirty" from "the invocation is broken".
+    """
+    from repro.lintkit import JSON_SCHEMA_VERSION, lint_paths, load_baseline
+    from repro.lintkit.rules import load_rules
+
+    try:
+        if args.list_rules:
+            rules = load_rules()
+            if args.format == "json":
+                print(json.dumps(
+                    {"version": JSON_SCHEMA_VERSION,
+                     "rules": [rules[rid].to_dict() for rid in sorted(rules)]},
+                    indent=2))
+            else:
+                table = Table(["rule", "scopes", "summary"],
+                              title="repro lint rules")
+                for rule_id in sorted(rules):
+                    rule = rules[rule_id]
+                    table.add_row([rule.id, ",".join(rule.scopes),
+                                   rule.summary])
+                print(table.render())
+            return 0
+        baseline = load_baseline(args.baseline) if args.baseline else None
+        report = lint_paths(args.paths or ["src"], baseline=baseline)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render(verbose=args.verbose))
+    return 0 if report.clean else 1
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    """Export an experiment's recorded schedule(s) as standalone traces.
+
+    The written files are the hash-verified format of
+    :mod:`repro.core.trace_io`: ``repro record table1 --out trace.json``
+    then ``load_schedule("trace.json")`` anywhere, with no queue, store,
+    or registry in sight.
+    """
+    from repro.core.trace_io import load_schedule, save_schedule
+
+    try:
+        entry = REGISTRY.get(args.experiment)
+        if entry.recordings is None:
+            raise ConfigurationError(
+                f"experiment {entry.name!r} records no replayable "
+                f"schedules — only record-once/replay-many experiments "
+                f"(a registered `recordings` hook) can be exported"
+            )
+        _reject_unused_flags(entry, args)
+        spec = spec_from_args(args.experiment, args)
+        recorders = entry.recordings(spec)
+        if not recorders:
+            raise ConfigurationError(
+                f"spec for {entry.name!r} yields no recordings "
+                f"(empty sweep?)"
+            )
+        out = Path(args.out)
+        single_file = out.suffix in (".json", ".gz")
+        if single_file and len(recorders) > 1:
+            raise ConfigurationError(
+                f"spec yields {len(recorders)} recordings but --out "
+                f"{args.out} names a single file; pass a directory, or "
+                f"narrow the spec (e.g. --rows N, one seed)"
+            )
+        if not single_file:
+            out.mkdir(parents=True, exist_ok=True)
+        for key in sorted(recorders):
+            schedule = recorders[key]()
+            path = out if single_file else out / f"{key}.json"
+            save_schedule(schedule, path)
+            load_schedule(path)  # verify the round trip before reporting
+            print(f"wrote {path} ({key}: {len(schedule)} "
+                  f"packet record(s))", file=sys.stderr)
+        print(json.dumps({"experiment": entry.name,
+                          "recordings": sorted(recorders),
+                          "out": str(out)}))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     table = Table(["experiment", "description"], title="Registered experiments")
     for entry in REGISTRY.entries():
@@ -444,6 +542,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dry-run", action="store_true", dest="dry_run",
                    help="report what would be removed without removing it")
     p.set_defaults(fn=_cmd_gc)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the determinism/concurrency analyzer over Python sources")
+    p.add_argument("paths", nargs="*", metavar="PATH",
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="report format (default: text)")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="JSON baseline whose (path, rule, line) findings "
+                        "are waived (e.g. lint-baseline.json)")
+    p.add_argument("--list-rules", action="store_true", dest="list_rules",
+                   help="print the rule registry instead of linting")
+    p.add_argument("--verbose", action="store_true",
+                   help="text format: also show suppressed findings")
+    p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "record",
+        help="export an experiment's recorded schedule(s) as standalone "
+             "hash-verified trace files")
+    p.add_argument("experiment",
+                   help="a record-once/replay-many experiment from "
+                        "`repro list` (e.g. table1, fig1)")
+    p.add_argument("--out", required=True, metavar="PATH",
+                   help="output file (.json/.json.gz, single recording) "
+                        "or directory (one <key>.json per recording)")
+    _add_spec_args(p, with_rows=True)
+    p.set_defaults(fn=_cmd_record)
 
     p = sub.add_parser(
         "status", help="snapshot a job queue: counts plus one row per job")

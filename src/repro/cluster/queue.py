@@ -215,7 +215,7 @@ class JobQueue:
         deadline passed belongs to a presumed-dead worker.  Caller holds
         an open ``BEGIN IMMEDIATE`` transaction.
         """
-        conn.execute(
+        conn.execute(  # repro: allow(SQL-TXN) caller holds BEGIN IMMEDIATE, per contract above
             "UPDATE jobs SET state = ?, error ="
             " 'lease expired after ' || attempts || ' attempt(s); worker '"
             " || COALESCE(worker, '?') || ' presumed dead',"
@@ -223,12 +223,12 @@ class JobQueue:
             " WHERE state = ? AND lease_expires_at < ? AND attempts >= max_attempts",
             (FAILED, now, RUNNING, now),
         )
-        conn.execute(
+        conn.execute(  # repro: allow(SQL-TXN) caller holds BEGIN IMMEDIATE, per contract above
             "UPDATE jobs SET state = ?, worker = NULL, lease_expires_at = NULL"
             " WHERE state = ? AND lease_expires_at < ?",
             (PENDING, RUNNING, now),
         )
-        conn.execute(
+        conn.execute(  # repro: allow(SQL-TXN) caller holds BEGIN IMMEDIATE, per contract above
             "DELETE FROM leases WHERE lease_expires_at < ?", (now,)
         )
 
@@ -237,7 +237,7 @@ class JobQueue:
         deadline: float,
     ) -> None:
         """Create or renew ``worker_id``'s registration row (open txn)."""
-        conn.execute(
+        conn.execute(  # repro: allow(SQL-TXN) caller holds BEGIN IMMEDIATE, per contract above
             "INSERT INTO leases (worker, registered_at, lease_expires_at)"
             " VALUES (?, ?, ?) ON CONFLICT (worker)"
             " DO UPDATE SET lease_expires_at = excluded.lease_expires_at",
@@ -326,7 +326,9 @@ class JobQueue:
         per-job deadlines expire and reclaim them normally.
         """
         with closing(self._connect()) as conn:
+            conn.execute("BEGIN IMMEDIATE")
             conn.execute("DELETE FROM leases WHERE worker = ?", (worker_id,))
+            conn.execute("COMMIT")
 
     def heartbeat_worker(
         self, worker_id: str, lease_s: float | None = None
@@ -398,11 +400,13 @@ class JobQueue:
         """
         lease = self.default_lease_s if lease_s is None else float(lease_s)
         with closing(self._connect()) as conn:
+            conn.execute("BEGIN IMMEDIATE")
             cursor = conn.execute(
                 "UPDATE jobs SET lease_expires_at = ?"
                 " WHERE id = ? AND worker = ? AND state = ?",
                 (time.time() + lease, job_id, worker_id, RUNNING),
             )
+            conn.execute("COMMIT")
         return cursor.rowcount == 1
 
     def ack(self, job_id: int, worker_id: str) -> bool:

@@ -73,9 +73,9 @@ def _best_of(fn: Callable[[], int], repeats: int) -> tuple[int, float]:
     best = None
     ops = 0
     for _ in range(max(1, repeats)):
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: allow(DET-WALLCLOCK) wall-clock benchmark harness, not simulation state
         ops = fn()
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start  # repro: allow(DET-WALLCLOCK) wall-clock benchmark harness, not simulation state
         if best is None or elapsed < best:
             best = elapsed
     return ops, best

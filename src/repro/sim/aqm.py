@@ -64,6 +64,10 @@ class RedAqm:
         slack-aware variant (see EXPERIMENTS.md).
     """
 
+    __slots__ = ("min_threshold", "max_threshold", "max_probability",
+                 "weight", "idle_bandwidth", "slack_aware", "_rng", "_avg",
+                 "_count", "_idle_since")
+
     def __init__(
         self,
         min_threshold: float,
@@ -158,6 +162,9 @@ class CoDelAqm:
     Parameters follow the RFC's defaults, scaled to taste: ``target`` is
     the acceptable standing queue delay, ``interval`` a worst-case RTT.
     """
+
+    __slots__ = ("target", "interval", "_first_above", "_dropping",
+                 "_drop_next", "_count", "drops")
 
     #: RedAqm-compatible marker so ports can distinguish hook sides.
     dequeue_side = True

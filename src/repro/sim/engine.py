@@ -220,7 +220,7 @@ class Engine:
         limit = inf if until is None else until
         now = self.now
         processed = 0
-        start = perf_counter()
+        start = perf_counter()  # repro: allow(DET-WALLCLOCK) ENGINE_PERF accounting, never feeds simulation state
         try:
             while heap or deferred:
                 if deferred and (not heap or heap[0][0] > now):
@@ -252,7 +252,7 @@ class Engine:
                     break
         finally:
             self._events_processed += processed
-            ENGINE_PERF.record(processed, perf_counter() - start)
+            ENGINE_PERF.record(processed, perf_counter() - start)  # repro: allow(DET-WALLCLOCK) ENGINE_PERF accounting, never feeds simulation state
         if until is not None and self.now < until:
             self.now = until
 

@@ -41,6 +41,9 @@ SchedulerFactory = Callable[[str, str], Scheduler | None]
 class Network:
     """A simulated network of hosts and routers."""
 
+    __slots__ = ("engine", "tracer", "nodes", "links", "_adjacency",
+                 "_next_hop", "_tmin_cache", "_preemptive")
+
     def __init__(self, engine: Engine | None = None, tracer: Tracer | None = None) -> None:
         self.engine = engine if engine is not None else Engine()
         self.tracer = tracer if tracer is not None else Tracer()

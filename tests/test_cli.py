@@ -225,6 +225,44 @@ def test_gc_on_a_nonexistent_queue_is_an_error(tmp_path, capsys):
     assert "not a job queue" in capsys.readouterr().err
 
 
+def test_record_exports_a_standalone_verified_trace(tmp_path, capsys):
+    """``repro record`` writes a trace ``load_schedule`` verifies."""
+    from repro.core.trace_io import load_schedule
+
+    out = tmp_path / "trace.json"
+    assert main(["record", "table1", "--rows", "0", "--duration", "0.05",
+                 "--out", str(out)]) == 0
+    captured = capsys.readouterr()
+    assert f"wrote {out}" in captured.err
+    payload = json.loads(captured.out)
+    assert payload["experiment"] == "table1"
+    assert len(payload["recordings"]) == 1
+    schedule = load_schedule(out)  # hash-verified on load
+    assert len(schedule) > 0
+    assert schedule.threshold > 0
+
+
+def test_record_directory_mode_writes_one_file_per_recording(tmp_path, capsys):
+    out = tmp_path / "traces"
+    assert main(["record", "table1", "--rows", "0", "1", "--duration", "0.05",
+                 "--out", str(out)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["recordings"]) == 2
+    assert sorted(p.stem for p in out.glob("*.json")) == payload["recordings"]
+
+
+def test_record_rejects_multi_recording_spec_into_single_file(tmp_path, capsys):
+    assert main(["record", "table1", "--rows", "0", "1", "--duration", "0.05",
+                 "--out", str(tmp_path / "one.json")]) == 2
+    assert "names a single file" in capsys.readouterr().err
+
+
+def test_record_rejects_experiments_without_recordings(tmp_path, capsys):
+    assert main(["record", "gadgets",
+                 "--out", str(tmp_path / "x.json")]) == 2
+    assert "records no replayable schedules" in capsys.readouterr().err
+
+
 def test_requires_a_command():
     with pytest.raises(SystemExit):
         main([])

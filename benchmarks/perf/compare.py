@@ -5,7 +5,10 @@ Matches bench entries by ``name@scale`` between one run of each file
 (the last run by default, or pick by ``--run-before`` / ``--run-after``
 label substring), prints a before/after/ratio table, and exits non-zero
 when any matched ratio falls below the threshold — the bisectable
-"this PR slowed the substrate down" signal.
+"this PR slowed the substrate down" signal.  Benches present only in
+the candidate are reported as ``new`` (with their numbers) and never
+fail the gate; benches present only in the baseline are listed as
+removed.
 
 Examples::
 
@@ -73,9 +76,13 @@ def main(argv=None) -> int:
     after = load_run(args.after, args.run_after)
     base, cand = keyed(before), keyed(after)
     common = [k for k in cand if k in base]
+    new = sorted(k for k in cand if k not in base)
+    removed = sorted(k for k in base if k not in cand)
     if args.only:
         common = [k for k in common if k.startswith(args.only)]
-    if not common:
+        new = [k for k in new if k.startswith(args.only)]
+        removed = [k for k in removed if k.startswith(args.only)]
+    if not common and not new:
         raise SystemExit("error: the two runs share no bench keys to compare")
 
     print(f"before: {args.before} run {before.get('label')!r}")
@@ -90,9 +97,14 @@ def main(argv=None) -> int:
             regressions.append((key, ratio))
             flag = f"  << regression (< {args.threshold:.2f})"
         print(f"{key:>28s} {b:>14,.0f} {a:>14,.0f} {ratio:>6.2f}x{flag}")
-    unmatched = sorted(set(base) ^ set(cand))
-    if unmatched:
-        print(f"(unmatched, not compared: {', '.join(unmatched)})")
+    # Benches only the candidate has are *new*, not regressions: report
+    # their numbers so the trajectory starts somewhere, and never fail on
+    # them — a PR that adds a bench must not trip its own gate.
+    for key in new:
+        a = cand[key]["ops_per_sec"]
+        print(f"{key:>28s} {'-':>14s} {a:>14,.0f}     new")
+    if removed:
+        print(f"(removed, not compared: {', '.join(removed)})")
 
     if regressions:
         worst = min(regressions, key=lambda kv: kv[1])

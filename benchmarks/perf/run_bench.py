@@ -27,12 +27,14 @@ from pathlib import Path
 
 from repro.experiments.perf import (
     BENCH_SCHEMA_VERSION,
+    BRANCH_STRATEGIES,
     DEFAULT_SCHEDULERS,
     ENGINE_BENCHES,
     REPLAY_STRATEGIES,
     SWEEP_EXECUTORS,
     bench_e2e_fig2_style,
     bench_scheduler_ops,
+    bench_sweep_branch,
     bench_sweep_executor,
     bench_sweep_replay,
 )
@@ -53,7 +55,9 @@ def bench_entry(name: str, scale: int, ops: int, seconds: float) -> dict:
 def run_suite(events: int, packet_scales: list[int], schedulers: list[str],
               duration: float, repeats: int, sweep_seeds: int = 4,
               sweep_workers: int = 2, sweep_duration: float = 0.04,
-              replay_modes: int = 3, verbose: bool = True) -> list[dict]:
+              replay_modes: int = 3, branch_legs: int = 16,
+              branch_warmup: float = 0.4, branch_duration: float = 0.005,
+              verbose: bool = True) -> list[dict]:
     benches: list[dict] = []
 
     def note(entry: dict) -> None:
@@ -92,6 +96,16 @@ def run_suite(events: int, packet_scales: list[int], schedulers: list[str],
             repeats=repeats,
         )
         note(bench_entry(f"sweep-replay-{strategy}", replay_modes, ops, seconds))
+    # Simulate-once vs warm-up-per-leg on a branch seed sweep: the
+    # many/scratch ops-per-sec ratio is the checkpoint speedup.  The
+    # warm-up dominates the per-leg delta by design — that asymmetry is
+    # what the checkpoint exists to exploit.
+    for strategy in BRANCH_STRATEGIES:
+        ops, seconds = bench_sweep_branch(
+            strategy, legs=branch_legs, warmup=branch_warmup,
+            duration=branch_duration, repeats=repeats,
+        )
+        note(bench_entry(f"sweep-branch-{strategy}", branch_legs, ops, seconds))
     return benches
 
 
@@ -130,6 +144,16 @@ def main(argv=None) -> int:
                         dest="replay_modes", metavar="N",
                         help="modes per sweep-replay bench (record-once vs "
                              "record-per-leg)")
+    parser.add_argument("--branch-legs", type=int, default=16,
+                        dest="branch_legs", metavar="N",
+                        help="legs per sweep-branch bench (simulate-once vs "
+                             "warm-up-per-leg)")
+    parser.add_argument("--branch-warmup", type=float, default=0.4,
+                        dest="branch_warmup", metavar="S",
+                        help="shared warm-up horizon per sweep-branch bench")
+    parser.add_argument("--branch-duration", type=float, default=0.005,
+                        dest="branch_duration", metavar="S",
+                        help="per-leg simulated seconds past the warm-up")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny preset for CI schema checks")
     parser.add_argument("--label", default="local")
@@ -145,6 +169,8 @@ def main(argv=None) -> int:
         args.schedulers = ["fifo", "lstf"]
         args.sweep_seeds, args.sweep_duration = 2, 0.02
         args.replay_modes = 2
+        args.branch_legs, args.branch_warmup = 2, 0.02
+        args.branch_duration = 0.005
 
     print(f"running perf suite (repeats={args.repeats}) ...", file=sys.stderr)
     benches = run_suite(args.events, args.packets, args.schedulers,
@@ -152,7 +178,10 @@ def main(argv=None) -> int:
                         sweep_seeds=args.sweep_seeds,
                         sweep_workers=args.sweep_workers,
                         sweep_duration=args.sweep_duration,
-                        replay_modes=args.replay_modes)
+                        replay_modes=args.replay_modes,
+                        branch_legs=args.branch_legs,
+                        branch_warmup=args.branch_warmup,
+                        branch_duration=args.branch_duration)
     document = {
         "schema_version": SCHEMA_VERSION,
         "config": {
@@ -165,6 +194,9 @@ def main(argv=None) -> int:
             "sweep_workers": args.sweep_workers,
             "sweep_duration": args.sweep_duration,
             "replay_modes": args.replay_modes,
+            "branch_legs": args.branch_legs,
+            "branch_warmup": args.branch_warmup,
+            "branch_duration": args.branch_duration,
             "python": platform.python_version(),
             "platform": platform.platform(),
         },

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Documentation lint: links resolve, the paper map matches the registry.
 
-Three checks, all cheap enough for every CI run:
+Four checks, all cheap enough for every CI run:
 
 1. **Internal links** — every relative markdown link in ``docs/*.md``
    and ``README.md`` must point at a file or directory that exists
@@ -16,6 +16,10 @@ Three checks, all cheap enough for every CI run:
    ``docs/determinism.md`` must equal the ids ``repro lint
    --list-rules`` knows, so the invariant catalogue can neither
    document retired rules nor silently omit a new one.
+4. **CLI verbs × docs** — every non-experiment subcommand of ``python
+   -m repro`` (``run``, ``gc``, ``checkpoint``, …) must be mentioned as
+   ``repro <verb>`` somewhere in the documentation corpus, so a new
+   verb cannot ship undocumented.
 
 Usage::
 
@@ -111,19 +115,45 @@ def check_rule_table(doc_path: Path) -> list[str]:
     return problems
 
 
+def check_cli_verbs(paths: list[Path]) -> list[str]:
+    """Every non-experiment CLI verb appears as ``repro <verb>`` somewhere."""
+    import argparse
+
+    from repro.api import experiment_names
+    from repro.cli import build_parser
+
+    subparsers = next(
+        action for action in build_parser()._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    # experiment aliases (`repro table1` == `repro run table1`) are
+    # documented through the paper map; only the real verbs need prose
+    verbs = set(subparsers.choices) - set(experiment_names())
+    corpus = "\n".join(path.read_text() for path in paths)
+    problems = []
+    for verb in sorted(verbs):
+        if not re.search(rf"\brepro {re.escape(verb)}\b", corpus):
+            problems.append(
+                f"CLI verb {verb!r} is not documented: no 'repro {verb}' "
+                f"anywhere in docs/*.md or README.md"
+            )
+    return problems
+
+
 def main() -> int:
     """Run all checks; print problems; 0 iff the docs are clean."""
     markdown = sorted(DOCS.glob("*.md")) + [REPO / "README.md"]
     problems = check_links(markdown)
     problems += check_paper_map(DOCS / "paper-map.md")
     problems += check_rule_table(DOCS / "determinism.md")
+    problems += check_cli_verbs(markdown)
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:
         print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
         return 1
     print(f"docs OK: {len(markdown)} files, links + paper map + rule "
-          f"table verified")
+          f"table + CLI verbs verified")
     return 0
 
 

@@ -26,7 +26,12 @@ rebuilds their entire evaluation stack in pure Python:
   :class:`ScheduleStore`, ``ExperimentSpec(replay_modes=...)`` sweeps
   candidate UPSes over one recording, and ``run_many`` simulates each
   unique original schedule exactly once under every executor (see
-  ``docs/replay.md``).
+  ``docs/replay.md``),
+* simulate-once/branch-many (:mod:`repro.sim.checkpoint`): engine and
+  network state checkpoint/restore, warm-up snapshots as hash-verified
+  content-addressed artifacts in a shared :class:`CheckpointStore`, and
+  a ``run_many`` pre-pass that warms each ``branch`` sweep's shared
+  prefix exactly once (see ``docs/checkpointing.md``).
 
 Quick taste (see ``examples/quickstart.py`` for the narrated version)::
 
@@ -99,6 +104,7 @@ from repro.core.trace_io import (
     use_schedule_store,
 )
 from repro.errors import (
+    CheckpointError,
     ConfigurationError,
     ReplayError,
     ReproError,
@@ -127,6 +133,16 @@ from repro.schedulers import (
 )
 from repro.schedulers.pheap import PHeap, PHeapLstfScheduler
 from repro.sim.aqm import CoDelAqm, RedAqm
+from repro.sim.checkpoint import (
+    CheckpointStore,
+    Snapshot,
+    active_checkpoint_store,
+    load_checkpoint,
+    restore_snapshot,
+    save_checkpoint,
+    snapshot_network,
+    use_checkpoint_store,
+)
 from repro.sim.engine import Engine
 from repro.sim.network import Network
 from repro.topology import (
@@ -157,6 +173,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BoundedPareto",
+    "CheckpointError",
+    "CheckpointStore",
     "CoDelAqm",
     "ConfigurationError",
     "ConstantSlack",
@@ -184,9 +202,9 @@ __all__ = [
     "PriorityScheduler",
     "REPLAY_MODES",
     "RandomScheduler",
-    "RedAqm",
     "RecordedPacket",
     "RecordedSchedule",
+    "RedAqm",
     "ReplayError",
     "ReplayResult",
     "ReproError",
@@ -199,11 +217,13 @@ __all__ = [
     "SimulationError",
     "SjfScheduler",
     "SlackPolicy",
+    "Snapshot",
     "SrptScheduler",
     "TcpStats",
     "TimetableScheduler",
     "VirtualClockSlack",
     "WorkloadError",
+    "active_checkpoint_store",
     "active_schedule_store",
     "build_dumbbell",
     "build_fattree",
@@ -218,6 +238,7 @@ __all__ = [
     "install_udp_flows",
     "internet_distribution",
     "load_artifact",
+    "load_checkpoint",
     "load_schedule",
     "long_lived_flows",
     "make_scheduler",
@@ -227,10 +248,14 @@ __all__ = [
     "register_experiment",
     "replay_schedule",
     "replay_slack",
+    "restore_snapshot",
     "run",
     "run_many",
+    "save_checkpoint",
     "save_schedule",
     "scheduler_names",
+    "snapshot_network",
+    "use_checkpoint_store",
     "use_schedule_store",
     "web_search_distribution",
 ]

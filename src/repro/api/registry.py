@@ -55,6 +55,13 @@ class RegisteredExperiment:
     them in worker processes; each returns a
     :class:`~repro.core.replay.RecordedSchedule`.  ``None`` (the
     default) means the experiment records nothing reusable.
+
+    ``checkpoints`` is the simulate-once/branch-many analogue: it maps a
+    spec to the warm-up checkpoints the driver will branch from, as
+    ``{checkpoint-store key: zero-arg builder}``.  Builders follow the
+    same contract as recorders (picklable, may run in worker processes)
+    and each returns a :class:`~repro.sim.checkpoint.Snapshot`.  ``None``
+    (the default) means the experiment has no shareable warm-up prefix.
     """
 
     name: str
@@ -64,6 +71,7 @@ class RegisteredExperiment:
     options: tuple[str, ...] = ()
     params: tuple[str, ...] = ()
     recordings: Callable | None = None
+    checkpoints: Callable | None = None
 
     def __call__(self, spec):
         """Run the driver on ``spec`` (sugar for ``entry.fn(spec)``)."""
@@ -87,6 +95,7 @@ class ExperimentRegistry:
         options: tuple[str, ...] = (),
         params: tuple[str, ...] = (),
         recordings: Callable | None = None,
+        checkpoints: Callable | None = None,
     ) -> Callable[[Callable], Callable]:
         """Decorator: register ``fn`` as the driver for ``name``."""
 
@@ -99,7 +108,7 @@ class ExperimentRegistry:
             entry = RegisteredExperiment(
                 name=name, fn=fn, help=help, aliases=tuple(aliases),
                 options=tuple(options), params=tuple(params),
-                recordings=recordings,
+                recordings=recordings, checkpoints=checkpoints,
             )
             self._entries[name] = entry
             for alias in aliases:
@@ -154,18 +163,20 @@ def register_experiment(
     options: tuple[str, ...] = (),
     params: tuple[str, ...] = (),
     recordings: Callable | None = None,
+    checkpoints: Callable | None = None,
 ) -> Callable[[Callable], Callable]:
     """Register a driver on the global :data:`REGISTRY` (decorator).
 
     ``name`` is the canonical experiment id (plus optional ``aliases``);
     ``help`` is the one-liner ``repro list`` shows; ``options`` and
     ``params`` declare the spec options/fields the driver reads (anything
-    else is rejected loudly); ``recordings`` is the record-once hook —
-    see :class:`RegisteredExperiment`.
+    else is rejected loudly); ``recordings`` is the record-once hook and
+    ``checkpoints`` the simulate-once/branch-many hook — see
+    :class:`RegisteredExperiment`.
     """
     return REGISTRY.register(
         name, help=help, aliases=aliases, options=options, params=params,
-        recordings=recordings,
+        recordings=recordings, checkpoints=checkpoints,
     )
 
 

@@ -41,6 +41,7 @@ from repro.api.spec import ExperimentSpec
 from repro.core.packet import reset_packet_ids
 from repro.core.trace_io import ScheduleStore, use_schedule_store
 from repro.errors import ConfigurationError, require_positive_int
+from repro.sim.checkpoint import CheckpointStore, use_checkpoint_store
 from repro.sim.engine import ENGINE_PERF
 
 __all__ = ["EXECUTORS", "cached_artifact", "run", "run_many"]
@@ -48,6 +49,10 @@ __all__ = ["EXECUTORS", "cached_artifact", "run", "run_many"]
 #: Subdirectory (of an ``out_dir`` or a queue's ``artifacts/``) holding
 #: the sweep's shared recorded-schedule cache.
 SCHEDULE_SUBDIR = "schedules"
+
+#: Subdirectory (of an ``out_dir`` or a queue's ``artifacts/``) holding
+#: the sweep's shared warm-up checkpoint cache.
+CHECKPOINT_SUBDIR = "checkpoints"
 
 
 def cached_artifact(spec: ExperimentSpec, out_dir: str | Path) -> RunArtifact | None:
@@ -76,6 +81,7 @@ def run(
     out_dir: str | Path | None = None,
     force: bool = False,
     schedule_dir: str | Path | None = None,
+    checkpoint_dir: str | Path | None = None,
 ) -> RunArtifact:
     """Execute one spec and return its artifact.
 
@@ -92,6 +98,15 @@ def run(
     warm ``--out`` directory caches both halves of a replay experiment.
     ``force`` does not invalidate recorded schedules — recording is
     deterministic, so re-recording could only reproduce the same bytes.
+
+    ``checkpoint_dir`` is the simulate-once analogue: the warm-up
+    checkpoint cache (:class:`~repro.sim.checkpoint.CheckpointStore`)
+    activated around the driver call, defaulting to
+    ``<out_dir>/checkpoints`` when ``out_dir`` is given.  Branch-driven
+    experiments simulate each shared warm-up prefix into it at most once
+    and restore later legs from disk; artifacts are byte-identical
+    either way (same events, same pids — the store credits the restored
+    run's accounting), which is what lets the cache be transparent.
     """
     entry = (registry or REGISTRY).get(spec.experiment)
     unknown = [key for key, _ in spec.options if key not in entry.options]
@@ -107,12 +122,17 @@ def run(
             return cached
     if schedule_dir is None and out_dir is not None:
         schedule_dir = Path(out_dir) / SCHEDULE_SUBDIR
+    if checkpoint_dir is None and out_dir is not None:
+        checkpoint_dir = Path(out_dir) / CHECKPOINT_SUBDIR
     store = ScheduleStore(schedule_dir) if schedule_dir is not None else None
+    ckpt_store = (
+        CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
+    )
     reset_packet_ids()
     ENGINE_PERF.reset()
     start = time.perf_counter()
     try:
-        with use_schedule_store(store):
+        with use_schedule_store(store), use_checkpoint_store(ckpt_store):
             output = entry.fn(spec)
     finally:
         reset_packet_ids()
@@ -265,6 +285,113 @@ def _sweep_schedule_dir(
         yield Path(tmp)
 
 
+def _sweep_checkpoints(
+    spec_list: Sequence[ExperimentSpec],
+    out_dir: str | Path | None,
+    force: bool,
+) -> dict[str, Callable]:
+    """The warm-up checkpoints a sweep needs, deduplicated across specs.
+
+    The checkpoint mirror of :func:`_sweep_recordings`: specs already
+    answered by the ``out_dir`` artifact cache are skipped, and specs
+    whose experiment registers no ``checkpoints`` hook contribute
+    nothing.
+    """
+    needed: dict[str, Callable] = {}
+    for spec in spec_list:
+        entry = REGISTRY.get(spec.experiment)
+        if entry.checkpoints is None:
+            continue
+        if out_dir is not None and not force \
+                and cached_artifact(spec, out_dir) is not None:
+            continue
+        needed.update(entry.checkpoints(spec))
+    return needed
+
+
+def _build_one(checkpoint_dir: str, key: str, builder: Callable) -> str:
+    """Build one checkpoint into a store (module-level: picklable for pools)."""
+    CheckpointStore(checkpoint_dir).get_or_build(key, builder)
+    return key
+
+
+def _build_sweep_checkpoints(
+    spec_list: Sequence[ExperimentSpec],
+    checkpoint_dir: str | Path,
+    workers: int,
+    out_dir: str | Path | None,
+    force: bool,
+) -> list[str]:
+    """The simulate-once pre-pass: warm each missing prefix exactly once.
+
+    Runs before any leg of the sweep, so concurrently executing legs
+    (process pool, queue workers) only ever *read* the store and the
+    "simulated exactly once" guarantee holds under every executor.
+    Distinct prefixes are independent, so with ``workers > 1`` and
+    several missing checkpoints the pre-pass fans out over a process
+    pool; returns the keys it built.
+    """
+    store = CheckpointStore(checkpoint_dir)
+    needed = _sweep_checkpoints(spec_list, out_dir, force)
+    missing = [(k, b) for k, b in needed.items() if not store.has(k)]
+    if not missing:
+        return []
+    if len(missing) > 1 and workers > 1:
+        with _pool(min(workers, len(missing))) as pool:
+            return pool.starmap(
+                _build_one,
+                [(str(checkpoint_dir), k, b) for k, b in missing],
+            )
+    return [_build_one(str(checkpoint_dir), k, b) for k, b in missing]
+
+
+def _sweep_shares_checkpoints(spec_list: Sequence[ExperimentSpec]) -> bool:
+    """True when some warm-up checkpoint is needed by more than one leg.
+
+    Same economics as :func:`_sweep_shares_recordings`: an ephemeral
+    store only earns its serialise/reload round trips when at least two
+    legs branch from one prefix.
+    """
+    seen: set[str] = set()
+    for spec in spec_list:
+        entry = REGISTRY.get(spec.experiment)
+        if entry.checkpoints is None:
+            continue
+        for key in entry.checkpoints(spec):
+            if key in seen:
+                return True
+            seen.add(key)
+    return False
+
+
+@contextlib.contextmanager
+def _sweep_checkpoint_dir(
+    spec_list: Sequence[ExperimentSpec],
+    out_dir: str | Path | None,
+    override: str | Path | None,
+) -> Iterator[Path | None]:
+    """Where this sweep's shared checkpoint store lives.
+
+    An explicit ``override`` (``run_many(checkpoint_dir=...)``, the CLI's
+    ``--branch-from``) wins and is durable.  Otherwise the policy of
+    :func:`_sweep_schedule_dir`, applied to checkpoints: ``out_dir``'s
+    ``checkpoints/`` subdirectory when given, a sweep-scoped temporary
+    directory when legs share a prefix, ``None`` when nothing would be
+    reused (legs warm up in memory — no round-trip overhead).
+    """
+    if override is not None:
+        yield Path(override)
+        return
+    if out_dir is not None:
+        yield Path(out_dir) / CHECKPOINT_SUBDIR
+        return
+    if not _sweep_shares_checkpoints(spec_list):
+        yield None
+        return
+    with tempfile.TemporaryDirectory(prefix="repro-checkpoints-") as tmp:
+        yield Path(tmp)
+
+
 def run_many(
     specs: Iterable[ExperimentSpec],
     workers: int = 1,
@@ -273,6 +400,7 @@ def run_many(
     executor: str | None = None,
     queue_dir: str | Path | None = None,
     batch_size: int | None = None,
+    checkpoint_dir: str | Path | None = None,
 ) -> list[RunArtifact]:
     """Execute several specs under one of three executors.
 
@@ -310,6 +438,19 @@ def run_many(
     temporary directory scoped to this call.  The legs then replay from
     the store, so a ``replay_modes`` sweep over M modes pays the
     recording cost once, not M times, under all three executors.
+
+    Simulate once, branch many: the same pre-pass runs for warm-up
+    checkpoints (each experiment's registered ``checkpoints`` hook) —
+    the sweep is partitioned by shared warm-up prefix and every unique
+    prefix is simulated exactly once into the sweep's shared
+    :class:`~repro.sim.checkpoint.CheckpointStore`; the legs then branch
+    from the snapshot, turning an N-leg sweep from O(N × horizon) into
+    O(horizon + N × delta).  ``checkpoint_dir`` overrides where that
+    store lives (the CLI's ``--branch-from``), e.g. to reuse warm-ups
+    across sweeps without adopting a full ``out_dir`` cache; with the
+    queue executor the store always lives in the queue's shared
+    ``artifacts/checkpoints`` — where the workers look — so an override
+    is rejected there.
     """
     spec_list: Sequence[ExperimentSpec] = list(specs)
     require_positive_int(workers, "workers")
@@ -330,6 +471,12 @@ def run_many(
                 "executor='queue' needs queue_dir= (the queue directory "
                 "workers share)"
             )
+        if checkpoint_dir is not None:
+            raise ConfigurationError(
+                "checkpoint_dir= does not apply to executor='queue': queue "
+                "workers fetch checkpoints from the queue's own "
+                "artifacts/checkpoints store"
+            )
         return _run_many_queue(
             spec_list, workers, queue_dir, out_dir, force, batch_size
         )
@@ -341,19 +488,25 @@ def run_many(
         raise ConfigurationError(
             f"batch_size= only applies to executor='queue', not {executor!r}"
         )
-    with _sweep_schedule_dir(spec_list, out_dir) as schedule_dir:
+    with _sweep_schedule_dir(spec_list, out_dir) as schedule_dir, \
+            _sweep_checkpoint_dir(spec_list, out_dir, checkpoint_dir) as ckpt_dir:
         if schedule_dir is not None:
             _record_sweep_schedules(
                 spec_list, schedule_dir, workers, out_dir, force
             )
+        if ckpt_dir is not None:
+            _build_sweep_checkpoints(
+                spec_list, ckpt_dir, workers, out_dir, force
+            )
         if executor == "serial" or workers == 1 or len(spec_list) <= 1:
             return [
                 run(spec, out_dir=out_dir, force=force,
-                    schedule_dir=schedule_dir)
+                    schedule_dir=schedule_dir, checkpoint_dir=ckpt_dir)
                 for spec in spec_list
             ]
         worker = functools.partial(
-            run, out_dir=out_dir, force=force, schedule_dir=schedule_dir
+            run, out_dir=out_dir, force=force, schedule_dir=schedule_dir,
+            checkpoint_dir=ckpt_dir,
         )
         with _pool(min(workers, len(spec_list))) as pool:
             return pool.map(worker, spec_list)
@@ -405,6 +558,17 @@ def _run_many_queue(
             queue_schedule_dir = Path(queue_dir) / "artifacts" / SCHEDULE_SUBDIR
             _record_sweep_schedules(
                 missed_specs, queue_schedule_dir, workers, out_dir, force,
+            )
+        # Simulate-once pre-pass, same placement logic: workers run jobs
+        # with out_dir=<queue>/artifacts, so they restore shared warm-up
+        # checkpoints from <queue>/artifacts/checkpoints instead of
+        # re-simulating the prefix once per leg.
+        if _sweep_shares_checkpoints(missed_specs):
+            queue_checkpoint_dir = (
+                Path(queue_dir) / "artifacts" / CHECKPOINT_SUBDIR
+            )
+            _build_sweep_checkpoints(
+                missed_specs, queue_checkpoint_dir, workers, out_dir, force,
             )
         job_ids = submit(missed_specs, queue_dir, force=force)
         context = multiprocessing.get_context()

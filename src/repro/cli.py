@@ -53,12 +53,15 @@ recorded schedules the same way.
 micro-benchmarks of :mod:`repro.experiments.perf`; see
 ``benchmarks/perf/README.md`` for the trajectory workflow.
 
-Two maintenance verbs round out the surface: ``repro record EXPERIMENT
+Three maintenance verbs round out the surface: ``repro record EXPERIMENT
 --out PATH`` exports a record-once experiment's recorded schedule(s) as
 standalone hash-verified trace files (:mod:`repro.core.trace_io`
-format), and ``repro lint [PATHS]`` runs the determinism/concurrency
-analyzer of :mod:`repro.lintkit` (rule catalogue:
-``docs/determinism.md``).
+format), ``repro checkpoint EXPERIMENT --at T --out PATH`` exports a
+branchable experiment's warm-up checkpoint(s) in the
+:mod:`repro.sim.checkpoint` format (the same files ``repro run --branch-from
+DIR`` restores sweeps from; see ``docs/checkpointing.md``), and ``repro
+lint [PATHS]`` runs the determinism/concurrency analyzer of
+:mod:`repro.lintkit` (rule catalogue: ``docs/determinism.md``).
 """
 
 from __future__ import annotations
@@ -155,6 +158,12 @@ def _add_experiment_args(parser: argparse.ArgumentParser, with_rows: bool) -> No
     parser.add_argument("--force", action="store_true",
                         help="with --out: re-simulate even when DIR already "
                              "holds this spec's artifact")
+    parser.add_argument("--branch-from", default=None, metavar="DIR",
+                        dest="branch_from",
+                        help="checkpoint store directory to branch shared "
+                             "warm-ups from (simulate once, branch many; "
+                             "serial/process executors — queue workers use "
+                             "the queue's own store)")
 
 
 def spec_from_args(experiment: str, args: argparse.Namespace) -> ExperimentSpec:
@@ -229,7 +238,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         artifacts = run_many(
             _sweep_specs(spec), workers=args.workers, out_dir=args.out,
             force=args.force, executor=args.executor, queue_dir=args.queue,
-            batch_size=args.batch_size,
+            batch_size=args.batch_size, checkpoint_dir=args.branch_from,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -328,20 +337,24 @@ def _cmd_gather(args: argparse.Namespace) -> int:
 
 
 def _cmd_gc(args: argparse.Namespace) -> int:
-    """Prune recorded schedules no live job of the queue still needs."""
+    """Prune recorded schedules and warm-up checkpoints no live job needs."""
     from repro.cluster import client
 
     try:
         removed, kept = client.prune_schedules(args.queue,
                                                dry_run=args.dry_run)
+        ckpt_removed, ckpt_kept = client.prune_checkpoints(
+            args.queue, dry_run=args.dry_run)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     verb = "would remove" if args.dry_run else "removed"
-    for key in removed:
+    for key in (*removed, *ckpt_removed):
         print(f"{verb} {key}", file=sys.stderr)
     print(f"{verb} {len(removed)} schedule(s), kept {len(kept)} in use "
           f"({args.queue})")
+    print(f"{verb} {len(ckpt_removed)} checkpoint(s), kept "
+          f"{len(ckpt_kept)} in use ({args.queue})")
     return 0
 
 
@@ -452,6 +465,67 @@ def _cmd_record(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    """Export an experiment's warm-up checkpoint(s) as standalone files.
+
+    The written files are the hash-verified format of
+    :mod:`repro.sim.checkpoint`: ``repro checkpoint branch --at 0.05 --out
+    warm.ckpt`` then ``load_checkpoint("warm.ckpt")`` anywhere — or drop
+    the file into a directory and hand it to ``repro run --branch-from``.
+    """
+    from repro.sim.checkpoint import load_checkpoint, save_checkpoint
+
+    try:
+        entry = REGISTRY.get(args.experiment)
+        if entry.checkpoints is None:
+            raise ConfigurationError(
+                f"experiment {entry.name!r} has no branchable warm-up — "
+                f"only simulate-once/branch-many experiments (a registered "
+                f"`checkpoints` hook) can be checkpointed"
+            )
+        _reject_unused_flags(entry, args)
+        spec = spec_from_args(args.experiment, args)
+        if args.at is not None:
+            if "warmup" not in entry.options:
+                raise ConfigurationError(
+                    f"experiment {entry.name!r} has no warm-up horizon; "
+                    f"--at does not apply"
+                )
+            spec = spec.with_(
+                options={**dict(spec.options), "warmup": args.at})
+        builders = entry.checkpoints(spec)
+        if not builders:
+            raise ConfigurationError(
+                f"spec for {entry.name!r} yields no checkpoints "
+                f"(empty sweep?)"
+            )
+        out = Path(args.out)
+        single_file = out.suffix == ".ckpt"
+        if single_file and len(builders) > 1:
+            raise ConfigurationError(
+                f"spec yields {len(builders)} checkpoints but --out "
+                f"{args.out} names a single file; pass a directory, or "
+                f"narrow the spec (one scheduler, one warm-up)"
+            )
+        if not single_file:
+            out.mkdir(parents=True, exist_ok=True)
+        for key in sorted(builders):
+            snapshot = builders[key]()
+            path = out if single_file else out / f"{key}.ckpt"
+            save_checkpoint(snapshot, path)
+            load_checkpoint(path)  # verify the round trip before reporting
+            print(f"wrote {path} ({key}: t={snapshot.time:g}, "
+                  f"{snapshot.engine_events} engine event(s))",
+                  file=sys.stderr)
+        print(json.dumps({"experiment": entry.name,
+                          "checkpoints": sorted(builders),
+                          "out": str(out)}))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     table = Table(["experiment", "description"], title="Registered experiments")
     for entry in REGISTRY.entries():
@@ -536,9 +610,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "gc",
-        help="prune recorded schedules no pending/running job still needs")
+        help="prune recorded schedules and warm-up checkpoints no "
+             "pending/running job still needs")
     p.add_argument("--queue", required=True, metavar="DIR",
-                   help="queue directory whose schedule store to collect")
+                   help="queue directory whose schedule/checkpoint stores "
+                        "to collect")
     p.add_argument("--dry-run", action="store_true", dest="dry_run",
                    help="report what would be removed without removing it")
     p.set_defaults(fn=_cmd_gc)
@@ -571,6 +647,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "or directory (one <key>.json per recording)")
     _add_spec_args(p, with_rows=True)
     p.set_defaults(fn=_cmd_record)
+
+    p = sub.add_parser(
+        "checkpoint",
+        help="export an experiment's warm-up checkpoint(s) as standalone "
+             "hash-verified files")
+    p.add_argument("experiment",
+                   help="a simulate-once/branch-many experiment from "
+                        "`repro list` (e.g. branch)")
+    p.add_argument("--at", type=float, default=None, metavar="T",
+                   help="warm-up horizon in simulated seconds "
+                        "(overrides the experiment default)")
+    p.add_argument("--out", required=True, metavar="PATH",
+                   help="output file (.ckpt, single checkpoint) or "
+                        "directory (one <key>.ckpt per checkpoint)")
+    _add_spec_args(p, with_rows=False)
+    p.set_defaults(fn=_cmd_checkpoint)
 
     p = sub.add_parser(
         "status", help="snapshot a job queue: counts plus one row per job")

@@ -33,7 +33,9 @@ from repro.errors import ClusterError, ConfigurationError, JobFailedError
 
 __all__ = [
     "QueueStatus",
+    "checkpoint_keys_in_use",
     "gather",
+    "prune_checkpoints",
     "prune_schedules",
     "schedule_keys_in_use",
     "status",
@@ -69,6 +71,10 @@ class QueueStatus:
     #: dict per worker with ``worker`` / ``registered_at`` /
     #: ``lease_expires_at`` / ``running`` (jobs currently held).
     workers: list[dict] = field(default_factory=list)
+    #: Warm-up checkpoints in the queue's store: one dict per entry with
+    #: ``key`` and ``in_use`` (a pending/running job still branches from
+    #: it — the ``repro gc`` keep criterion).
+    checkpoints: list[dict] = field(default_factory=list)
 
     @property
     def done(self) -> bool:
@@ -82,6 +88,7 @@ class QueueStatus:
             "counts": dict(self.counts),
             "jobs": [job.to_dict() for job in self.jobs],
             "workers": [dict(worker) for worker in self.workers],
+            "checkpoints": [dict(ckpt) for ckpt in self.checkpoints],
         }
 
     def table(self) -> Table:
@@ -107,8 +114,17 @@ class QueueStatus:
         return table
 
     def render(self) -> str:
-        """The snapshot as an ASCII table (``repro status``)."""
-        return self.table().render()
+        """The snapshot as an ASCII table (``repro status``), plus one
+        line per warm-up checkpoint in the queue's store."""
+        text = self.table().render()
+        if self.checkpoints:
+            lines = [
+                f"  {ckpt['key']}  "
+                f"{'in use' if ckpt['in_use'] else 'unreferenced'}"
+                for ckpt in self.checkpoints
+            ]
+            text += "\ncheckpoints:\n" + "\n".join(lines)
+        return text
 
 
 def status(
@@ -125,6 +141,7 @@ def status(
         counts=queue.counts(),
         jobs=queue.jobs(ids=job_ids),
         workers=queue.workers(),
+        checkpoints=_checkpoint_rows(queue),
     )
 
 
@@ -254,6 +271,78 @@ def prune_schedules(
     queue = JobQueue(queue_dir, create=False)
     in_use = _keys_in_use(queue)
     store = ScheduleStore(queue.artifact_dir / SCHEDULE_SUBDIR)
+    if dry_run:
+        present = store.keys()
+        removed = sorted(k for k in present if k not in in_use)
+        kept = sorted(k for k in present if k in in_use)
+        return removed, kept
+    removed = store.prune(in_use)
+    return removed, sorted(set(store.keys()) & in_use)
+
+
+# -- checkpoint-store garbage collection -----------------------------------
+
+
+def _checkpoint_store(queue: JobQueue):
+    from repro.api.runner import CHECKPOINT_SUBDIR
+    from repro.sim.checkpoint import CheckpointStore
+
+    return CheckpointStore(queue.artifact_dir / CHECKPOINT_SUBDIR)
+
+
+def _checkpoint_keys_in_use(queue: JobQueue) -> set[str]:
+    """The in-use key set of :func:`checkpoint_keys_in_use`, given a queue."""
+    from repro.api.registry import REGISTRY
+    from repro.cluster.jobs import PENDING, RUNNING
+
+    keys: set[str] = set()
+    for state in (PENDING, RUNNING):
+        for job in queue.jobs(state=state):
+            entry = REGISTRY.get(job.spec.experiment)
+            if entry.checkpoints is None:
+                continue
+            keys.update(entry.checkpoints(job.spec))
+    return keys
+
+
+def _checkpoint_rows(queue: JobQueue) -> list[dict]:
+    """The ``repro status`` checkpoint rows: every stored key, flagged
+    in-use when a live job still branches from it."""
+    store = _checkpoint_store(queue)
+    present = store.keys()
+    if not present:
+        return []
+    in_use = _checkpoint_keys_in_use(queue)
+    return [{"key": key, "in_use": key in in_use} for key in present]
+
+
+def checkpoint_keys_in_use(queue_dir: str | Path) -> set[str]:
+    """The warm-up checkpoint keys the queue's *live* jobs still need.
+
+    The simulate-once/branch-many analogue of
+    :func:`schedule_keys_in_use`: a key is in use while any pending or
+    running job's experiment declares it through the registry's
+    ``checkpoints`` hook.  Terminal jobs contribute nothing — their
+    artifacts are cached, so they never branch again.
+    """
+    return _checkpoint_keys_in_use(JobQueue(queue_dir, create=False))
+
+
+def prune_checkpoints(
+    queue_dir: str | Path, dry_run: bool = False
+) -> tuple[list[str], list[str]]:
+    """Garbage-collect a queue's checkpoint store (``repro gc``).
+
+    Removes every store entry whose key is not in
+    :func:`checkpoint_keys_in_use` and returns ``(removed, kept)`` key
+    lists.  Removal is atomic per entry (one ``unlink``), so a worker
+    racing the GC sees either a complete checkpoint or a clean miss it
+    rebuilds from scratch — never a torn file.  ``dry_run=True`` only
+    reports what would go.
+    """
+    queue = JobQueue(queue_dir, create=False)
+    in_use = _checkpoint_keys_in_use(queue)
+    store = _checkpoint_store(queue)
     if dry_run:
         present = store.keys()
         removed = sorted(k for k in present if k not in in_use)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.units import INFINITY
 
-__all__ = ["Packet"]
+__all__ = ["Packet", "packet_id_counter", "set_packet_id_counter"]
 
 _COUNTER = 0
 
@@ -124,3 +124,19 @@ def reset_packet_ids() -> None:
     """Reset the global packet-id counter (test isolation helper)."""
     global _COUNTER
     _COUNTER = 0
+
+
+def packet_id_counter() -> int:
+    """Current value of the global packet-id counter.
+
+    Checkpoints capture this alongside the network graph: a restored
+    simulation must hand out the same pids a from-scratch run would, and
+    pids are drawn from process-global state rather than the network.
+    """
+    return _COUNTER
+
+
+def set_packet_id_counter(value: int) -> None:
+    """Restore the global packet-id counter (checkpoint restore helper)."""
+    global _COUNTER
+    _COUNTER = value

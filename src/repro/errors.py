@@ -46,6 +46,14 @@ class ReplayError(ReproError):
     """
 
 
+class CheckpointError(ReproError):
+    """A checkpoint file cannot be loaded as requested.
+
+    Examples: a foreign or truncated file, an unsupported format version,
+    or a payload whose bytes no longer match the recorded content hash.
+    """
+
+
 class WorkloadError(ReproError):
     """A workload generator received unsatisfiable parameters."""
 

@@ -22,6 +22,8 @@ preferred entry point is now::
 * :mod:`repro.experiments.information` — the §5 information-precision
   extension.
 * :mod:`repro.experiments.gadgets` — the appendix counter-examples.
+* :mod:`repro.experiments.branch` — branch-from-checkpoint sweeps
+  (simulate-once-branch-many; see ``docs/checkpointing.md``).
 """
 
 from repro.experiments.replayability import (
@@ -45,15 +47,27 @@ from repro.experiments.fairness import (
 from repro.experiments.information import QuantisationPoint, run_information_experiment
 from repro.experiments.gadgets import run_gadget_experiment
 from repro.experiments.perf import run_perf_bench
+from repro.experiments.branch import (
+    BranchPrefix,
+    branch_checkpoint_key,
+    build_branch_snapshot,
+    get_branch_network,
+    prefix_from_spec,
+)
 
 __all__ = [
+    "BranchPrefix",
     "FairnessExperimentResult",
     "FctExperimentResult",
     "QuantisationPoint",
     "ReplayOutcome",
     "ReplayScenario",
     "TailExperimentResult",
+    "branch_checkpoint_key",
+    "build_branch_snapshot",
     "build_recorded_schedule",
+    "get_branch_network",
+    "prefix_from_spec",
     "get_recorded_schedule",
     "run_fairness_experiment",
     "run_fct_experiment",

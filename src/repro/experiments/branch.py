@@ -1,0 +1,293 @@
+"""Branch-from-checkpoint sweeps: warm one network up, branch many legs.
+
+The counterpart of record-once/replay-many for *open-loop* sweeps.  A
+:class:`BranchPrefix` names a sweep's shared warm-up: a topology, an
+original scheduler, a load level, and a warm-up horizon.  Every leg of a
+``branch`` sweep (one per seed) continues the same warmed-up network with
+its own fresh traffic, so the expensive prefix — typically much longer
+than the per-leg delta — needs to be simulated exactly once per sweep:
+
+* :func:`build_branch_snapshot` simulates the prefix from t=0 and
+  captures it as a :class:`~repro.sim.checkpoint.Snapshot`;
+* :func:`get_branch_network` answers warm-ups through the active
+  :class:`~repro.sim.checkpoint.CheckpointStore` when the runner has one
+  open (``run_many`` sweeps, ``--out`` caches, queue workers), keyed by
+  :func:`branch_checkpoint_key`; without a store it builds in memory and
+  branches the live graph — the pre-checkpoint behaviour.
+
+Builds are pid-stream independent (the packet-id counter is reset before
+the warm-up and captured with the snapshot) and excluded from the run's
+deterministic ``engine_events`` accounting (the restore credit is the
+only path warm-up events take into the accumulator), so a leg's artifact
+is byte-identical whether its prefix was simulated in-process or fetched
+from the store — the invariant the branch byte-identity tests enforce
+across schedulers × seeds × executors.
+
+Leg flows are offset into a disjoint flow-id range (:data:`LEG_FID_BASE`)
+and shifted to start after the warm-up horizon, so per-flow schedulers
+(FQ, DRR) never merge a leg flow into a warm-up flow's queue and leg
+packets are cleanly separable in the tracer.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+from dataclasses import dataclass, fields, replace
+from typing import Callable
+
+from repro.analysis.tables import Table
+from repro.api.registry import register_experiment
+from repro.api.spec import ExperimentSpec
+from repro.core.packet import reset_packet_ids
+from repro.errors import ConfigurationError
+from repro.experiments.replayability import (
+    ORIGINALS,
+    ReplayScenario,
+    _original_scheduler_factory,
+    _size_distribution,
+    reference_bandwidth,
+    topology_factory,
+)
+from repro.metrics.delay import percentile
+from repro.sim.checkpoint import (
+    Snapshot,
+    active_checkpoint_store,
+    restore_snapshot,
+    snapshot_network,
+)
+from repro.sim.engine import ENGINE_PERF
+from repro.sim.network import Network
+from repro.transport.udp import install_udp_flows
+from repro.workload.flows import PoissonWorkload, poisson_flows
+
+__all__ = [
+    "BranchPrefix",
+    "branch_checkpoint_key",
+    "build_branch_snapshot",
+    "get_branch_network",
+    "prefix_from_spec",
+]
+
+#: Default shared warm-up horizon (simulated seconds).
+DEFAULT_WARMUP = 0.05
+
+#: Branch-leg flow ids start here — far above any warm-up fid — so
+#: per-flow schedulers never alias a leg flow onto a warm-up flow's
+#: queue, and leg packets are identifiable by ``flow_id`` alone.
+LEG_FID_BASE = 1_000_000
+
+
+@dataclass(frozen=True, slots=True)
+class BranchPrefix:
+    """One sweep's shared warm-up: everything the checkpoint depends on."""
+
+    topology: str = "i2-1g-10g"
+    scheduler: str = "fifo"
+    utilization: float = 0.7
+    warmup: float = DEFAULT_WARMUP
+    bandwidth_scale: float = 0.01
+    warmup_seed: int = 1
+
+    def with_(self, **kwargs) -> "BranchPrefix":
+        return replace(self, **kwargs)
+
+
+def branch_checkpoint_key(prefix: BranchPrefix) -> str:
+    """The checkpoint-store key for a prefix's warmed-up network.
+
+    Derived from every :class:`BranchPrefix` field, so any sweep whose
+    legs share (topology, scheduler, load, horizon, warm-up seed)
+    addresses the same cache entry.
+    """
+    payload = {f.name: getattr(prefix, f.name) for f in fields(BranchPrefix)}
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+    return f"ckpt-{digest[:12]}"
+
+
+def _warmup_scenario(prefix: BranchPrefix) -> ReplayScenario:
+    """The replayability scenario describing the warm-up run."""
+    return ReplayScenario(
+        name="",
+        topology=prefix.topology,
+        scheduler=prefix.scheduler,
+        utilization=prefix.utilization,
+        duration=prefix.warmup,
+        seed=prefix.warmup_seed,
+        bandwidth_scale=prefix.bandwidth_scale,
+    )
+
+
+def build_branch_snapshot(prefix: BranchPrefix) -> Snapshot:
+    """Simulate the warm-up prefix from t=0 and capture it (no cache).
+
+    Context-independent by construction, which is what makes checkpoints
+    cacheable: the packet-id counter is reset so warm-up pids never
+    depend on what ran earlier in the process, and the warm-up's engine
+    work is excluded from :data:`~repro.sim.engine.ENGINE_PERF` — the
+    snapshot carries the deterministic event count instead, and
+    :func:`~repro.sim.checkpoint.restore_snapshot` credits it, so a
+    leg's ``engine_events`` is the same whether the prefix was simulated
+    here or loaded from a :class:`~repro.sim.checkpoint.CheckpointStore`.
+    """
+    with ENGINE_PERF.paused():
+        reset_packet_ids()
+        scenario = _warmup_scenario(prefix)
+        network = topology_factory(scenario)()
+        network.install_schedulers(_original_scheduler_factory(scenario))
+        flows = poisson_flows(
+            hosts=[h.name for h in network.hosts],
+            sizes=_size_distribution(scenario),
+            workload=PoissonWorkload(
+                utilization=prefix.utilization,
+                reference_bandwidth=reference_bandwidth(scenario),
+                duration=prefix.warmup,
+                seed=prefix.warmup_seed,
+            ),
+        )
+        install_udp_flows(network, flows)
+        network.run(until=prefix.warmup)
+        snapshot = snapshot_network(
+            network,
+            description=(
+                f"{prefix.topology}/{prefix.scheduler}"
+                f"/util={prefix.utilization:g}/warmup={prefix.warmup:g}"
+                f"/seed={prefix.warmup_seed}/scale={prefix.bandwidth_scale:g}"
+            ),
+        )
+    return snapshot
+
+
+def get_branch_network(prefix: BranchPrefix) -> Network:
+    """A network warmed to ``prefix.warmup`` — cached when a store is active.
+
+    With an active :class:`~repro.sim.checkpoint.CheckpointStore` (the
+    runner opens one around every driver call that has somewhere durable
+    to put it), the warm-up is answered from the store and simulated at
+    most once per key; without one the prefix is simulated in memory and
+    the live graph is branched directly.  Both paths go through
+    :func:`~repro.sim.checkpoint.restore_snapshot`, so the packet-id
+    counter and the ``ENGINE_PERF`` credit are identical either way.
+    """
+    store = active_checkpoint_store()
+    if store is None:
+        return restore_snapshot(build_branch_snapshot(prefix))
+    snapshot = store.get_or_build(
+        branch_checkpoint_key(prefix),
+        functools.partial(build_branch_snapshot, prefix),
+    )
+    return restore_snapshot(snapshot)
+
+
+def prefix_from_spec(spec: ExperimentSpec) -> BranchPrefix:
+    """The :class:`BranchPrefix` a branch spec describes.
+
+    Deliberately independent of ``spec.seed``: the per-leg seed drives
+    only the post-warm-up traffic, so every leg of a seed sweep shares
+    one prefix — that sharing is the whole point.
+    """
+    warmup = spec.option("warmup", DEFAULT_WARMUP)
+    if isinstance(warmup, bool) or not isinstance(warmup, (int, float)):
+        raise ConfigurationError(f"warmup must be a number, got {warmup!r}")
+    if warmup <= 0:
+        raise ConfigurationError(f"warmup must be positive, got {warmup!r}")
+    warmup_seed = spec.option("warmup_seed", 1)
+    if isinstance(warmup_seed, bool) or not isinstance(warmup_seed, int):
+        raise ConfigurationError(
+            f"warmup_seed must be an integer, got {warmup_seed!r}"
+        )
+    scheduler = spec.schedulers[0] if spec.schedulers else "fifo"
+    if scheduler not in ORIGINALS:
+        raise ConfigurationError(
+            f"unknown branch scheduler {scheduler!r}; choose from {ORIGINALS}"
+        )
+    return BranchPrefix(
+        topology=spec.topology,
+        scheduler=scheduler,
+        utilization=spec.utilization,
+        warmup=float(warmup),
+        bandwidth_scale=spec.bandwidth_scale,
+        warmup_seed=warmup_seed,
+    )
+
+
+def _branch_checkpoints(spec: ExperimentSpec) -> dict[str, Callable]:
+    """Registry hook: the checkpoints a branch spec needs (key → builder)."""
+    prefix = prefix_from_spec(spec)
+    return {
+        branch_checkpoint_key(prefix): functools.partial(
+            build_branch_snapshot, prefix
+        )
+    }
+
+
+def _leg_flows(network: Network, prefix: BranchPrefix, spec: ExperimentSpec):
+    """The branch leg's own traffic: seeded per leg, shifted past the
+    warm-up horizon, fids offset into the leg range."""
+    scenario = _warmup_scenario(prefix)
+    flows = poisson_flows(
+        hosts=[h.name for h in network.hosts],
+        sizes=_size_distribution(scenario),
+        workload=PoissonWorkload(
+            utilization=prefix.utilization,
+            reference_bandwidth=reference_bandwidth(scenario),
+            duration=spec.duration,
+            seed=spec.seed,
+        ),
+    )
+    return [
+        replace(flow, fid=flow.fid + LEG_FID_BASE, start=flow.start + prefix.warmup)
+        for flow in flows
+    ]
+
+
+@register_experiment(
+    "branch",
+    help="Branch-from-checkpoint sweep: one shared warm-up, one leg per seed",
+    options=("warmup", "warmup_seed"),
+    params=("duration", "seeds", "bandwidth_scale", "schedulers"),
+    checkpoints=_branch_checkpoints,
+)
+def _run_branch(spec: ExperimentSpec) -> tuple[Table, dict]:
+    prefix = prefix_from_spec(spec)
+    network = get_branch_network(prefix)
+    leg_flows = _leg_flows(network, prefix, spec)
+    install_udp_flows(network, leg_flows)
+    network.run()
+
+    records = [
+        record
+        for record in network.tracer.delivered_records()
+        if record.flow_id >= LEG_FID_BASE
+    ]
+    delays = [record.total_delay for record in records]
+    waits = [record.total_wait for record in records]
+    table = Table(
+        [
+            "topology", "scheduler", "seed", "leg flows", "delivered",
+            "mean delay", "p99 delay", "mean wait",
+        ],
+        title=f"branch — {prefix.topology}/{prefix.scheduler}"
+              f" warm-up {prefix.warmup:g}s + leg seed {spec.seed}",
+    )
+    table.add_row(
+        [
+            prefix.topology,
+            prefix.scheduler,
+            spec.seed,
+            len(leg_flows),
+            len(records),
+            sum(delays) / len(delays) if delays else 0.0,
+            percentile(delays, 99.0) if delays else 0.0,
+            sum(waits) / len(waits) if waits else 0.0,
+        ]
+    )
+    return table, {
+        "checkpoint_key": branch_checkpoint_key(prefix),
+        "warmup": prefix.warmup,
+        "topology": prefix.topology,
+        "scheduler": prefix.scheduler,
+    }

@@ -37,6 +37,7 @@ from repro.units import MBPS
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "BRANCH_STRATEGIES",
     "DEFAULT_SCHEDULERS",
     "ENGINE_BENCHES",
     "REPLAY_STRATEGIES",
@@ -46,6 +47,7 @@ __all__ = [
     "bench_engine_defer",
     "bench_engine_fan",
     "bench_scheduler_ops",
+    "bench_sweep_branch",
     "bench_sweep_executor",
     "bench_sweep_replay",
     "run_perf_bench",
@@ -337,6 +339,62 @@ def bench_sweep_replay(
             run_many(specs)  # serial, sharing a sweep-scoped schedule store
         else:
             for spec in specs:  # independent runs: one recording per leg
+                run(spec)
+        return len(specs)
+
+    return _best_of(run_sweep, repeats)
+
+
+#: The two warm-up strategies ``bench_sweep_branch`` prices against each
+#: other: ``"scratch"`` re-simulates the shared warm-up prefix for every
+#: leg (independent ``run()`` calls, the pre-checkpoint cost model);
+#: ``"many"`` runs the same legs through ``run_many``'s shared checkpoint
+#: store (simulate once, branch many).
+BRANCH_STRATEGIES = ("scratch", "many")
+
+
+def bench_sweep_branch(
+    strategy: str,
+    legs: int = 16,
+    warmup: float = 0.4,
+    duration: float = 0.005,
+    utilization: float = 0.2,
+    repeats: int = 1,
+) -> tuple[int, float]:
+    """One branch seed sweep, warmed up per-leg or once (the checkpoint
+    tentpole).
+
+    The sweep is ``legs`` seeds of the ``branch`` experiment sharing one
+    warm-up prefix.  Ops are legs completed, so the ``sweep-branch-many``
+    : ``sweep-branch-scratch`` ops/sec ratio *is* the
+    simulate-once/branch-many speedup; it grows with ``warmup/duration``
+    because scratch pays the prefix once per leg and many pays it once
+    per sweep (plus a cheap pickle round trip per leg).  The default
+    shape keeps utilization low on purpose: near-empty standing queues
+    at the branch point mean the per-leg cost is the restore, not a
+    backlog drain both strategies would pay equally — the regime the
+    checkpoint exists for.  Results are byte-identical between
+    strategies (guarded by ``tests/experiments/test_branch.py``); this
+    bench prices the difference.
+    """
+    from repro.api.runner import run, run_many
+
+    if strategy not in BRANCH_STRATEGIES:
+        raise ValueError(f"unknown sweep-branch strategy {strategy!r}")
+    specs = ExperimentSpec(
+        "branch",
+        duration=duration,
+        seeds=tuple(range(1, legs + 1)),
+        utilization=utilization,
+        schedulers=("fq",),
+        options={"warmup": warmup},
+    ).sweep()
+
+    def run_sweep() -> int:
+        if strategy == "many":
+            run_many(specs)  # serial, sharing a sweep-scoped checkpoint store
+        else:
+            for spec in specs:  # independent runs: one warm-up per leg
                 run(spec)
         return len(specs)
 

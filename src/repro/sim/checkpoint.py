@@ -1,0 +1,432 @@
+"""Engine checkpoint/restore: simulate a warm-up prefix once, branch many.
+
+The paper's experiment shape is "run the same warmed-up network under many
+variants".  Record-once (:mod:`repro.core.trace_io`) deduplicated the
+*recording* half of that; this module deduplicates the *simulation* half:
+a :class:`Snapshot` captures a network mid-run — engine heap, clock,
+sequence counter, deferred decision deque, every node/port/scheduler/AQM,
+the tracer, and the process-global packet-id counter — so a sweep can pay
+for the shared warm-up horizon exactly once and branch each leg from the
+snapshot.
+
+* :func:`snapshot_network` / :func:`restore_snapshot` — the in-memory
+  protocol.  Restoring credits the warm-up's deterministic event count to
+  :data:`~repro.sim.engine.ENGINE_PERF` and reinstalls the packet-id
+  counter, so a branched leg's ``engine_events`` and pids are identical
+  to a from-scratch run's.  Builders run under ``ENGINE_PERF.paused()``
+  for the same reason: the warm-up is accounted exactly once per leg,
+  through the credit, never through live accumulation.
+* :func:`save_checkpoint` / :func:`load_checkpoint` — one snapshot
+  to/from one file.  The format is a one-line JSON header (format name,
+  version, SHA-256 of the payload, summary fields) followed by the
+  pickled network graph; the hash is verified on load so a truncated or
+  bit-rotted checkpoint fails loudly (or, in the store, falls through to
+  a from-scratch rebuild) instead of branching subtly wrong.
+* :class:`CheckpointStore` — a content-addressed directory of checkpoint
+  files keyed by *warm-up inputs*, mirroring
+  :class:`~repro.core.trace_io.ScheduleStore`: atomic puts, corrupt
+  entries read as misses, and an append-only ``checkpoints.log`` audit
+  trail that lets tests assert the build-once guarantee.
+* :func:`use_checkpoint_store` / :func:`active_checkpoint_store` — the
+  process-wide "current store" the runner activates around a driver call.
+
+The payload is a pickle, not JSON: a snapshot is a live object graph
+(bound-method callbacks in the heap must reattach to their restored
+owners), which pickle's memo handles and JSON cannot.  Checkpoints are
+therefore *local build artifacts* with the same trust model as any other
+build cache — the hash detects corruption, not tampering.  Unlike the
+schedule store there is deliberately no parse memo: every consumer must
+get a *fresh* unpickled graph, because branching mutates the network.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import pickle
+import uuid
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+from repro.core.packet import packet_id_counter, set_packet_id_counter
+from repro.errors import CheckpointError
+from repro.sim.engine import ENGINE_PERF
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.network import Network
+
+__all__ = [
+    "CheckpointStore",
+    "Snapshot",
+    "active_checkpoint_store",
+    "load_checkpoint",
+    "restore_snapshot",
+    "save_checkpoint",
+    "snapshot_network",
+    "use_checkpoint_store",
+]
+
+#: On-disk format name and version, written into every header and checked
+#: on load; bump the version when the payload encoding changes shape.
+CHECKPOINT_FORMAT = "repro-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+class Snapshot:
+    """A network frozen mid-run, plus the process state a restart needs.
+
+    ``network`` is the live graph (engine included — the engine's own
+    ``__getstate__`` handles its identity-compared cancellable sentinel);
+    ``engine_events`` is the deterministic event count of the captured
+    run so far, credited to ``ENGINE_PERF`` on restore; and
+    ``packet_counter`` is the process-global packet-id counter at capture
+    time, reinstalled on restore so branched legs draw the same pids a
+    from-scratch run would.
+    """
+
+    __slots__ = ("network", "time", "engine_events", "packet_counter", "description")
+
+    def __init__(
+        self,
+        network: "Network",
+        time: float,
+        engine_events: int,
+        packet_counter: int,
+        description: str = "",
+    ) -> None:
+        self.network = network
+        self.time = time
+        self.engine_events = engine_events
+        self.packet_counter = packet_counter
+        self.description = description
+
+    def header(self, payload_sha256: str) -> dict:
+        """The JSON header describing this snapshot's serialised payload."""
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "payload_sha256": payload_sha256,
+            "time": self.time,
+            "engine_events": self.engine_events,
+            "packet_counter": self.packet_counter,
+            "description": self.description,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Snapshot t={self.time:.9f} events={self.engine_events} "
+            f"pids={self.packet_counter}>"
+        )
+
+
+def snapshot_network(network: "Network", description: str = "") -> Snapshot:
+    """Capture ``network`` (typically mid-run) as a :class:`Snapshot`.
+
+    The snapshot *shares* the live graph — it only becomes an independent
+    copy when serialised (``save_checkpoint`` / ``CheckpointStore.put``)
+    or when the builder hands it straight to :func:`restore_snapshot`,
+    which is the no-store fast path: the branched leg then continues on
+    the very object graph the warm-up produced, which is exactly what a
+    from-scratch run would have done.
+    """
+    engine = network.engine
+    return Snapshot(
+        network=network,
+        time=engine.now,
+        engine_events=engine.events_processed,
+        packet_counter=packet_id_counter(),
+        description=description,
+    )
+
+
+def restore_snapshot(snapshot: Snapshot) -> "Network":
+    """Reinstall process state for ``snapshot`` and return its network.
+
+    Two things happen beyond handing back the graph, and both are what
+    makes a branched leg byte-identical to a from-scratch run:
+
+    * the process-global packet-id counter is set to its capture-time
+      value, so packets injected after the branch get the pids the
+      uninterrupted simulation would have assigned;
+    * the warm-up's deterministic event count is credited to
+      ``ENGINE_PERF`` (with zero wall time — the work was not paid for
+      here), so the leg's reported ``engine_events`` is the same whether
+      the warm-up was simulated live, served from the in-process
+      snapshot, or reloaded from a checkpoint file.
+    """
+    set_packet_id_counter(snapshot.packet_counter)
+    ENGINE_PERF.record(snapshot.engine_events, 0.0)
+    return snapshot.network
+
+
+def snapshot_to_bytes(snapshot: Snapshot) -> bytes:
+    """Serialise: one JSON header line + the pickled network graph."""
+    payload = pickle.dumps(snapshot.network, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(payload).hexdigest()
+    header = json.dumps(snapshot.header(digest), sort_keys=True)
+    return header.encode() + b"\n" + payload
+
+
+def snapshot_from_bytes(
+    data: bytes, where: str = "<bytes>", verify: bool = True
+) -> Snapshot:
+    """Parse bytes written by :func:`snapshot_to_bytes`; verify, unpickle.
+
+    Raises :class:`~repro.errors.CheckpointError` for foreign files,
+    unsupported versions, and (with ``verify``, the default) payload-hash
+    mismatches.  Verification happens *before* unpickling, so a truncated
+    payload is reported as a checkpoint problem, never as a pickle crash.
+    """
+    head, sep, payload = data.partition(b"\n")
+    if not sep:
+        raise CheckpointError(f"{where} is not a checkpoint file (no header)")
+    try:
+        header = json.loads(head.decode())
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise CheckpointError(f"{where} has an unreadable header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(f"{where} is not a checkpoint file")
+    if header.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{where} has checkpoint format version {header.get('version')!r}; "
+            f"this build reads version {CHECKPOINT_VERSION}"
+        )
+    if verify:
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != header.get("payload_sha256"):
+            raise CheckpointError(
+                f"{where} failed its payload-hash check — the file was "
+                f"truncated or corrupted after it was written"
+            )
+    try:
+        network = pickle.loads(payload)
+    except Exception as exc:  # pickle raises a menagerie; fold it into ours
+        raise CheckpointError(f"{where} payload failed to unpickle: {exc}") from exc
+    return Snapshot(
+        network=network,
+        time=header["time"],
+        engine_events=header["engine_events"],
+        packet_counter=header["packet_counter"],
+        description=header.get("description", ""),
+    )
+
+
+def save_checkpoint(snapshot: Snapshot, path: str | Path) -> None:
+    """Write ``snapshot`` to ``path`` (header + hash-verified payload)."""
+    Path(path).write_bytes(snapshot_to_bytes(snapshot))
+
+
+def load_checkpoint(path: str | Path, verify: bool = True) -> Snapshot:
+    """Read and verify a checkpoint written by :func:`save_checkpoint`."""
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    return snapshot_from_bytes(data, str(path), verify)
+
+
+class CheckpointStore:
+    """A content-addressed, on-disk cache of warm-up checkpoints.
+
+    One directory, one file per checkpoint, named ``<key>.ckpt`` where
+    the key is derived from the *warm-up inputs* (topology, scheduler,
+    load, warm-up horizon, seed, …) so any leg of any sweep that shares
+    the prefix addresses the same file.  The store also keeps an
+    append-only ``checkpoints.log`` — one line per *actual* build — which
+    is how the test suite (and the ``sweep-branch`` bench) assert the
+    build-once guarantee: a sweep over N legs with one shared prefix must
+    grow the log by exactly one line, not N.
+
+    Every read re-verifies the payload hash and returns a *fresh*
+    unpickled graph (no memo — consumers mutate what they restore); a
+    truncated or corrupt entry reads as a miss, so a killed writer can
+    never poison a sweep — the next leg rebuilds from scratch and the
+    atomic :meth:`put` heals the entry.
+    """
+
+    __slots__ = ("root",)
+
+    #: File name of the append-only record of actual checkpoint builds.
+    LOG_NAME = "checkpoints.log"
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path(self, key: str) -> Path:
+        """The file a checkpoint with ``key`` lives at (may not exist yet)."""
+        return self.root / f"{key}.ckpt"
+
+    def has(self, key: str) -> bool:
+        """True when a checkpoint file for ``key`` exists (content untested)."""
+        return self.path(key).is_file()
+
+    def get(self, key: str) -> Snapshot | None:
+        """The cached snapshot for ``key``, or None.
+
+        Unreadable, truncated, or hash-mismatched entries are treated as
+        misses, not errors — the caller rebuilds from scratch and
+        :meth:`put` heals the entry.  Unlike the schedule store there is
+        no parse memo and no ``verify=False`` fast path: each consumer
+        needs its own fresh graph anyway, and the hash check is the only
+        thing standing between a torn pickle and a corrupted branch.
+        """
+        path = self.path(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            return snapshot_from_bytes(data, str(path), verify=True)
+        except CheckpointError:
+            return None
+
+    def put(self, key: str, snapshot: Snapshot) -> Path:
+        """Persist ``snapshot`` under ``key`` atomically; returns the path.
+
+        Temp file + ``os.replace`` in the store directory: concurrent
+        readers see either no file or a complete, hash-verified one.
+        Racing writers of the same key both succeed (last replace wins;
+        warm-ups are deterministic, so the contents agree anyway).
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(key)
+        tmp_name = str(
+            self.root / f".{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
+        )
+        fd = os.open(tmp_name, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o666)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(snapshot_to_bytes(snapshot))
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+        return path
+
+    def get_or_build(self, key: str, builder: Callable[[], Snapshot]) -> Snapshot:
+        """The snapshot for ``key`` — from cache, or by running ``builder``.
+
+        A cache miss builds (under ``ENGINE_PERF.paused()``, so the
+        warm-up simulation never leaks into the calling leg's
+        deterministic event count — the restore credit is the only way
+        warm-up events reach the accumulator), persists, logs the build,
+        and returns the snapshot *reloaded from disk*, so every consumer
+        — the leg that paid for the build and every later one — branches
+        from the identical post-round-trip graph.
+        """
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        with ENGINE_PERF.paused():
+            snapshot = builder()
+        self.put(key, snapshot)
+        self._log_build(key)
+        reloaded = self.get(key)
+        return snapshot if reloaded is None else reloaded
+
+    def keys(self) -> list[str]:
+        """The keys currently present in the store, sorted.
+
+        Scans the store directory for ``<key>.ckpt`` entries; in-flight
+        temp files (dot-prefixed) are not entries and are skipped.
+        """
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            path.stem
+            for path in self.root.glob("*.ckpt")
+            if not path.name.startswith(".")
+        )
+
+    def prune(self, in_use: Iterable[str]) -> list[str]:
+        """Remove every entry whose key is not in ``in_use``; GC for
+        long-lived stores.
+
+        Returns the removed keys, sorted.  Each removal is a single
+        ``unlink`` — atomic, so a concurrent reader sees either the
+        complete file or a miss it can rebuild from — and an entry
+        someone else already removed is skipped silently.  The
+        ``checkpoints.log`` audit trail is deliberately left intact: it
+        records history (how many warm-ups were ever paid for), not
+        current contents.
+        """
+        keep = set(in_use)
+        removed = []
+        for key in self.keys():
+            if key in keep:
+                continue
+            with contextlib.suppress(FileNotFoundError):
+                self.path(key).unlink()
+                removed.append(key)
+        return sorted(removed)
+
+    # -- the build-once audit trail ----------------------------------------
+
+    def _log_build(self, key: str) -> None:
+        """Append one line for an actual build (O_APPEND: atomic for short
+        lines, so concurrent workers interleave but never tear)."""
+        line = f"{key} pid={os.getpid()}\n"
+        fd = os.open(
+            str(self.root / self.LOG_NAME),
+            os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+            0o666,
+        )
+        try:
+            os.write(fd, line.encode())
+        finally:
+            os.close(fd)
+
+    def built_keys(self) -> list[str]:
+        """Keys actually built into this store, in build order.
+
+        Reads ``checkpoints.log``; a key appears once per build, so
+        ``len(store.built_keys())`` is the number of warm-up simulations
+        the store paid for — the quantity the build-once tests assert on.
+        """
+        try:
+            text = (self.root / self.LOG_NAME).read_text()
+        except OSError:
+            return []
+        return [line.split()[0] for line in text.splitlines() if line.strip()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CheckpointStore {self.root}>"
+
+
+#: The store :func:`active_checkpoint_store` answers with (None = no cache).
+_ACTIVE_STORE: CheckpointStore | None = None
+
+
+def active_checkpoint_store() -> CheckpointStore | None:
+    """The checkpoint store the current run builds into / reads from.
+
+    Set by :func:`use_checkpoint_store`; ``None`` means "no cache — warm
+    up in memory every time", the behaviour of a bare driver call outside
+    the runner.
+    """
+    return _ACTIVE_STORE
+
+
+@contextlib.contextmanager
+def use_checkpoint_store(
+    store: CheckpointStore | None,
+) -> Iterator[CheckpointStore | None]:
+    """Make ``store`` the active checkpoint store for the enclosed block.
+
+    The experiment runner wraps each driver call in this so
+    :func:`repro.experiments.branch.get_branch_network` can answer
+    warm-ups from the sweep's shared cache.  Nests and restores the
+    previous store on exit; passing ``None`` disables caching inside the
+    block.
+    """
+    global _ACTIVE_STORE
+    previous = _ACTIVE_STORE
+    _ACTIVE_STORE = store
+    try:
+        yield store
+    finally:
+        _ACTIVE_STORE = previous

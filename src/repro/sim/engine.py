@@ -42,6 +42,13 @@ __all__ = ["Engine", "EventHandle", "EnginePerf", "ENGINE_PERF"]
 #: ``callback`` slot holds the :class:`EventHandle` instead of a callable.
 _CANCELLABLE = object()
 
+#: Serialisable stand-in for :data:`_CANCELLABLE` in checkpoint state.
+#: The sentinel is recognised by identity, which pickling cannot
+#: preserve, so checkpoints encode the args slot as this string instead
+#: (unambiguous: a live entry's args slot is always a tuple or the
+#: sentinel, never a string).
+_CANCELLABLE_MARKER = "__repro_cancellable__"
+
 
 class EnginePerf:
     """Process-wide accumulator of engine work (events fired + wall time).
@@ -259,6 +266,60 @@ class Engine:
     def stop(self) -> None:
         """Stop :meth:`run` after the currently executing event returns."""
         self._stopped = True
+
+    # --- checkpoint / restore ---------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """Capture the engine's complete state as a picklable dict.
+
+        The heap entries are copied with the identity-compared
+        :data:`_CANCELLABLE` sentinel swapped for its serialisable
+        marker; everything else (clock, sequence counter, deferred
+        decision deque, deterministic event count) is carried verbatim.
+        Callbacks are *not* copied — a checkpoint shares them with the
+        live engine until it is pickled, at which point the whole object
+        graph (network, ports, handles) is serialised together so bound
+        methods stay attached to their restored owners.
+        """
+        heap = [
+            (time, seq, callback,
+             _CANCELLABLE_MARKER if args is _CANCELLABLE else args)
+            for (time, seq, callback, args) in self._heap
+        ]
+        return {
+            "now": self.now,
+            "heap": heap,
+            "seq": self._seq,
+            "events_processed": self._events_processed,
+            "stopped": self._stopped,
+            "deferred": list(self._deferred),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstall state captured by :meth:`checkpoint`.
+
+        The marker strings in the args slot are swapped back for the
+        module's live sentinel, so the run loop's identity test keeps
+        working on restored entries.  The entry order is preserved
+        as-is: the (time, seq) sort keys were untouched, so the list is
+        still a valid heap.
+        """
+        self.now = state["now"]
+        self._heap = [
+            (time, seq, callback,
+             _CANCELLABLE if args == _CANCELLABLE_MARKER else args)
+            for (time, seq, callback, args) in state["heap"]
+        ]
+        self._seq = state["seq"]
+        self._events_processed = state["events_processed"]
+        self._stopped = state["stopped"]
+        self._deferred = deque(state["deferred"])
+
+    def __getstate__(self) -> dict:
+        return self.checkpoint()
+
+    def __setstate__(self, state: dict) -> None:
+        self.restore(state)
 
     # --- introspection ----------------------------------------------------
 

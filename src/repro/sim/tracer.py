@@ -79,6 +79,21 @@ class PacketRecord:
         """Number of hops at which the packet was forced to wait (§2.2)."""
         return sum(1 for w in self.hop_waits if w > epsilon)
 
+    # --- checkpoint support -------------------------------------------------
+
+    # A warmed-up network carries one record per warm-up packet, so
+    # records dominate checkpoint payloads.  Pickling the slot values as
+    # one flat tuple (instead of the default per-object slot *dict*)
+    # makes the restore path — the per-leg cost of a branch sweep —
+    # markedly cheaper.  Field order is the ``__slots__`` declaration.
+
+    def __getstate__(self) -> tuple:
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __setstate__(self, state: tuple) -> None:
+        for name, value in zip(self.__slots__, state):
+            setattr(self, name, value)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = f"exit={self.exit:.6f}" if self.exit is not None else "in-flight"
         if self.dropped_at is not None:

@@ -16,6 +16,7 @@ from repro.errors import ConfigurationError
 EXPECTED = {
     "table1", "fig1", "fig2", "fig3", "fig4", "gadgets", "info", "weighted",
     "bench",  # substrate micro-benchmarks (PR 2), not a paper artefact
+    "branch",  # branch-from-checkpoint sweeps (PR 7), not a paper artefact
 }
 
 # Per-experiment overrides that keep each run to a fraction of a second
@@ -37,6 +38,7 @@ TINY = {
         schedulers=("fifo", "lstf"),
         options={"events": 500, "packets": 200, "repeats": 1},
     ),
+    "branch": dict(duration=0.01, options={"warmup": 0.02}),
 }
 
 

@@ -1,0 +1,278 @@
+"""Unit tests for the engine/network checkpoint protocol (sim layer).
+
+Covers the three layers of :mod:`repro.sim.checkpoint` plus the engine's
+own ``checkpoint()``/``restore()`` hooks:
+
+* engine state round-trips through plain dicts *and* pickle, including
+  the identity-compared cancellable sentinel (swapped for a marker while
+  serialised, swapped back on restore);
+* the on-disk format is hash-verified — truncation, corruption, foreign
+  files, and version skew all fail loudly as
+  :class:`~repro.errors.CheckpointError` *before* anything is unpickled;
+* :class:`~repro.sim.checkpoint.CheckpointStore` builds once, heals
+  corrupt entries as misses, prunes unreferenced keys, and audit-logs
+  every actual build.
+"""
+
+from __future__ import annotations
+
+import pickle
+from functools import partial
+
+import pytest
+
+from repro.core.packet import packet_id_counter, set_packet_id_counter
+from repro.errors import CheckpointError
+from repro.sim.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointStore,
+    Snapshot,
+    active_checkpoint_store,
+    load_checkpoint,
+    restore_snapshot,
+    save_checkpoint,
+    snapshot_from_bytes,
+    snapshot_network,
+    snapshot_to_bytes,
+    use_checkpoint_store,
+)
+from repro.sim.engine import ENGINE_PERF, Engine
+from repro.sim.network import Network
+from repro.units import MBPS
+
+
+def _fire_log_engine() -> tuple[Engine, list]:
+    """An engine with plain, cancellable, and deferred events pending.
+
+    Callbacks are bound methods of one list (never closures over the
+    engine), so a restored copy fires into the same log and a *pickled*
+    copy fires into its own unpickled list.
+    """
+    engine = Engine()
+    log: list = []
+    engine.defer(partial(log.append, "d"))  # deferred beats the heap
+    engine.schedule(0.002, log.append, "a")
+    engine.schedule(0.004, log.append, "b")
+    handle = engine.schedule_cancellable(0.006, log.append, "c")
+    return engine, log, handle
+
+
+class TestEngineCheckpointRestore:
+    def test_round_trip_preserves_fire_order(self):
+        engine, log, _handle = _fire_log_engine()
+        state = engine.checkpoint()
+        fresh = Engine()
+        fresh.restore(state)
+        fresh.run()
+        assert log == ["d", "a", "b", "c"]
+        assert fresh.now == 0.006
+
+    def test_checkpoint_state_is_picklable(self):
+        engine, log, _handle = _fire_log_engine()
+        # the raw heap holds the identity-compared _CANCELLABLE sentinel;
+        # checkpoint() must swap it for something serialisable
+        state = pickle.loads(pickle.dumps(engine.checkpoint()))
+        fresh = Engine()
+        fresh.restore(state)
+        fresh.run()
+        # the pickled copy fires into its *own* unpickled list
+        assert log == []
+        assert fresh.events_processed == 3  # deferred flushes aren't events
+
+    def test_cancel_after_checkpoint_only_affects_the_original(self):
+        engine, log, handle = _fire_log_engine()
+        state = pickle.loads(pickle.dumps(engine.checkpoint()))
+        handle.cancel()
+        engine.run()
+        assert log == ["d", "a", "b"]  # original honoured the cancel
+        fresh = Engine()
+        fresh.restore(state)
+        fresh.run()
+        assert fresh.events_processed == 3  # the clone's handle still fired
+
+    def test_restore_resumes_mid_run(self):
+        engine, log, _handle = _fire_log_engine()
+        engine.run(until=0.003)
+        assert log == ["d", "a"]
+        state = engine.checkpoint()
+        fresh = Engine()
+        fresh.restore(state)
+        assert fresh.now == engine.now
+        fresh.run()
+        assert log == ["d", "a", "b", "c"]
+
+
+def _tiny_network(until: float = 0.05) -> Network:
+    """A two-host network with a little traffic simulated."""
+    from repro.transport.udp import install_udp_flows
+    from repro.workload.flows import Flow
+
+    net = Network()
+    net.add_host("a")
+    net.add_host("b")
+    net.add_link("a", "b", 8 * MBPS, 0.001)
+    install_udp_flows(
+        net,
+        [Flow(fid=1, src="a", dst="b", size=30_000, start=0.0)],
+    )
+    net.run(until=until)
+    return net
+
+
+class TestSnapshotRoundTrip:
+    def test_save_load_preserves_summary_fields(self, tmp_path):
+        net = _tiny_network()
+        snap = snapshot_network(net, description="tiny")
+        path = tmp_path / "tiny.ckpt"
+        save_checkpoint(snap, path)
+        loaded = load_checkpoint(path)
+        assert loaded.time == snap.time
+        assert loaded.engine_events == snap.engine_events
+        assert loaded.packet_counter == snap.packet_counter
+        assert loaded.description == "tiny"
+
+    def test_restored_network_continues_like_the_original(self, tmp_path):
+        net = _tiny_network()
+        snap = snapshot_network(net)
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(snap, path)
+        restored = restore_snapshot(load_checkpoint(path))
+        net.run()
+        restored.run()
+        a = [(r.pid, r.exit) for r in net.tracer.records.values()]
+        b = [(r.pid, r.exit) for r in restored.tracer.records.values()]
+        assert a == b
+
+    def test_restore_reinstalls_packet_counter(self):
+        net = _tiny_network()
+        snap = snapshot_network(net)
+        before = packet_id_counter()
+        set_packet_id_counter(before + 10_000)  # unrelated later traffic
+        restore_snapshot(snap)
+        assert packet_id_counter() == snap.packet_counter
+        set_packet_id_counter(before)
+
+    def test_restore_credits_engine_events(self):
+        net = _tiny_network()
+        snap = snapshot_network(net)
+        baseline = ENGINE_PERF.events
+        restore_snapshot(snap)
+        assert ENGINE_PERF.events == baseline + snap.engine_events
+
+
+class TestFormatVerification:
+    def _bytes(self) -> bytes:
+        return snapshot_to_bytes(snapshot_network(_tiny_network()))
+
+    def test_truncated_payload_is_a_checkpoint_error(self, tmp_path):
+        data = self._bytes()
+        path = tmp_path / "t.ckpt"
+        path.write_bytes(data[: len(data) - 100])
+        with pytest.raises(CheckpointError, match="hash"):
+            load_checkpoint(path)
+
+    def test_corrupt_payload_is_a_checkpoint_error(self):
+        data = bytearray(self._bytes())
+        data[-1] ^= 0xFF
+        with pytest.raises(CheckpointError, match="hash"):
+            snapshot_from_bytes(bytes(data))
+
+    def test_foreign_file_is_a_checkpoint_error(self, tmp_path):
+        path = tmp_path / "not.ckpt"
+        path.write_bytes(b'{"something": "else"}\npayload')
+        with pytest.raises(CheckpointError, match="not a checkpoint"):
+            load_checkpoint(path)
+        path.write_bytes(b"no newline at all")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_version_skew_is_a_checkpoint_error(self):
+        data = self._bytes()
+        head, _, payload = data.partition(b"\n")
+        skewed = head.replace(
+            f'"version": {CHECKPOINT_VERSION}'.encode(),
+            f'"version": {CHECKPOINT_VERSION + 1}'.encode(),
+        )
+        with pytest.raises(CheckpointError, match="version"):
+            snapshot_from_bytes(skewed + b"\n" + payload)
+
+    def test_missing_file_is_a_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(tmp_path / "absent.ckpt")
+
+
+class TestCheckpointStore:
+    def _snapshot(self) -> Snapshot:
+        return snapshot_network(_tiny_network())
+
+    def test_put_get_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        snap = self._snapshot()
+        store.put("k1", snap)
+        assert store.has("k1")
+        got = store.get("k1")
+        assert got is not None and got.time == snap.time
+        assert store.keys() == ["k1"]
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.put("k1", self._snapshot())
+        path = store.path("k1")
+        path.write_bytes(path.read_bytes()[:-50])
+        assert store.get("k1") is None  # miss, not an exception
+
+    def test_get_or_build_builds_exactly_once(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        calls = []
+
+        def builder() -> Snapshot:
+            calls.append(1)
+            return self._snapshot()
+
+        first = store.get_or_build("k", builder)
+        second = store.get_or_build("k", builder)
+        assert len(calls) == 1
+        assert store.built_keys() == ["k"]
+        # every consumer gets a fresh graph, never a shared one
+        assert first.network is not second.network
+
+    def test_get_or_build_heals_truncated_entry(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.get_or_build("k", self._snapshot)
+        path = store.path("k")
+        path.write_bytes(path.read_bytes()[:-50])
+        again = store.get_or_build("k", self._snapshot)
+        assert again is not None
+        assert store.get("k") is not None  # the entry healed on disk
+        assert store.built_keys() == ["k", "k"]  # the rebuild was logged
+
+    def test_build_never_leaks_into_engine_perf(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        baseline = ENGINE_PERF.events
+        store.get_or_build("k", self._snapshot)
+        assert ENGINE_PERF.events == baseline
+
+    def test_prune_keeps_in_use_and_logs_nothing(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.get_or_build("keep", self._snapshot)
+        store.get_or_build("drop", self._snapshot)
+        removed = store.prune({"keep"})
+        assert removed == ["drop"]
+        assert store.keys() == ["keep"]
+        # the audit log records history, not current contents
+        assert store.built_keys() == ["drop", "keep"] or store.built_keys() == [
+            "keep", "drop",
+        ]
+
+    def test_use_checkpoint_store_nests_and_restores(self, tmp_path):
+        assert active_checkpoint_store() is None
+        outer = CheckpointStore(tmp_path / "outer")
+        inner = CheckpointStore(tmp_path / "inner")
+        with use_checkpoint_store(outer):
+            assert active_checkpoint_store() is outer
+            with use_checkpoint_store(inner):
+                assert active_checkpoint_store() is inner
+            with use_checkpoint_store(None):
+                assert active_checkpoint_store() is None
+            assert active_checkpoint_store() is outer
+        assert active_checkpoint_store() is None

@@ -30,9 +30,12 @@ from repro.experiments.perf import (
     BRANCH_STRATEGIES,
     DEFAULT_SCHEDULERS,
     ENGINE_BENCHES,
+    OBS_MODES,
     REPLAY_STRATEGIES,
     SWEEP_EXECUTORS,
     bench_e2e_fig2_style,
+    bench_obs_engine,
+    bench_obs_sweep_queue,
     bench_scheduler_ops,
     bench_sweep_branch,
     bench_sweep_executor,
@@ -106,6 +109,20 @@ def run_suite(events: int, packet_scales: list[int], schedulers: list[str],
             duration=branch_duration, repeats=repeats,
         )
         note(bench_entry(f"sweep-branch-{strategy}", branch_legs, ops, seconds))
+    # Telemetry overhead (PR 8): the engine chain and the queue sweep
+    # with observability off vs on.  The off/on ops-per-sec ratio is
+    # what full telemetry costs; the off modes must track the
+    # uninstrumented engine-chain / sweep-queue trajectory (CI gates the
+    # pre-existing benches within 3% of the previous PR's file).
+    for mode in OBS_MODES:
+        ops, seconds = bench_obs_engine(mode, events, repeats)
+        note(bench_entry(f"obs-engine-{mode}", events, ops, seconds))
+    for mode in OBS_MODES:
+        ops, seconds = bench_obs_sweep_queue(
+            mode, seeds=sweep_seeds, workers=sweep_workers,
+            duration=sweep_duration, repeats=repeats,
+        )
+        note(bench_entry(f"obs-sweep-queue-{mode}", sweep_seeds, ops, seconds))
     return benches
 
 

@@ -113,6 +113,12 @@ from repro.errors import (
     SimulationError,
     WorkloadError,
 )
+from repro.obs import (
+    FlightRecorder,
+    MetricsHub,
+    active_metrics_hub,
+    use_metrics_hub,
+)
 from repro.schedulers import (
     DrrScheduler,
     EdfScheduler,
@@ -187,12 +193,14 @@ __all__ = [
     "FatTreeConfig",
     "FifoPlusScheduler",
     "FifoScheduler",
+    "FlightRecorder",
     "Flow",
     "FlowSizeSlack",
     "FqScheduler",
     "Internet2Config",
     "LifoScheduler",
     "LstfScheduler",
+    "MetricsHub",
     "Network",
     "OmniscientScheduler",
     "PHeap",
@@ -224,6 +232,7 @@ __all__ = [
     "VirtualClockSlack",
     "WorkloadError",
     "active_checkpoint_store",
+    "active_metrics_hub",
     "active_schedule_store",
     "build_dumbbell",
     "build_fattree",
@@ -256,6 +265,7 @@ __all__ = [
     "scheduler_names",
     "snapshot_network",
     "use_checkpoint_store",
+    "use_metrics_hub",
     "use_schedule_store",
     "web_search_distribution",
 ]

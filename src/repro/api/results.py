@@ -61,6 +61,11 @@ class RunArtifact:
     metadata: dict[str, Any] = field(default_factory=dict)
     wall_time_s: float = 0.0
     events_per_sec: float = 0.0
+    #: Telemetry summary from the run's :class:`~repro.obs.hub.MetricsHub`,
+    #: or None when observability was off.  Serialised next to the timing
+    #: section and excluded from the canonical JSON for the same reason:
+    #: sampled series must never be able to change what a run *means*.
+    obs: dict[str, Any] | None = field(default=None, compare=False)
     #: True when this artifact was answered from an ``--out`` cache rather
     #: than simulated; never serialised, never part of equality.
     from_cache: bool = field(default=False, compare=False)
@@ -113,6 +118,8 @@ class RunArtifact:
                 "wall_time_s": self.wall_time_s,
                 "events_per_sec": self.events_per_sec,
             }
+            if self.obs is not None:
+                payload["obs"] = self.obs
         return payload
 
     @classmethod
@@ -133,6 +140,7 @@ class RunArtifact:
             metadata=dict(data.get("metadata", {})),
             wall_time_s=float(timings.get("wall_time_s", 0.0)),
             events_per_sec=float(timings.get("events_per_sec", 0.0)),
+            obs=data.get("obs"),
         )
 
     def to_json(self, indent: int | None = 2, include_timings: bool = True) -> str:

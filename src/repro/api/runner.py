@@ -29,6 +29,7 @@ from __future__ import annotations
 import contextlib
 import functools
 import multiprocessing
+import os
 import signal
 import tempfile
 import time
@@ -41,10 +42,36 @@ from repro.api.spec import ExperimentSpec
 from repro.core.packet import reset_packet_ids
 from repro.core.trace_io import ScheduleStore, use_schedule_store
 from repro.errors import ConfigurationError, require_positive_int
+from repro.obs.hub import MetricsHub, use_metrics_hub
+from repro.obs.spans import SPANS
 from repro.sim.checkpoint import CheckpointStore, use_checkpoint_store
 from repro.sim.engine import ENGINE_PERF
 
-__all__ = ["EXECUTORS", "cached_artifact", "run", "run_many"]
+__all__ = ["EXECUTORS", "cached_artifact", "obs_enabled_from_env", "run",
+           "run_many"]
+
+#: Environment switch for run telemetry: set to anything but ""/"0" and
+#: ``run(obs=None)`` attaches a fresh :class:`~repro.obs.hub.MetricsHub`.
+#: An env var (rather than a parameter threaded through ``run_many``)
+#: because it must reach forked pool children and queue drain workers
+#: without touching their picklable call signatures.
+OBS_ENV = "REPRO_OBS"
+
+
+def obs_enabled_from_env() -> bool:
+    """True when :data:`OBS_ENV` asks for telemetry."""
+    return os.environ.get(OBS_ENV, "") not in ("", "0")
+
+
+def _resolve_obs(obs: "bool | MetricsHub | None") -> MetricsHub | None:
+    """The hub a run should use: explicit hub > explicit bool > env."""
+    if obs is None:
+        obs = obs_enabled_from_env()
+    if obs is True:
+        return MetricsHub()
+    if obs is False:
+        return None
+    return obs
 
 #: Subdirectory (of an ``out_dir`` or a queue's ``artifacts/``) holding
 #: the sweep's shared recorded-schedule cache.
@@ -82,6 +109,7 @@ def run(
     force: bool = False,
     schedule_dir: str | Path | None = None,
     checkpoint_dir: str | Path | None = None,
+    obs: "bool | MetricsHub | None" = None,
 ) -> RunArtifact:
     """Execute one spec and return its artifact.
 
@@ -107,6 +135,14 @@ def run(
     and restore later legs from disk; artifacts are byte-identical
     either way (same events, same pids — the store credits the restored
     run's accounting), which is what lets the cache be transparent.
+
+    ``obs`` controls run telemetry (:mod:`repro.obs`): pass a
+    :class:`~repro.obs.hub.MetricsHub` to collect into it, ``True`` for a
+    fresh hub, ``False`` to force it off, or leave the default ``None``
+    to consult the :data:`OBS_ENV` environment switch.  When a hub is
+    active its deterministic summary lands on ``artifact.obs`` — next to
+    the timing section, excluded from the canonical JSON, so artifacts
+    stay byte-identical with telemetry on or off.
     """
     entry = (registry or REGISTRY).get(spec.experiment)
     unknown = [key for key, _ in spec.options if key not in entry.options]
@@ -128,11 +164,15 @@ def run(
     ckpt_store = (
         CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
     )
+    hub = _resolve_obs(obs)
     reset_packet_ids()
     ENGINE_PERF.reset()
     start = time.perf_counter()
     try:
-        with use_schedule_store(store), use_checkpoint_store(ckpt_store):
+        with use_schedule_store(store), use_checkpoint_store(ckpt_store), \
+                use_metrics_hub(hub), \
+                SPANS.span("simulate", experiment=spec.experiment,
+                           run_id=spec_run_id(spec)):
             output = entry.fn(spec)
     finally:
         reset_packet_ids()
@@ -152,6 +192,8 @@ def run(
         wall_time_s=wall,
         events_per_sec=ENGINE_PERF.events_per_sec,
     )
+    if hub is not None:
+        artifact.obs = hub.summary()
     if out_dir is not None:
         artifact.save(out_dir)
     return artifact
@@ -491,13 +533,15 @@ def run_many(
     with _sweep_schedule_dir(spec_list, out_dir) as schedule_dir, \
             _sweep_checkpoint_dir(spec_list, out_dir, checkpoint_dir) as ckpt_dir:
         if schedule_dir is not None:
-            _record_sweep_schedules(
-                spec_list, schedule_dir, workers, out_dir, force
-            )
+            with SPANS.span("record-schedules", legs=len(spec_list)):
+                _record_sweep_schedules(
+                    spec_list, schedule_dir, workers, out_dir, force
+                )
         if ckpt_dir is not None:
-            _build_sweep_checkpoints(
-                spec_list, ckpt_dir, workers, out_dir, force
-            )
+            with SPANS.span("build-checkpoints", legs=len(spec_list)):
+                _build_sweep_checkpoints(
+                    spec_list, ckpt_dir, workers, out_dir, force
+                )
         if executor == "serial" or workers == 1 or len(spec_list) <= 1:
             return [
                 run(spec, out_dir=out_dir, force=force,
@@ -556,9 +600,10 @@ def _run_many_queue(
         # guarantee holds with no pre-pass (and no pre-pass pool).
         if _sweep_shares_recordings(missed_specs):
             queue_schedule_dir = Path(queue_dir) / "artifacts" / SCHEDULE_SUBDIR
-            _record_sweep_schedules(
-                missed_specs, queue_schedule_dir, workers, out_dir, force,
-            )
+            with SPANS.span("record-schedules", legs=len(missed_specs)):
+                _record_sweep_schedules(
+                    missed_specs, queue_schedule_dir, workers, out_dir, force,
+                )
         # Simulate-once pre-pass, same placement logic: workers run jobs
         # with out_dir=<queue>/artifacts, so they restore shared warm-up
         # checkpoints from <queue>/artifacts/checkpoints instead of
@@ -567,10 +612,12 @@ def _run_many_queue(
             queue_checkpoint_dir = (
                 Path(queue_dir) / "artifacts" / CHECKPOINT_SUBDIR
             )
-            _build_sweep_checkpoints(
-                missed_specs, queue_checkpoint_dir, workers, out_dir, force,
-            )
-        job_ids = submit(missed_specs, queue_dir, force=force)
+            with SPANS.span("build-checkpoints", legs=len(missed_specs)):
+                _build_sweep_checkpoints(
+                    missed_specs, queue_checkpoint_dir, workers, out_dir, force,
+                )
+        with SPANS.span("queue-submit", jobs=len(misses)):
+            job_ids = submit(missed_specs, queue_dir, force=force)
         context = multiprocessing.get_context()
         # Workers beyond one per claimable batch can never claim on the
         # happy path (the first ceil(jobs/batch) claims empty the
@@ -593,7 +640,8 @@ def _run_many_queue(
             # A tight poll ceiling: the workers are local children, the
             # state read is two indexed columns, and every interval past
             # the last report is pure caller latency.
-            gathered = gather(queue_dir, job_ids, poll_s=0.02)
+            with SPANS.span("queue-gather", jobs=len(misses)):
+                gathered = gather(queue_dir, job_ids, poll_s=0.02)
         finally:
             for proc in procs:
                 proc.join(timeout=60.0)

@@ -119,8 +119,9 @@ def _add_spec_args(parser: argparse.ArgumentParser, with_rows: bool) -> None:
                              "edf, edf-preemptive, priority, omniscient")
     if with_rows:
         parser.add_argument("--rows", type=int, nargs="*", default=None,
-                            help="row indices (0-based) to run, table1 only; "
-                                 "default all 14")
+                            help="row/scheme indices (0-based) to run, for "
+                                 "experiments that declare a 'rows' option "
+                                 "(table1, fig2, ...); default all")
 
 
 def _add_output_args(parser: argparse.ArgumentParser) -> None:
@@ -363,7 +364,8 @@ def _cmd_status(args: argparse.Namespace) -> int:
     from repro.cluster import client
 
     try:
-        snapshot = client.status(args.queue, job_ids=args.jobs)
+        snapshot = client.status(args.queue, job_ids=args.jobs,
+                                 events=args.events)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -371,6 +373,138 @@ def _cmd_status(args: argparse.Namespace) -> int:
         print(json.dumps(snapshot.to_dict(), indent=2))
     else:
         print(snapshot.render())
+    return 0
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    """Print (and follow) a queue's structured event log."""
+    from repro.cluster import JobQueue
+    from repro.obs.events import follow_events, format_event, read_events
+
+    try:
+        JobQueue(args.queue, create=False)  # typo'd path -> clean error
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for event in read_events(args.queue, limit=args.lines):
+        print(format_event(event))
+    if args.once:
+        return 0
+    try:
+        for event in follow_events(args.queue):
+            print(format_event(event), flush=True)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _run_profiled(specs: list, hub) -> tuple[int, float]:
+    """Run a profile's legs serially into one shared hub; returns
+    ``(engine_events, wall_seconds)`` totals."""
+    from repro.api.runner import run
+
+    events = 0
+    wall = 0.0
+    for leg in specs:
+        artifact = run(leg, obs=hub)
+        events += int(artifact.metadata.get("engine_events", 0))
+        wall += artifact.wall_time_s
+    return events, wall
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run an experiment under full telemetry and print the breakdown.
+
+    All legs run serially in-process under one shared
+    :class:`~repro.obs.hub.MetricsHub` + flight recorder, with phase
+    spans enabled — profiling trades parallelism for attribution.
+    """
+    from repro.obs.flight import FlightRecorder
+    from repro.obs.hub import MetricsHub
+    from repro.obs.spans import SPANS, write_chrome_trace
+
+    try:
+        entry = REGISTRY.get(args.experiment)
+        _reject_unused_flags(entry, args)
+        spec = spec_from_args(args.experiment, args)
+        specs = _sweep_specs(spec)
+        hub = MetricsHub(flight=FlightRecorder(capacity=1024))
+        SPANS.clear()
+        SPANS.enable()
+        try:
+            events, wall = _run_profiled(specs, hub)
+        finally:
+            SPANS.disable()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    breakdown = SPANS.breakdown()
+    rate = events / wall if wall > 0 else 0.0
+    top = hub.flight.top(args.top)
+    if args.trace:
+        write_chrome_trace(args.trace, SPANS.records)
+        print(f"wrote {args.trace} ({len(SPANS.records)} span(s)) — "
+              f"load in Perfetto or chrome://tracing", file=sys.stderr)
+    if args.as_json:
+        print(json.dumps({
+            "experiment": args.experiment,
+            "legs": len(specs),
+            "engine_events": events,
+            "wall_time_s": wall,
+            "events_per_sec": rate,
+            "phases": [{"name": n, "seconds": s} for n, s in breakdown],
+            "top_callbacks": [{"name": n, "events": c} for n, c in top],
+            "obs": hub.summary(),
+        }, indent=2))
+        return 0
+    total = sum(s for _, s in breakdown) or 1.0
+    table = Table(["phase", "seconds", "share"],
+                  title=f"repro profile {args.experiment} — "
+                        f"{len(specs)} leg(s)")
+    for name, seconds in breakdown:
+        table.add_row([name, f"{seconds:.4f}", f"{100 * seconds / total:.1f}%"])
+    print(table.render())
+    print(f"engine events: {events}  ({rate:,.0f} events/s wall)")
+    if top:
+        attribution = Table(["callback", "events", "share"],
+                            title="top callbacks (flight recorder)")
+        for name, count in top:
+            attribution.add_row(
+                [name, count, f"{100 * count / max(events, 1):.1f}%"])
+        print(attribution.render())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Export spans as Chrome trace-event JSON (queue or experiment mode)."""
+    from repro.obs.spans import SPANS, read_span_records, write_chrome_trace
+
+    try:
+        target = Path(args.target)
+        if target.is_dir():
+            records = read_span_records(target)
+            if not records:
+                raise ConfigurationError(
+                    f"{target} has no span records (spans.jsonl) — workers "
+                    f"write one per executed job; run the queue first"
+                )
+        else:
+            entry = REGISTRY.get(args.target)
+            _reject_unused_flags(entry, args)
+            specs = _sweep_specs(spec_from_args(args.target, args))
+            SPANS.clear()
+            SPANS.enable()
+            try:
+                _run_profiled(specs, hub=None)
+            finally:
+                SPANS.disable()
+            records = list(SPANS.records)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    write_chrome_trace(args.out, records)
+    print(f"wrote {args.out} ({len(records)} span(s)) — load in Perfetto "
+          f"or chrome://tracing", file=sys.stderr)
     return 0
 
 
@@ -669,15 +803,59 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queue", required=True, metavar="DIR")
     p.add_argument("--jobs", type=int, nargs="+", default=None, metavar="ID",
                    help="only these job ids (default: all)")
+    p.add_argument("--events", type=int, default=0, metavar="N",
+                   help="also show the last N records of the queue's "
+                        "structured event log (claim/ack/fail/heartbeat/"
+                        "lease-expiry/...)")
     p.add_argument("--json", action="store_true", dest="as_json",
                    help="emit the snapshot as JSON instead of a table")
     p.set_defaults(fn=_cmd_status)
+
+    p = sub.add_parser(
+        "tail",
+        help="follow a queue's structured event log (tail -f semantics)")
+    p.add_argument("queue", metavar="QUEUE_DIR",
+                   help="queue directory whose events.jsonl to follow")
+    p.add_argument("--lines", type=int, default=10, metavar="N",
+                   help="existing records to print before following "
+                        "(default 10)")
+    p.add_argument("--once", action="store_true",
+                   help="print the tail and exit instead of following")
+    p.set_defaults(fn=_cmd_tail)
+
+    p = sub.add_parser(
+        "profile",
+        help="run an experiment under full telemetry and print the "
+             "phase/throughput/callback breakdown")
+    p.add_argument("experiment", help="a name from `repro list`")
+    _add_spec_args(p, with_rows=True)
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="also write the phase spans as Chrome trace-event "
+                        "JSON (load in Perfetto / chrome://tracing)")
+    p.add_argument("--top", type=int, default=10, metavar="N",
+                   help="callbacks to show in the attribution table "
+                        "(default 10)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit the profile as JSON instead of tables")
+    p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser(
+        "trace",
+        help="export wall-clock spans as Chrome trace-event JSON: from a "
+             "queue's spans.jsonl, or by running an experiment")
+    p.add_argument("target", metavar="QUEUE_DIR|EXPERIMENT",
+                   help="a queue directory (convert its per-job spans) or "
+                        "an experiment name (run it with spans enabled)")
+    p.add_argument("--out", default="trace.json", metavar="FILE",
+                   help="output file (default trace.json)")
+    _add_spec_args(p, with_rows=True)
+    p.set_defaults(fn=_cmd_trace)
 
     # One legacy-style alias per registered experiment (`repro table1` ==
     # `repro run table1`), so existing invocations keep working.
     for entry in REGISTRY.entries():
         p = sub.add_parser(entry.name, help=entry.help or f"regenerate {entry.name}")
-        _add_experiment_args(p, with_rows=entry.name == "table1")
+        _add_experiment_args(p, with_rows="rows" in entry.options)
         p.set_defaults(fn=_cmd_experiment, experiment=entry.name)
     return parser
 

@@ -4,6 +4,17 @@ A :class:`JobQueue` lives entirely inside one directory::
 
     <queue_dir>/queue.db     -- the job table (SQLite, WAL mode)
     <queue_dir>/artifacts/   -- the shared content-addressed artifact cache
+    <queue_dir>/events.jsonl -- append-only structured event log
+
+Every state transition the broker commits also appends a JSON line to
+``events.jsonl`` (:mod:`repro.obs.events`): submit, claim, ack, fail,
+requeue, heartbeat, register/unregister, lease-expiry and reclaim.  The
+log is telemetry, not state — the database never reads it back — but it
+turns "what did the cluster do last night?" into ``repro tail`` /
+``repro status --events`` instead of SQL archaeology.  Lines are written
+inside the mutating transaction (single ``O_APPEND`` writes, atomic at
+line granularity), so the log can at worst over-report a transaction
+that failed to commit, never misorder within one writer.
 
 Any number of submitting clients and worker processes open the same
 queue concurrently; SQLite's locking makes each operation atomic, and
@@ -70,8 +81,13 @@ from repro.cluster.jobs import (
     job_from_row,
 )
 from repro.errors import ClusterError, ConfigurationError, require_positive_int
+from repro.obs.events import append_events
 
 __all__ = ["JobQueue"]
+
+#: Longest error text repeated into an event-log line; the full string
+#: stays on the job row, the log only needs enough to be greppable.
+_EVENT_ERROR_CHARS = 200
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -151,6 +167,21 @@ class JobQueue:
         """The content-addressed artifact cache all workers share."""
         return self.queue_dir / "artifacts"
 
+    def _log_events(self, events: Iterable[dict]) -> None:
+        """Append records to ``events.jsonl`` (see the module docstring).
+
+        Called from inside mutating transactions; a failing log write
+        must not poison the transaction, so file errors are swallowed —
+        the event log is telemetry, the database is the state.
+        """
+        records = list(events)
+        if not records:
+            return
+        try:
+            append_events(self.queue_dir, records)
+        except OSError:  # pragma: no cover - e.g. read-only queue dir
+            pass
+
     def _connect(self) -> sqlite3.Connection:
         # autocommit mode + explicit BEGIN IMMEDIATE where atomicity
         # spans a read-modify-write; WAL (set at queue init — it is a
@@ -202,19 +233,42 @@ class JobQueue:
                 )
                 if first is None:
                     first = cursor.lastrowid
+            assert first is not None
+            self._log_events(
+                {"ts": now, "kind": "submit", "job": first + i,
+                 "run_id": spec_run_id(spec)}
+                for i, spec in enumerate(spec_list)
+            )
             conn.execute("COMMIT")
-        assert first is not None
         return list(range(first, first + len(rows)))
 
     # -- consuming ---------------------------------------------------------
 
-    def _reclaim_expired(self, conn: sqlite3.Connection, now: float) -> None:
+    def _reclaim_expired(self, conn: sqlite3.Connection, now: float) -> list[dict]:
         """Expired leases → back to pending, or terminal once out of budget.
 
         Also drops expired worker-lease rows: a registration whose
         deadline passed belongs to a presumed-dead worker.  Caller holds
-        an open ``BEGIN IMMEDIATE`` transaction.
+        an open ``BEGIN IMMEDIATE`` transaction.  Returns the event
+        records describing what was reclaimed, for the caller to log
+        before its COMMIT (an empty list in the common nothing-expired
+        case — the identifying SELECTs only scan ``running`` rows).
         """
+        expired = conn.execute(
+            "SELECT id, worker, attempts, max_attempts FROM jobs"
+            " WHERE state = ? AND lease_expires_at < ?",
+            (RUNNING, now),
+        ).fetchall()
+        events: list[dict] = []
+        for job_id, worker, attempts, max_attempts in expired:
+            events.append({"ts": now, "kind": "lease-expiry", "job": job_id,
+                           "worker": worker, "attempts": attempts})
+            terminal = attempts >= max_attempts
+            events.append({
+                "ts": now, "kind": "fail" if terminal else "reclaim",
+                "job": job_id, "worker": worker,
+                "error": "lease expired" if terminal else None,
+            })
         conn.execute(  # repro: allow(SQL-TXN) caller holds BEGIN IMMEDIATE, per contract above
             "UPDATE jobs SET state = ?, error ="
             " 'lease expired after ' || attempts || ' attempt(s); worker '"
@@ -228,9 +282,17 @@ class JobQueue:
             " WHERE state = ? AND lease_expires_at < ?",
             (PENDING, RUNNING, now),
         )
+        dead = conn.execute(
+            "SELECT worker FROM leases WHERE lease_expires_at < ?", (now,)
+        ).fetchall()
+        events.extend(
+            {"ts": now, "kind": "worker-expired", "worker": worker}
+            for (worker,) in dead
+        )
         conn.execute(  # repro: allow(SQL-TXN) caller holds BEGIN IMMEDIATE, per contract above
             "DELETE FROM leases WHERE lease_expires_at < ?", (now,)
         )
+        return events
 
     def _upsert_lease(
         self, conn: sqlite3.Connection, worker_id: str, now: float,
@@ -274,12 +336,13 @@ class JobQueue:
         now = time.time()
         with closing(self._connect()) as conn:
             conn.execute("BEGIN IMMEDIATE")
-            self._reclaim_expired(conn, now)
+            events = self._reclaim_expired(conn, now)
             rows = conn.execute(
                 f"SELECT {_COLS} FROM jobs WHERE state = ? ORDER BY id LIMIT ?",
                 (PENDING, n),
             ).fetchall()
             if not rows:
+                self._log_events(events)
                 conn.execute("COMMIT")
                 return []
             jobs = [job_from_row(row) for row in rows]
@@ -291,6 +354,12 @@ class JobQueue:
                 (RUNNING, worker_id, now + lease, now, *[j.id for j in jobs]),
             )
             self._upsert_lease(conn, worker_id, now, now + lease)
+            events.extend(
+                {"ts": now, "kind": "claim", "job": j.id, "worker": worker_id,
+                 "attempts": j.attempts + 1}
+                for j in jobs
+            )
+            self._log_events(events)
             conn.execute("COMMIT")
         for job in jobs:
             job.state = RUNNING
@@ -317,6 +386,9 @@ class JobQueue:
         with closing(self._connect()) as conn:
             conn.execute("BEGIN IMMEDIATE")
             self._upsert_lease(conn, worker_id, now, now + lease)
+            self._log_events(
+                [{"ts": now, "kind": "register", "worker": worker_id}]
+            )
             conn.execute("COMMIT")
 
     def unregister_worker(self, worker_id: str) -> None:
@@ -328,6 +400,9 @@ class JobQueue:
         with closing(self._connect()) as conn:
             conn.execute("BEGIN IMMEDIATE")
             conn.execute("DELETE FROM leases WHERE worker = ?", (worker_id,))
+            self._log_events(
+                [{"ts": time.time(), "kind": "unregister", "worker": worker_id}]
+            )
             conn.execute("COMMIT")
 
     def heartbeat_worker(
@@ -353,10 +428,14 @@ class JobQueue:
             if cursor.rowcount != 1:
                 conn.execute("COMMIT")
                 return False
-            conn.execute(
+            cursor = conn.execute(
                 "UPDATE jobs SET lease_expires_at = ?"
                 " WHERE worker = ? AND state = ?",
                 (now + lease, worker_id, RUNNING),
+            )
+            self._log_events(
+                [{"ts": now, "kind": "heartbeat", "worker": worker_id,
+                  "jobs": cursor.rowcount}]
             )
             conn.execute("COMMIT")
         return True
@@ -399,13 +478,19 @@ class JobQueue:
         :meth:`heartbeat_worker` instead.
         """
         lease = self.default_lease_s if lease_s is None else float(lease_s)
+        now = time.time()
         with closing(self._connect()) as conn:
             conn.execute("BEGIN IMMEDIATE")
             cursor = conn.execute(
                 "UPDATE jobs SET lease_expires_at = ?"
                 " WHERE id = ? AND worker = ? AND state = ?",
-                (time.time() + lease, job_id, worker_id, RUNNING),
+                (now + lease, job_id, worker_id, RUNNING),
             )
+            if cursor.rowcount == 1:
+                self._log_events(
+                    [{"ts": now, "kind": "heartbeat", "worker": worker_id,
+                      "job": job_id}]
+                )
             conn.execute("COMMIT")
         return cursor.rowcount == 1
 
@@ -447,6 +532,7 @@ class JobQueue:
             return {}
         now = time.time()
         out: dict[int, bool] = {}
+        events: list[dict] = []
         with closing(self._connect()) as conn:
             conn.execute("BEGIN IMMEDIATE")
             for job_id, error, retry in results:
@@ -458,6 +544,9 @@ class JobQueue:
                         (DONE, now, job_id, worker_id, RUNNING),
                     )
                     out[job_id] = cursor.rowcount == 1
+                    if out[job_id]:
+                        events.append({"ts": now, "kind": "ack",
+                                       "job": job_id, "worker": worker_id})
                     continue
                 row = conn.execute(
                     "SELECT attempts, max_attempts FROM jobs"
@@ -474,13 +563,19 @@ class JobQueue:
                         " lease_expires_at = NULL, error = ? WHERE id = ?",
                         (PENDING, error, job_id),
                     )
+                    kind = "requeue"
                 else:
                     conn.execute(
                         "UPDATE jobs SET state = ?, lease_expires_at = NULL,"
                         " finished_at = ?, error = ? WHERE id = ?",
                         (FAILED, now, error, job_id),
                     )
+                    kind = "fail"
+                events.append({"ts": now, "kind": kind, "job": job_id,
+                               "worker": worker_id, "attempts": attempts,
+                               "error": error[:_EVENT_ERROR_CHARS]})
                 out[job_id] = True
+            self._log_events(events)
             conn.execute("COMMIT")
         return out
 
@@ -561,7 +656,7 @@ class JobQueue:
         """
         with closing(self._connect()) as conn:
             conn.execute("BEGIN IMMEDIATE")
-            self._reclaim_expired(conn, time.time())
+            self._log_events(self._reclaim_expired(conn, time.time()))
             conn.execute("COMMIT")
 
     def counts(self) -> dict[str, int]:
@@ -595,7 +690,7 @@ class JobQueue:
             if not expired:
                 return live > 0
             conn.execute("BEGIN IMMEDIATE")
-            self._reclaim_expired(conn, now)
+            self._log_events(self._reclaim_expired(conn, now))
             row = conn.execute(
                 "SELECT COUNT(*) FROM jobs WHERE state IN (?, ?)",
                 (PENDING, RUNNING),

@@ -44,15 +44,19 @@ from __future__ import annotations
 import os
 import signal
 import socket
+import sys
 import threading
 import time
 from pathlib import Path
 
 from repro.api.registry import ExperimentRegistry
-from repro.api.runner import run
+from repro.api.runner import obs_enabled_from_env, run
 from repro.cluster.jobs import Job
 from repro.cluster.queue import JobQueue
 from repro.errors import ConfigurationError, require_positive_int
+from repro.obs.flight import FlightRecorder
+from repro.obs.hub import MetricsHub
+from repro.obs.spans import append_span_record, span_record
 
 __all__ = ["DEFAULT_BATCH_SIZE", "Worker", "drain_queue"]
 
@@ -91,6 +95,11 @@ class Worker:
         self.jobs_run = 0
         self._stop = threading.Event()
         self._renew_at = float("-inf")  # idle-loop lease renewal deadline
+        #: Bounded ring of the current job's recent engine events — the
+        #: crash flight recorder (:mod:`repro.obs.flight`).  Armed by the
+        #: REPRO_OBS environment switch; its dump rides along on failure
+        #: reports and answers SIGUSR1 while a job is running.
+        self.flight = FlightRecorder() if obs_enabled_from_env() else None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -105,13 +114,28 @@ class Worker:
 
     def install_signal_handlers(self) -> None:
         """SIGTERM/SIGINT → :meth:`request_stop` (daemon entry points only:
-        signal handlers are process-global and main-thread-only)."""
+        signal handlers are process-global and main-thread-only).
+
+        Also binds SIGUSR1 to dump the flight recorder to stderr — "what
+        is this wedged worker doing right now?" without killing it."""
 
         def handler(signum, frame):  # noqa: ARG001 - signal API
             self.request_stop()
 
+        def dump(signum, frame):  # noqa: ARG001 - signal API
+            if self.flight is not None:
+                print(self.flight.dump(), file=sys.stderr, flush=True)
+            else:
+                print(
+                    f"[{self.worker_id}] flight recorder off "
+                    "(start the worker with REPRO_OBS=1 to arm it)",
+                    file=sys.stderr, flush=True,
+                )
+
         signal.signal(signal.SIGTERM, handler)
         signal.signal(signal.SIGINT, handler)
+        if hasattr(signal, "SIGUSR1"):  # not on every platform
+            signal.signal(signal.SIGUSR1, dump)
 
     # -- the claim-execute step -------------------------------------------
 
@@ -127,20 +151,60 @@ class Worker:
                 lease_lost.set()
                 return
 
+    def _failure(self, exc: BaseException) -> str:
+        """The error string a failed attempt reports — plus, with the
+        flight recorder armed, the tail of engine events that led here."""
+        error = f"{type(exc).__name__}: {exc}"
+        if self.flight is not None and self.flight.total:
+            error += "\n" + self.flight.dump()
+        return error
+
     def _execute(self, job: Job) -> tuple[int, str | None, bool]:
-        """Run one claimed job; returns its ``report_batch`` triple."""
+        """Run one claimed job; returns its ``report_batch`` triple.
+
+        Every execution — success or failure — appends one wall-clock
+        span record to the queue's ``spans.jsonl``, which is what lets
+        ``repro trace QUEUE_DIR`` render a sweep as per-worker timelines
+        after the fact.  With REPRO_OBS set, the run collects into a
+        fresh :class:`~repro.obs.hub.MetricsHub` wired to this worker's
+        flight recorder (cleared per job, so a dump always describes the
+        job that was running).
+        """
+        obs: MetricsHub | bool = False
+        if self.flight is not None:
+            self.flight.clear()
+            obs = MetricsHub(flight=self.flight)
+        wall_start = time.time()
+        start = time.perf_counter()
+        result: tuple[int, str | None, bool]
         try:
             run(
                 job.spec,
                 registry=self.registry,
                 out_dir=self.queue.artifact_dir,
                 force=job.force,
+                obs=obs,
             )
         except ConfigurationError as exc:
-            return (job.id, f"{type(exc).__name__}: {exc}", False)
+            result = (job.id, self._failure(exc), False)
         except Exception as exc:  # noqa: BLE001 - the queue is the error record
-            return (job.id, f"{type(exc).__name__}: {exc}", True)
-        return (job.id, None, True)
+            result = (job.id, self._failure(exc), True)
+        else:
+            result = (job.id, None, True)
+        record = span_record(
+            f"{job.spec.experiment}/{job.run_id}",
+            wall_start,
+            time.perf_counter() - start,
+            cat="job",
+            tid=self.worker_id,
+            args={"job": job.id, "attempt": job.attempts,
+                  "ok": result[1] is None},
+        )
+        try:
+            append_span_record(self.queue.queue_dir, record)
+        except OSError:  # pragma: no cover - e.g. read-only queue dir
+            pass
+        return result
 
     def _run_claimed(self, jobs: list[Job]) -> dict[int, bool]:
         """Execute claimed jobs under one heartbeat; report them in one commit.

@@ -133,9 +133,23 @@ def run_fct_experiment(
     help="Figure 2: mean flow completion time (FIFO / SJF / SRPT / LSTF)",
     params=("duration", "seeds", "bandwidth_scale", "schedulers",
             "utilization", "slack_policy"),
+    options=("rows",),
 )
 def _run_fig2(spec: ExperimentSpec) -> tuple[Table, dict]:
     schemes = spec.schedulers or FCT_SCHEMES
+    rows = spec.option("rows")
+    if rows is not None:
+        # Like table1's --rows: 0-based indices into the scheme sweep, so
+        # `repro profile fig2 --rows 1` runs a single-scheme slice.
+        if not isinstance(rows, tuple):
+            rows = (rows,)
+        bad = [i for i in rows if not 0 <= i < len(schemes)]
+        if bad:
+            raise ConfigurationError(
+                f"fig2 rows out of range {bad}; schemes are "
+                f"{list(enumerate(schemes))}"
+            )
+        schemes = tuple(schemes[i] for i in rows)
     results = run_fct_experiment(
         schemes=tuple(schemes),
         utilization=spec.utilization,

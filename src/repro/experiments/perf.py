@@ -40,12 +40,15 @@ __all__ = [
     "BRANCH_STRATEGIES",
     "DEFAULT_SCHEDULERS",
     "ENGINE_BENCHES",
+    "OBS_MODES",
     "REPLAY_STRATEGIES",
     "SWEEP_EXECUTORS",
     "bench_e2e_fig2_style",
     "bench_engine_chain",
     "bench_engine_defer",
     "bench_engine_fan",
+    "bench_obs_engine",
+    "bench_obs_sweep_queue",
     "bench_scheduler_ops",
     "bench_sweep_branch",
     "bench_sweep_executor",
@@ -399,6 +402,98 @@ def bench_sweep_branch(
         return len(specs)
 
     return _best_of(run_sweep, repeats)
+
+
+# --- observability overhead --------------------------------------------------
+
+
+#: The two telemetry states the ``obs-*`` benches price against each
+#: other.  ``"off"`` must track the uninstrumented trajectory — CI gates
+#: the pre-existing ``engine-*`` / ``sweep-queue`` benches within 3% of
+#: the PR-7 file, so the zero-allocation-when-off guard stays honest —
+#: and the off/on gap is what full telemetry costs.
+OBS_MODES = ("off", "on")
+
+
+def bench_obs_engine(mode: str, events: int, repeats: int = 3) -> tuple[int, float]:
+    """The ``engine-chain`` workload with engine-side telemetry off vs on.
+
+    ``"on"`` arms what a ``REPRO_OBS=1`` run arms at the engine itself: a
+    flight recorder noting every dispatched event, plus a periodic
+    sampler riding the heap via :meth:`Engine.schedule_sample` at the
+    metrics hub's default cadence.  Ops are the chain's own events either
+    way — sampler firings are excluded from event accounting by design,
+    so an off/on ops mismatch here would itself be a bug.
+    """
+    from repro.obs.flight import FlightRecorder
+
+    if mode not in OBS_MODES:
+        raise ValueError(f"unknown obs mode {mode!r}")
+
+    def run() -> int:
+        engine = Engine()
+        count = events
+
+        def tick() -> None:
+            nonlocal count
+            count -= 1
+            if count:
+                engine.schedule(1e-6, tick)
+
+        if mode == "on":
+            engine.flight = FlightRecorder()
+
+            def sample() -> None:
+                # A pure reader, as OBS-SAMPLER-PURE demands of every
+                # sampler callback; re-arms only while work remains,
+                # like the hub's tick.
+                _ = engine.events_processed
+                if engine.pending_events:
+                    engine.schedule_sample(engine.now + 1e-3, sample)
+
+            engine.schedule_sample(1e-3, sample)
+        engine.schedule(0.0, tick)
+        engine.run()
+        return events
+
+    return _best_of(run, repeats)
+
+
+def bench_obs_sweep_queue(
+    mode: str,
+    seeds: int = 4,
+    workers: int = 2,
+    duration: float = 0.04,
+    repeats: int = 1,
+) -> tuple[int, float]:
+    """The ``sweep-queue`` bench with ``REPRO_OBS`` off vs on.
+
+    Toggles the same environment switch forked pool workers and queue
+    drain workers honour, so ``"on"`` prices the full shipped stack —
+    hub attach and periodic sampling in every worker, the per-job span
+    log, and the armed flight recorder — on top of the broker overhead
+    ``sweep-queue`` already measures.  Ops are the summed deterministic
+    ``engine_events``, identical across modes by the byte-identity
+    contract.
+    """
+    import os
+
+    from repro.api.runner import OBS_ENV
+
+    if mode not in OBS_MODES:
+        raise ValueError(f"unknown obs mode {mode!r}")
+    previous = os.environ.get(OBS_ENV)
+    os.environ[OBS_ENV] = "1" if mode == "on" else "0"
+    try:
+        return bench_sweep_executor(
+            "queue", seeds=seeds, workers=workers,
+            duration=duration, repeats=repeats,
+        )
+    finally:
+        if previous is None:
+            os.environ.pop(OBS_ENV, None)
+        else:
+            os.environ[OBS_ENV] = previous
 
 
 # --- the registered driver ---------------------------------------------------

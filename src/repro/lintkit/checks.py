@@ -20,7 +20,12 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from repro.lintkit.config import CLUSTER_SCOPE, HOT_PATH_SCOPE, SIM_SCOPE
+from repro.lintkit.config import (
+    CLUSTER_SCOPE,
+    HOT_PATH_SCOPE,
+    OBS_SCOPE,
+    SIM_SCOPE,
+)
 from repro.lintkit.findings import Finding
 from repro.lintkit.rules import ModuleContext, register_rule, shallow_body
 
@@ -207,6 +212,107 @@ def check_det_object_hash(ctx: ModuleContext) -> Iterator[Finding]:
                 call, "DET-OBJECT-HASH",
                 "builtin hash() is process-salted — derive keys from "
                 "stable content (hashlib, explicit tuples) instead",
+            )
+
+
+# --- OBS-*: telemetry must observe, never steer -----------------------------
+
+#: Registration points whose callback argument runs on the engine's
+#: sampler path (excluded from event accounting, dropped from
+#: checkpoints) — so it must not be able to change what the run means.
+_SAMPLER_REGISTRARS = ("add_sampler", "schedule_sample")
+#: Keyword names the registrars accept for the callback argument.
+_SAMPLER_CALLBACK_KWARGS = ("fn", "callback")
+
+
+def _sampler_callback_arg(call: ast.Call) -> ast.AST | None:
+    """The callback expression of a sampler registration, if present.
+
+    Both registrars take the callback last: ``add_sampler(name, fn)``
+    and ``schedule_sample(time, callback)``.
+    """
+    for kw in call.keywords:
+        if kw.arg in _SAMPLER_CALLBACK_KWARGS:
+            return kw.value
+    if len(call.args) >= 2:
+        return call.args[-1]
+    return None
+
+
+def _local_functions(
+    ctx: ModuleContext,
+) -> dict[str, ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Module functions by name (last definition wins, like runtime)."""
+    return {fn.name: fn for fn in ctx.functions()}
+
+
+def _state_writes(body: Iterator[ast.AST]) -> Iterator[tuple[ast.AST, str]]:
+    """(node, description) for each write to non-local state in ``body``.
+
+    A *pure reader* may bind local names; what it may not do is assign
+    through an attribute or subscript — ``port._queued = 0``,
+    ``flow.slack -= x``, ``net.nodes[k] = ...`` — because on the sampler
+    path that mutation is invisible to event accounting and silently
+    diverges a hub-on run from a hub-off one.
+    """
+    for node in body:
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Attribute):
+                    yield node, f"attribute {ast.unparse(target)}"
+                elif isinstance(target, ast.Subscript):
+                    yield node, f"item {ast.unparse(target)}"
+        elif isinstance(node, (ast.Delete,)):
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    yield node, f"del {ast.unparse(target)}"
+
+
+@register_rule(
+    "OBS-SAMPLER-PURE",
+    summary="sampler callback mutates simulation state",
+    invariant="telemetry sampling can never change what a run computes",
+    scopes=SIM_SCOPE + OBS_SCOPE,
+)
+def check_obs_sampler_pure(ctx: ModuleContext) -> Iterator[Finding]:
+    """Flag sampler callbacks that write attributes or container items.
+
+    Sampler events (``engine.schedule_sample``, ``hub.add_sampler``) are
+    excluded from ``events_processed``, ``ENGINE_PERF``, the flight
+    recorder, and checkpoints — the whole determinism contract rests on
+    them being *pure readers*.  The check is syntactic and local: when
+    the callback argument is a ``lambda`` or resolves to a module-level
+    ``def``, its body must contain no attribute/subscript assignment.
+    Callbacks the AST cannot resolve (bound methods, call results) are
+    skipped — the hub's own re-arming tick lives on that path and is
+    reviewed by hand.
+    """
+    functions = None
+    for call in ctx.calls():
+        if not (isinstance(call.func, ast.Attribute)
+                and call.func.attr in _SAMPLER_REGISTRARS):
+            continue
+        callback = _sampler_callback_arg(call)
+        if callback is None:
+            continue
+        if isinstance(callback, ast.Lambda):
+            body: ast.AST | None = callback
+        elif isinstance(callback, ast.Name):
+            if functions is None:
+                functions = _local_functions(ctx)
+            body = functions.get(callback.id)
+        else:
+            body = None
+        if body is None:
+            continue
+        for node, what in _state_writes(ast.walk(body)):
+            yield ctx.finding(
+                node, "OBS-SAMPLER-PURE",
+                f"sampler callback writes {what} — sampler events are "
+                f"excluded from event accounting and checkpoints, so the "
+                f"callback must be a pure reader of simulation state",
             )
 
 

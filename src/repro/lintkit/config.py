@@ -27,7 +27,8 @@ from pathlib import PurePath
 
 from repro.lintkit.rules import Rule, load_rules
 
-__all__ = ["CLUSTER_SCOPE", "HOT_PATH_SCOPE", "SIM_SCOPE", "rules_for_path"]
+__all__ = ["CLUSTER_SCOPE", "HOT_PATH_SCOPE", "OBS_SCOPE", "SIM_SCOPE",
+           "rules_for_path"]
 
 #: Directories whose code feeds deterministic artifacts (strict rules).
 SIM_SCOPE = (
@@ -44,6 +45,12 @@ SIM_SCOPE = (
 
 #: Directories holding the distributed queue/worker machinery.
 CLUSTER_SCOPE = ("cluster",)
+
+#: Directories holding the observability layer (metrics hub, spans,
+#: flight recorder).  Telemetry code is *not* simulation-facing — it may
+#: read wall clocks — but its sampler callbacks ride the engine's event
+#: heap, so the sampler-purity rule bites here as well as in SIM_SCOPE.
+OBS_SCOPE = ("obs",)
 
 #: Directories whose classes sit on the simulation hot path.
 HOT_PATH_SCOPE = ("sim", "schedulers")

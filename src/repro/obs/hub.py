@@ -1,0 +1,271 @@
+"""The sim-time metrics hub.
+
+A :class:`MetricsHub` collects what the paper's analysis talks about
+but the figures never show: per-port queue depth over time, per-link
+utilisation, where drops happen and which AQM caused them.  It is
+*sim-time* telemetry — samples are taken by callbacks riding the
+engine's own event heap (:meth:`repro.sim.engine.Engine.schedule_sample`),
+so the recorded series are a deterministic function of the simulation,
+not of wall-clock scheduling.
+
+The determinism contract (guarded by the byte-identity suite):
+
+* Sampler events are excluded from every accounting surface — they do
+  not increment ``events_processed``, are invisible to ``ENGINE_PERF``
+  and the flight recorder, and are dropped from checkpoints.  A run
+  with a hub attached therefore reports the *same*
+  ``metadata["engine_events"]`` as one without.
+* Instrumentation in the packet hot path costs exactly one ``is None``
+  check per event while no hub is attached (ports cache the hub in a
+  slot at construction) — the zero-allocation-when-off guard.
+* The hub's :meth:`summary` is embedded in the artifact's
+  non-canonical ``obs`` section, next to ``timings`` — never part of
+  :meth:`~repro.api.results.RunArtifact.canonical_json`.
+* Sampler callbacks must be pure readers of simulation state (lint
+  rule ``OBS-SAMPLER-PURE``).
+
+Hubs activate like the schedule/checkpoint stores: ``with
+use_metrics_hub(hub):`` makes the hub ambient, and every
+:class:`~repro.sim.network.Network` constructed inside the block
+attaches itself — which is how the hub reaches the networks an
+experiment driver builds internally.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.flight import FlightRecorder
+    from repro.sim.engine import Engine
+    from repro.sim.link import Link
+    from repro.sim.network import Network
+
+__all__ = ["MetricsHub", "active_metrics_hub", "use_metrics_hub"]
+
+#: The ambient hub new networks attach to (see :func:`use_metrics_hub`).
+_ACTIVE_HUB: "MetricsHub | None" = None
+
+
+def active_metrics_hub() -> "MetricsHub | None":
+    """The hub networks built right now attach to, or ``None``."""
+    return _ACTIVE_HUB
+
+
+@contextmanager
+def use_metrics_hub(hub: "MetricsHub | None") -> Iterator["MetricsHub | None"]:
+    """Make ``hub`` ambient for the block (``None`` = telemetry off).
+
+    Mirrors :func:`~repro.core.trace_io.use_schedule_store`: the runner
+    wraps the driver call in this, so every network the driver builds —
+    including ones deep inside record/replay helpers — is instrumented
+    without threading a parameter through the stack.
+    """
+    global _ACTIVE_HUB
+    previous = _ACTIVE_HUB
+    _ACTIVE_HUB = hub
+    try:
+        yield hub
+    finally:
+        _ACTIVE_HUB = previous
+
+
+class _NetSampler:
+    """The periodic sampling loop bound to one attached network.
+
+    One per :meth:`MetricsHub.attach` call.  The tick re-arms itself
+    only while the engine still has work queued, so sampling can never
+    keep :meth:`Engine.run` alive on its own; the hub re-arms it at the
+    top of every :meth:`Network.run`.
+    """
+
+    __slots__ = ("hub", "network", "pending")
+
+    def __init__(self, hub: "MetricsHub", network: "Network") -> None:
+        self.hub = hub
+        self.network = network
+        self.pending = False
+
+    def ensure(self) -> None:
+        """Arm the next tick unless one is already queued."""
+        if not self.pending:
+            engine = self.network.engine
+            self.pending = True
+            engine.schedule_sample(engine.now + self.hub.interval, self.tick)
+
+    def tick(self) -> None:
+        """Take one sample; re-arm while the simulation still has work."""
+        engine = self.network.engine
+        now = engine.now
+        hub = self.hub
+        hub.sample_network(self.network, now)
+        for name, fn in hub._samplers:
+            hub.record(name, now, fn(now))
+        if engine.pending_events or engine.pending_deferred:
+            engine.schedule_sample(now + hub.interval, self.tick)
+        else:
+            self.pending = False
+
+
+class MetricsHub:
+    """Counters, gauges, and periodic sim-time samplers for a run.
+
+    ``interval`` is the sampling period in simulated seconds.
+    ``flight`` optionally carries a
+    :class:`~repro.obs.flight.FlightRecorder` that :meth:`attach` wires
+    into each attached network's engine.
+    """
+
+    __slots__ = ("interval", "flight", "counters", "series", "_samplers",
+                 "_net_samplers", "_tx_window")
+
+    def __init__(self, interval: float = 0.001,
+                 flight: "FlightRecorder | None" = None) -> None:
+        if not interval > 0.0:
+            raise ConfigurationError(
+                f"sampling interval must be positive, got {interval!r}"
+            )
+        self.interval = interval
+        self.flight = flight
+        #: Monotonic event counters, e.g. ``"drops"``,
+        #: ``"drops.codel:r1->r2"``, ``"tx_bytes:h1->r1"``.
+        self.counters: dict[str, int] = {}
+        #: Time series: name -> list of ``(sim_time, value)`` samples.
+        self.series: dict[str, list[tuple[float, float]]] = {}
+        self._samplers: list[tuple[str, Callable[[float], float]]] = []
+        self._net_samplers: list[tuple["Network", _NetSampler]] = []
+        #: Bytes transmitted per link since that link's last sample —
+        #: drained by the utilisation gauge.
+        self._tx_window: dict[str, int] = {}
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, network: "Network") -> "MetricsHub":
+        """Instrument ``network``: ports report here, sampling is armed.
+
+        Idempotent per network.  Called automatically from
+        :class:`~repro.sim.network.Network` construction while this hub
+        is ambient, and again from
+        :func:`~repro.sim.checkpoint.restore_snapshot` so branch legs
+        restored from a checkpoint report into the live hub rather than
+        the pickled clone inside the snapshot.
+        """
+        network.obs = self
+        for node in network.nodes.values():
+            for port in node.ports.values():
+                port._obs = self
+        network.engine.flight = self.flight
+        for seen, _sampler in self._net_samplers:
+            if seen is network:
+                return self
+        self._net_samplers.append((network, _NetSampler(self, network)))
+        return self
+
+    def ensure_sampling(self, network: "Network") -> None:
+        """Arm the periodic sampler for ``network`` (idempotent)."""
+        for seen, sampler in self._net_samplers:
+            if seen is network:
+                sampler.ensure()
+                return
+        self.attach(network)
+        self._net_samplers[-1][1].ensure()
+
+    def add_sampler(self, name: str, fn: Callable[[float], float]) -> None:
+        """Register a custom gauge: ``fn(now) -> value``, sampled each tick.
+
+        The callback runs on the engine's sampler path and must not
+        mutate simulation state (lint rule ``OBS-SAMPLER-PURE``).
+        """
+        self._samplers.append((name, fn))
+
+    # -- hot-path hooks (called by ports, only while attached) -------------
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to counter ``name``."""
+        counters = self.counters
+        counters[name] = counters.get(name, 0) + value
+
+    def drop(self, link: "Link", kind: str) -> None:
+        """One packet dropped on ``link`` (``kind``: overflow/red/codel)."""
+        counters = self.counters
+        counters["drops"] = counters.get("drops", 0) + 1
+        key = f"drops.{kind}:{link.src}->{link.dst}"
+        counters[key] = counters.get(key, 0) + 1
+
+    def tx(self, link: "Link", size: int) -> None:
+        """``size`` bytes put on the wire of ``link``."""
+        key = f"{link.src}->{link.dst}"
+        counters = self.counters
+        ckey = f"tx_bytes:{key}"
+        counters[ckey] = counters.get(ckey, 0) + size
+        window = self._tx_window
+        window[key] = window.get(key, 0) + size
+
+    # -- sampling ----------------------------------------------------------
+
+    def record(self, name: str, now: float, value: float) -> None:
+        """Append one ``(now, value)`` sample to series ``name``."""
+        series = self.series.get(name)
+        if series is None:
+            series = self.series[name] = []
+        series.append((now, value))
+
+    def sample_network(self, network: "Network", now: float) -> None:
+        """The built-in gauges: queue depth and link utilisation per port.
+
+        Iterates ports in sorted (node, peer) order so the series are
+        laid down deterministically; AQM mark counts ride along as
+        counters wherever an AQM is installed.
+        """
+        window = self._tx_window
+        interval = self.interval
+        for name in sorted(network.nodes):
+            node = network.nodes[name]
+            ports = node.ports
+            for peer in sorted(ports):
+                port = ports[peer]
+                key = f"{name}->{peer}"
+                self.record(f"queue_depth:{key}", now, port._queued)
+                self.record(
+                    f"link_util:{key}", now,
+                    port.link.utilisation(window.pop(key, 0), interval),
+                )
+
+    # -- reporting ---------------------------------------------------------
+
+    def series_points(self, name: str) -> list[tuple[float, float]]:
+        """The raw samples of one series (empty if never sampled)."""
+        return list(self.series.get(name, ()))
+
+    def summary(self) -> dict:
+        """A deterministic digest for the artifact's ``obs`` section.
+
+        Counters verbatim (sorted), series compressed to count/last/
+        min/max/mean — small enough to embed, rich enough to plot a
+        first-order picture without the raw samples.
+        """
+        series = {}
+        for name in sorted(self.series):
+            points = self.series[name]
+            values = [v for _, v in points]
+            series[name] = {
+                "samples": len(points),
+                "t_last": round(points[-1][0], 9),
+                "min": round(min(values), 9),
+                "max": round(max(values), 9),
+                "mean": round(sum(values) / len(values), 9),
+            }
+        return {
+            "interval": self.interval,
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "series": series,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MetricsHub interval={self.interval} "
+            f"counters={len(self.counters)} series={len(self.series)}>"
+        )

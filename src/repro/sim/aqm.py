@@ -66,7 +66,7 @@ class RedAqm:
 
     __slots__ = ("min_threshold", "max_threshold", "max_probability",
                  "weight", "idle_bandwidth", "slack_aware", "_rng", "_avg",
-                 "_count", "_idle_since")
+                 "_count", "_idle_since", "drops")
 
     def __init__(
         self,
@@ -99,6 +99,9 @@ class RedAqm:
         self._avg = 0.0
         self._count = -1
         self._idle_since: float | None = None
+        #: Early drops ("marks") decided by this AQM — pure accounting,
+        #: mirroring :attr:`CoDelAqm.drops`; never read by the simulation.
+        self.drops = 0
 
     # --- state updates ------------------------------------------------------
 
@@ -129,6 +132,7 @@ class RedAqm:
             return False
         if avg >= self.max_threshold:
             self._count = 0
+            self.drops += 1
             return True
         self._count += 1
         base = (
@@ -142,6 +146,7 @@ class RedAqm:
         probability = base / denominator if denominator > 0 else 1.0
         if self._rng.random() < probability:
             self._count = 0
+            self.drops += 1
             return True
         return False
 

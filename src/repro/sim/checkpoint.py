@@ -52,6 +52,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from repro.core.packet import packet_id_counter, set_packet_id_counter
 from repro.errors import CheckpointError
+from repro.obs.hub import active_metrics_hub
 from repro.sim.engine import ENGINE_PERF
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -155,9 +156,19 @@ def restore_snapshot(snapshot: Snapshot) -> "Network":
       here), so the leg's reported ``engine_events`` is the same whether
       the warm-up was simulated live, served from the in-process
       snapshot, or reloaded from a checkpoint file.
+
+    When a metrics hub is ambient (:func:`~repro.obs.hub.use_metrics_hub`)
+    it is re-attached to the restored network, so a branched leg's
+    telemetry reports into the *live* hub rather than whatever clone a
+    pickled checkpoint may carry.  Telemetry never changes the restored
+    simulation — sampler events are excluded from checkpoints and from
+    all event accounting (see :meth:`repro.sim.engine.Engine.checkpoint`).
     """
     set_packet_id_counter(snapshot.packet_counter)
     ENGINE_PERF.record(snapshot.engine_events, 0.0)
+    hub = active_metrics_hub()
+    if hub is not None:
+        hub.attach(snapshot.network)
     return snapshot.network
 
 

@@ -49,6 +49,14 @@ _CANCELLABLE = object()
 #: sentinel, never a string).
 _CANCELLABLE_MARKER = "__repro_cancellable__"
 
+#: Sentinel in the ``args`` slot marking a telemetry sampler entry
+#: (:meth:`Engine.schedule_sample`): fired like any event but excluded
+#: from every accounting surface, so observability cannot perturb a
+#: run's deterministic event counts.  Never serialised — checkpoints
+#: drop sampler entries outright (the metrics hub re-arms sampling
+#: after a restore).
+_SAMPLER = object()
+
 
 class EnginePerf:
     """Process-wide accumulator of engine work (events fired + wall time).
@@ -139,7 +147,8 @@ class Engine:
         engine.run(until=10.0)
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_events_processed", "_stopped", "_deferred")
+    __slots__ = ("now", "_heap", "_seq", "_events_processed", "_stopped",
+                 "_deferred", "_flight")
 
     def __init__(self) -> None:
         self.now: float = 0.0
@@ -148,6 +157,7 @@ class Engine:
         self._events_processed: int = 0
         self._stopped: bool = False
         self._deferred: deque[Callable[[], None]] = deque()
+        self._flight = None  # optional FlightRecorder (see repro.obs.flight)
 
     # --- scheduling -------------------------------------------------------
 
@@ -194,6 +204,26 @@ class Engine:
         heappush(self._heap, (time, seq, handle, _CANCELLABLE))
         return handle
 
+    def schedule_sample(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule a zero-argument *telemetry* callback at absolute ``time``.
+
+        Sampler entries share the heap, so they fire in deterministic
+        time order relative to simulation events — but they are excluded
+        from every accounting surface: they do not increment
+        :attr:`events_processed`, are invisible to :data:`ENGINE_PERF`
+        and the flight recorder, and :meth:`checkpoint` drops them (the
+        metrics hub re-arms sampling after a restore).  Telemetry
+        therefore cannot perturb a run's deterministic event counts.
+        The callback must be a pure reader of simulation state (lint
+        rule ``OBS-SAMPLER-PURE``).
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time!r} < now={self.now!r}"
+            )
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (time, seq, callback, _SAMPLER))
+
     def defer(self, callback: Callable[[], None]) -> None:
         """Run ``callback`` after every event at the *current* timestamp.
 
@@ -224,39 +254,89 @@ class Engine:
         self._stopped = False
         heap = self._heap
         deferred = self._deferred
+        flight = self._flight
         limit = inf if until is None else until
         now = self.now
+        # Locals beat per-event LOAD_GLOBALs in the dispatch below.
+        cancellable = _CANCELLABLE
+        sampler = _SAMPLER
         processed = 0
         start = perf_counter()  # repro: allow(DET-WALLCLOCK) ENGINE_PERF accounting, never feeds simulation state
         try:
-            while heap or deferred:
-                if deferred and (not heap or heap[0][0] > now):
-                    # Flush decisions once no further event shares this
-                    # timestamp.  Runs even when the next heap event lies
-                    # beyond `until`, so same-instant scheduling decisions
-                    # are never lost at the horizon.
-                    deferred.popleft()()
+            # Two copies of the drain loop, chosen once per run: with no
+            # flight recorder attached (the default, and the path the
+            # obs-off overhead gate holds to the uninstrumented
+            # trajectory) events pay only the two sentinel identity
+            # checks below — no telemetry branch at all.  Keep the
+            # bodies in lockstep when editing.
+            if flight is None:
+                while heap or deferred:
+                    if deferred and (not heap or heap[0][0] > now):
+                        # Flush decisions once no further event shares
+                        # this timestamp.  Runs even when the next heap
+                        # event lies beyond `until`, so same-instant
+                        # scheduling decisions are never lost at the
+                        # horizon.
+                        deferred.popleft()()
+                        if self._stopped:
+                            break
+                        continue
+                    entry = heappop(heap)
+                    time = entry[0]
+                    if time > limit:
+                        heappush(heap, entry)
+                        break
+                    callback = entry[2]
+                    args = entry[3]
+                    if args is cancellable:
+                        if callback._callback is None:  # cancelled: skip
+                            continue
+                        self.now = now = time
+                        processed += 1
+                        callback._fire()
+                    elif args is sampler:
+                        # A telemetry tick: fired in time order but
+                        # excluded from event accounting (see
+                        # schedule_sample).
+                        self.now = now = time
+                        callback()
+                    else:
+                        self.now = now = time
+                        processed += 1
+                        callback(*args)
                     if self._stopped:
                         break
-                    continue
-                entry = heappop(heap)
-                time = entry[0]
-                if time > limit:
-                    heappush(heap, entry)
-                    break
-                callback = entry[2]
-                if entry[3] is _CANCELLABLE:
-                    if callback._callback is None:  # cancelled: skip silently
+            else:
+                while heap or deferred:
+                    if deferred and (not heap or heap[0][0] > now):
+                        deferred.popleft()()
+                        if self._stopped:
+                            break
                         continue
-                    self.now = now = time
-                    processed += 1
-                    callback._fire()
-                else:
-                    self.now = now = time
-                    processed += 1
-                    callback(*entry[3])
-                if self._stopped:
-                    break
+                    entry = heappop(heap)
+                    time = entry[0]
+                    if time > limit:
+                        heappush(heap, entry)
+                        break
+                    callback = entry[2]
+                    args = entry[3]
+                    if args is cancellable:
+                        if callback._callback is None:  # cancelled: skip
+                            continue
+                        self.now = now = time
+                        processed += 1
+                        flight.note(time, callback._callback)
+                        callback._fire()
+                    elif args is sampler:
+                        self.now = now = time
+                        callback()
+                    else:
+                        self.now = now = time
+                        processed += 1
+                        flight.note(time, callback)
+                        callback(*args)
+                    if self._stopped:
+                        break
         finally:
             self._events_processed += processed
             ENGINE_PERF.record(processed, perf_counter() - start)  # repro: allow(DET-WALLCLOCK) ENGINE_PERF accounting, never feeds simulation state
@@ -280,12 +360,24 @@ class Engine:
         live engine until it is pickled, at which point the whole object
         graph (network, ports, handles) is serialised together so bound
         methods stay attached to their restored owners.
+
+        Telemetry is excluded by design: pending sampler entries
+        (:meth:`schedule_sample`) are dropped — the metrics hub re-arms
+        sampling on the next run — and the flight recorder is not part
+        of engine state.  A checkpoint's bytes describe the simulation,
+        never the observer.
         """
         heap = [
             (time, seq, callback,
              _CANCELLABLE_MARKER if args is _CANCELLABLE else args)
             for (time, seq, callback, args) in self._heap
+            if args is not _SAMPLER
         ]
+        if len(heap) != len(self._heap):
+            # Removing interior elements can break the heap invariant;
+            # a fully sorted list is always a valid heap, and (time, seq)
+            # keys never tie, so sorting cannot reorder equal elements.
+            heap.sort(key=lambda entry: entry[:2])
         return {
             "now": self.now,
             "heap": heap,
@@ -314,6 +406,9 @@ class Engine:
         self._events_processed = state["events_processed"]
         self._stopped = state["stopped"]
         self._deferred = deque(state["deferred"])
+        # Unpickled engines skip __init__, so the slot may not exist yet;
+        # a restored engine never inherits the checkpoint's observer.
+        self._flight = getattr(self, "_flight", None)
 
     def __getstate__(self) -> dict:
         return self.checkpoint()
@@ -337,6 +432,21 @@ class Engine:
     def events_processed(self) -> int:
         """Number of events that have fired since construction."""
         return self._events_processed
+
+    @property
+    def flight(self):
+        """The attached :class:`~repro.obs.flight.FlightRecorder` (or None).
+
+        While attached, the run loop notes every dispatched event's
+        ``(time, callback)`` into the recorder's ring — sampler ticks
+        excluded.  Attachment takes effect at the next :meth:`run` call
+        (the loop hoists the recorder into a local).
+        """
+        return self._flight
+
+    @flight.setter
+    def flight(self, recorder) -> None:
+        self._flight = recorder
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Engine now={self.now:.9f} pending={len(self._heap)}>"

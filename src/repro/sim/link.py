@@ -58,6 +58,16 @@ class Link:
         """Uncongested last-bit traversal time: transmit + propagate."""
         return self.tx_time(size_bytes) + self.propagation
 
+    def utilisation(self, nbytes: float, window: float) -> float:
+        """Fraction of capacity used by ``nbytes`` sent during ``window`` s.
+
+        Infinite-bandwidth links (theory gadgets) report 0.0 — they are
+        never a bottleneck, so "utilisation" is not meaningful there.
+        """
+        if window <= 0.0 or math.isinf(self.bandwidth):
+            return 0.0
+        return (nbytes * 8.0) / (self.bandwidth * window)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<Link {self.src}->{self.dst} bw={self.bandwidth:.3g}bps "

@@ -21,6 +21,7 @@ from collections import deque
 from typing import Callable, Iterable
 
 from repro.errors import ConfigurationError, RoutingError
+from repro.obs.hub import active_metrics_hub
 from repro.schedulers.base import Scheduler
 from repro.schedulers.fifo import FifoScheduler
 from repro.sim.engine import Engine
@@ -41,18 +42,24 @@ SchedulerFactory = Callable[[str, str], Scheduler | None]
 class Network:
     """A simulated network of hosts and routers."""
 
-    __slots__ = ("engine", "tracer", "nodes", "links", "_adjacency",
+    __slots__ = ("engine", "tracer", "obs", "nodes", "links", "_adjacency",
                  "_next_hop", "_tmin_cache", "_preemptive")
 
     def __init__(self, engine: Engine | None = None, tracer: Tracer | None = None) -> None:
         self.engine = engine if engine is not None else Engine()
         self.tracer = tracer if tracer is not None else Tracer()
+        #: The attached :class:`~repro.obs.hub.MetricsHub`, or None —
+        #: telemetry is off by default; ports cache this at construction.
+        self.obs = None
         self.nodes: dict[str, Node] = {}
         self.links: dict[tuple[str, str], Link] = {}
         self._adjacency: dict[str, list[str]] = {}
         self._next_hop: dict[str, dict[str, str]] = {}  # dst -> {node: next}
         self._tmin_cache: dict[tuple[str, str, int], float] = {}
         self._preemptive = False
+        hub = active_metrics_hub()
+        if hub is not None:
+            hub.attach(self)
 
     # --- topology construction -------------------------------------------------
 
@@ -262,6 +269,8 @@ class Network:
         self.engine.schedule_at(time, host.inject, packet)
 
     def run(self, until: float | None = None) -> None:
+        if self.obs is not None:
+            self.obs.ensure_sampling(self)
         self.engine.run(until=until)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

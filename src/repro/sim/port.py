@@ -67,6 +67,7 @@ class Port:
         "_receive",
         "_engine",
         "_tracer",
+        "_obs",
         "_tx_per_byte",
         "_prop",
     )
@@ -98,6 +99,10 @@ class Port:
         self._receive = None  # the peer's bound ``receive``, cached with it
         self._engine = node.network.engine
         self._tracer = node.network.tracer
+        # The metrics hub, cached like the tracer: None (one is-None test
+        # per instrumented event — the zero-cost-when-off guard) unless a
+        # hub attached itself to the network (see repro.obs.hub).
+        self._obs = node.network.obs
         self._tx_per_byte = link.tx_per_byte
         self._prop = link.propagation
         scheduler.attach(self)
@@ -166,16 +171,22 @@ class Port:
                 # slack under LSTF) instead of the arrival.
                 victim = scheduler.drop_victim(packet, now)
                 tracer.on_drop(victim, self.node.name)
+                if self._obs is not None:
+                    self._obs.drop(self.link, "red")
                 if victim is packet:
                     return
                 self.buffered -= victim.size
                 self._queued -= 1
             else:
                 tracer.on_drop(packet, self.node.name)
+                if self._obs is not None:
+                    self._obs.drop(self.link, "red")
                 return
         while self.buffered + packet.size > self.buffer_bytes:
             victim = scheduler.drop_victim(packet, now)
             tracer.on_drop(victim, self.node.name)
+            if self._obs is not None:
+                self._obs.drop(self.link, "overflow")
             if victim is packet:
                 return
             self.buffered -= victim.size
@@ -225,9 +236,13 @@ class Port:
             ):
                 # Dequeue-side AQM (CoDel): head drop, try the next packet.
                 tracer.on_drop(packet, self.node.name)
+                if self._obs is not None:
+                    self._obs.drop(self.link, "codel")
                 continue
             packet.queue_wait += wait
             tracer.on_tx_start(packet, wait, now)
+            if self._obs is not None:
+                self._obs.tx(self.link, packet.size)
             tx = packet.size * self._tx_per_byte
             if tx == 0.0 and self._prop == 0.0:
                 # Infinitely fast hop: deliver synchronously.  Routing
@@ -371,6 +386,8 @@ class PreemptivePort(Port):
             state.first_service = now
             wait = now - packet.enqueue_time
             self._tracer.on_tx_start(packet, wait, now)
+            if self._obs is not None:
+                self._obs.tx(self.link, packet.size)
         self._current = packet
         self._current_key = key
         self._serve_start = now

@@ -123,27 +123,42 @@ class Tracer:
         # per packet per hop and skip the records-dict lookup this way.
         packet.trace = rec
 
+    # Every per-hop hook below guards the same two ways: a disabled
+    # tracer records nothing (not even the ``drops`` counter — a
+    # disabled tracer must be a pure no-op, so enabled/disabled runs
+    # differ only in what is *observed*), and ``packet.trace`` may be
+    # ``None`` for a packet created while the tracer was disabled (or
+    # toggled mid-run) — such packets are simply invisible.
+
     def on_hop(self, packet: "Packet", node: str) -> None:
         """Packet fully received (last bit) at an intermediate node."""
-        if self.enabled:
-            packet.trace.path.append(node)
+        if not self.enabled:
+            return
+        rec = packet.trace
+        if rec is not None:
+            rec.path.append(node)
 
     def on_tx_start(self, packet: "Packet", wait: float, now: float) -> None:
         """Packet selected for transmission after ``wait`` seconds in queue."""
-        if self.enabled:
-            rec = packet.trace
+        if not self.enabled:
+            return
+        rec = packet.trace
+        if rec is not None:
             rec.hop_tx.append(now)
             rec.hop_waits.append(wait)
 
     def on_exit(self, packet: "Packet", now: float) -> None:
         """Last bit of the packet delivered at its destination."""
-        if self.enabled:
-            packet.trace.exit = now
-
-    def on_drop(self, packet: "Packet", node: str) -> None:
-        self.drops += 1
         if not self.enabled:
             return
+        rec = packet.trace
+        if rec is not None:
+            rec.exit = now
+
+    def on_drop(self, packet: "Packet", node: str) -> None:
+        if not self.enabled:
+            return
+        self.drops += 1
         rec = packet.trace
         if rec is not None:
             rec.dropped_at = node

@@ -1,0 +1,117 @@
+"""Worker-side observability: span log, flight recorder, failure dumps."""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+from repro.api import ExperimentSpec
+from repro.api.runner import OBS_ENV
+from repro.cluster import FAILED, JobQueue, Worker
+from repro.obs.spans import read_span_records
+
+TINY = ExperimentSpec("table1", duration=0.04, options={"rows": (0,)})
+BROKEN = ExperimentSpec("table1", duration=0.04, options={"rows": (99,)})
+
+
+def test_worker_appends_one_span_per_executed_job(tmp_path):
+    queue = JobQueue(tmp_path)
+    queue.submit([TINY])
+    Worker(queue, worker_id="w1").drain()
+    records = read_span_records(tmp_path)
+    assert len(records) == 1
+    (record,) = records
+    assert record["cat"] == "job"
+    assert record["tid"] == "w1"
+    assert record["args"]["ok"] is True
+    assert record["name"].startswith("table1/")
+
+
+def test_failed_jobs_get_a_span_with_ok_false(tmp_path):
+    queue = JobQueue(tmp_path, max_attempts=1)
+    queue.submit([BROKEN])
+    Worker(queue).drain()
+    (record,) = read_span_records(tmp_path)
+    assert record["args"]["ok"] is False
+
+
+def test_flight_recorder_off_by_default(tmp_path, monkeypatch):
+    monkeypatch.delenv(OBS_ENV, raising=False)
+    worker = Worker(JobQueue(tmp_path))
+    assert worker.flight is None
+
+
+def test_flight_recorder_armed_by_env(tmp_path, monkeypatch):
+    monkeypatch.setenv(OBS_ENV, "1")
+    worker = Worker(JobQueue(tmp_path))
+    assert worker.flight is not None
+
+
+def test_failure_records_carry_a_flight_dump_when_armed(tmp_path, monkeypatch):
+    monkeypatch.setenv(OBS_ENV, "1")
+    queue = JobQueue(tmp_path, max_attempts=1)
+    # TINY runs first (fills the ring), then BROKEN fails before any
+    # engine event — the dump must reflect only the failing job.
+    ids = queue.submit([TINY, BROKEN])
+    Worker(queue).drain()
+    job = queue.job(ids[1])
+    assert job.state == FAILED
+    assert "out of range" in job.error
+    # The ring is cleared per job; a pre-simulation config error has no
+    # engine events, so no flight block is attached.
+    assert "flight recorder" not in job.error
+
+
+def test_failure_dump_includes_engine_tail_for_midrun_crashes(
+        tmp_path, monkeypatch):
+    monkeypatch.setenv(OBS_ENV, "1")
+    import repro.cluster.worker as worker_mod
+
+    real_run = worker_mod.run
+
+    def crashing_run(spec, **kwargs):
+        artifact = real_run(spec, **kwargs)
+        raise RuntimeError("post-simulation crash")
+
+    monkeypatch.setattr(worker_mod, "run", crashing_run)
+    queue = JobQueue(tmp_path, max_attempts=1)
+    (job_id,) = queue.submit([TINY])
+    Worker(queue).drain()
+    job = queue.job(job_id)
+    assert job.state == FAILED
+    assert "RuntimeError: post-simulation crash" in job.error
+    assert "flight recorder" in job.error
+    assert "t=" in job.error  # the engine-event tail made it into the record
+
+
+@pytest.mark.skipif(not hasattr(signal, "SIGUSR1"),
+                    reason="platform has no SIGUSR1")
+def test_sigusr1_dumps_flight_state_to_stderr(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv(OBS_ENV, "1")
+    queue = JobQueue(tmp_path)
+    queue.submit([TINY])
+    worker = Worker(queue)
+    worker.install_signal_handlers()
+    try:
+        worker.drain()
+        signal.raise_signal(signal.SIGUSR1)
+    finally:
+        for sig in (signal.SIGTERM, signal.SIGINT, signal.SIGUSR1):
+            signal.signal(sig, signal.SIG_DFL)
+    err = capsys.readouterr().err
+    assert "flight recorder" in err
+
+
+@pytest.mark.skipif(not hasattr(signal, "SIGUSR1"),
+                    reason="platform has no SIGUSR1")
+def test_sigusr1_without_obs_explains_how_to_arm(tmp_path, monkeypatch, capsys):
+    monkeypatch.delenv(OBS_ENV, raising=False)
+    worker = Worker(JobQueue(tmp_path))
+    worker.install_signal_handlers()
+    try:
+        signal.raise_signal(signal.SIGUSR1)
+    finally:
+        for sig in (signal.SIGTERM, signal.SIGINT, signal.SIGUSR1):
+            signal.signal(sig, signal.SIG_DFL)
+    assert "REPRO_OBS=1" in capsys.readouterr().err

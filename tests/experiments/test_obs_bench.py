@@ -1,0 +1,64 @@
+"""The PR-8 obs-overhead benches (`bench_obs_engine`, `bench_obs_sweep_queue`).
+
+Timings are meaningless in tests; what is guarded here is the contract:
+ops are identical with telemetry off and on (sampler firings are excluded
+from accounting by design), modes are validated, and the queue bench
+toggles — and always restores — the ``REPRO_OBS`` environment switch.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.api.runner import OBS_ENV
+from repro.experiments import perf
+from repro.experiments.perf import OBS_MODES, bench_obs_engine
+
+
+class TestObsEngineBench:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown obs mode"):
+            bench_obs_engine("banana", 100, repeats=1)
+
+    def test_ops_identical_with_telemetry_off_and_on(self):
+        # The on-mode sampler and flight recorder must not leak into the
+        # op count — an off/on mismatch would be an accounting bug, not
+        # a performance difference.
+        events = 2_000
+        ops_off, seconds_off = bench_obs_engine("off", events, repeats=1)
+        ops_on, seconds_on = bench_obs_engine("on", events, repeats=1)
+        assert ops_off == ops_on == events
+        assert seconds_off > 0 and seconds_on > 0
+
+    def test_modes_roster(self):
+        assert OBS_MODES == ("off", "on")
+
+
+class TestObsSweepQueueBench:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown obs mode"):
+            perf.bench_obs_sweep_queue("banana")
+
+    def test_toggles_and_restores_the_env_switch(self, monkeypatch):
+        seen = []
+
+        def fake_sweep(executor, **kwargs):
+            seen.append((executor, os.environ.get(OBS_ENV)))
+            return (7, 0.5)
+
+        monkeypatch.setattr(perf, "bench_sweep_executor", fake_sweep)
+        monkeypatch.setenv(OBS_ENV, "preexisting")
+        assert perf.bench_obs_sweep_queue("on") == (7, 0.5)
+        assert perf.bench_obs_sweep_queue("off") == (7, 0.5)
+        assert seen == [("queue", "1"), ("queue", "0")]
+        assert os.environ[OBS_ENV] == "preexisting"
+
+    def test_unset_env_stays_unset(self, monkeypatch):
+        monkeypatch.setattr(
+            perf, "bench_sweep_executor", lambda executor, **kwargs: (1, 1.0)
+        )
+        monkeypatch.delenv(OBS_ENV, raising=False)
+        perf.bench_obs_sweep_queue("on")
+        assert OBS_ENV not in os.environ

@@ -259,6 +259,88 @@ def test_schedule_as_statement_clean():
     assert findings_for("sim/good.py", src) == []
 
 
+# --- OBS-SAMPLER-PURE --------------------------------------------------------
+
+def test_sampler_callback_mutating_attribute_flagged():
+    src = (
+        "def depth(now):\n"
+        "    port.backlog = 0\n"
+        "    return port.backlog\n"
+        "hub.add_sampler('depth', depth)\n"
+    )
+    assert findings_for("obs/bad.py", src) == [("OBS-SAMPLER-PURE", 2)]
+
+
+def test_sampler_callback_augmented_assignment_flagged():
+    src = (
+        "def drain(now):\n"
+        "    flow.slack -= now\n"
+        "    return flow.slack\n"
+        "engine.schedule_sample(1.0, drain)\n"
+    )
+    assert findings_for("sim/bad.py", src) == [("OBS-SAMPLER-PURE", 2)]
+
+
+def test_sampler_callback_subscript_write_flagged():
+    src = (
+        "def poke(now):\n"
+        "    net.nodes['a'] = None\n"
+        "    return 0.0\n"
+        "hub.add_sampler('poke', poke)\n"
+    )
+    assert findings_for("obs/bad.py", src) == [("OBS-SAMPLER-PURE", 2)]
+
+
+def test_sampler_callback_keyword_argument_resolved():
+    src = (
+        "def depth(now):\n"
+        "    port.backlog = 0\n"
+        "    return 0.0\n"
+        "hub.add_sampler('depth', fn=depth)\n"
+    )
+    assert findings_for("obs/bad.py", src) == [("OBS-SAMPLER-PURE", 2)]
+
+
+def test_pure_reader_sampler_clean():
+    src = (
+        "def depth(now):\n"
+        "    total = sum(p.backlog for p in ports)\n"
+        "    return float(total)\n"
+        "hub.add_sampler('depth', depth)\n"
+        "hub.add_sampler('const', lambda now: 1.0)\n"
+    )
+    assert findings_for("obs/good.py", src) == []
+
+
+def test_unresolvable_bound_method_callback_skipped():
+    # The hub's own re-arming tick passes `self.tick` — syntactically
+    # unresolvable, deliberately not guessed at.
+    src = "engine.schedule_sample(1.0, self.tick)\n"
+    assert findings_for("obs/good.py", src) == []
+
+
+def test_local_assignments_inside_sampler_clean():
+    src = (
+        "def depth(now):\n"
+        "    acc = 0\n"
+        "    acc += 1\n"
+        "    return float(acc)\n"
+        "engine.schedule_sample(1.0, depth)\n"
+    )
+    assert findings_for("sim/good.py", src) == []
+
+
+def test_sampler_rule_bites_in_sim_and_obs_scopes_only():
+    src = (
+        "def bad(now):\n"
+        "    port.backlog = 0\n"
+        "hub.add_sampler('bad', bad)\n"
+    )
+    assert findings_for("analysis/fine.py", src) == []
+    assert findings_for("obs/bad.py", src) == [("OBS-SAMPLER-PURE", 2)]
+    assert findings_for("sim/bad.py", src) == [("OBS-SAMPLER-PURE", 2)]
+
+
 # --- registry / scoping ------------------------------------------------------
 
 def test_rule_ids_are_stable_and_sorted():
@@ -266,8 +348,8 @@ def test_rule_ids_are_stable_and_sorted():
     assert list(ids) == sorted(ids)
     assert {"DET-RANDOM", "DET-WALLCLOCK", "DET-SET-ITER", "SQL-TXN",
             "THR-THREAD-MUT", "THR-SLEEP", "PERF-SLOTS",
-            "PERF-SCHEDULE-HANDLE", "ALW-REASON", "ALW-UNKNOWN",
-            "ALW-UNUSED", "LNT-PARSE"} <= set(ids)
+            "PERF-SCHEDULE-HANDLE", "OBS-SAMPLER-PURE", "ALW-REASON",
+            "ALW-UNKNOWN", "ALW-UNUSED", "LNT-PARSE"} <= set(ids)
 
 
 def test_every_rule_documents_its_invariant():

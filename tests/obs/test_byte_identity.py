@@ -1,0 +1,129 @@
+"""The observability determinism contract, end to end.
+
+The whole point of sim-time telemetry riding the engine's own heap is
+that it must be *free* in the only currency that matters here: the
+canonical artifact bytes.  These tests pin that invariant for the
+``run`` entry point, the process-pool executor, the queue executor, and
+the checkpoint/branch machinery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ExperimentSpec, run, run_many
+from repro.api.runner import OBS_ENV, obs_enabled_from_env
+from repro.obs import MetricsHub, use_metrics_hub
+from repro.sim.checkpoint import (
+    restore_snapshot,
+    snapshot_from_bytes,
+    snapshot_network,
+    snapshot_to_bytes,
+)
+from repro.sim.engine import Engine
+from repro.sim.network import Network
+from repro.units import MBPS
+from tests.conftest import make_packet
+
+TINY = ExperimentSpec("table1", duration=0.04, options={"rows": (0,)})
+SWEEP = ExperimentSpec("table1", duration=0.04, seeds=(1, 2),
+                       options={"rows": (0,)}).sweep()
+
+
+def _canonical(artifacts):
+    return [a.canonical_json() for a in artifacts]
+
+
+def test_obs_env_switch(monkeypatch):
+    monkeypatch.delenv(OBS_ENV, raising=False)
+    assert not obs_enabled_from_env()
+    monkeypatch.setenv(OBS_ENV, "0")
+    assert not obs_enabled_from_env()
+    monkeypatch.setenv(OBS_ENV, "1")
+    assert obs_enabled_from_env()
+
+
+def test_run_bytes_identical_with_obs_on_and_off():
+    off = run(TINY)
+    on = run(TINY, obs=True)
+    assert on.canonical_json() == off.canonical_json()
+    assert on.metadata["engine_events"] == off.metadata["engine_events"]
+    # ... but the on-run carries telemetry next to the timing section.
+    assert off.obs is None
+    assert on.obs is not None
+    assert on.obs["counters"]
+    assert "obs" in on.to_dict()
+    assert "obs" not in off.to_dict()
+
+
+def test_obs_section_rides_with_timings_not_canonical_json():
+    artifact = run(TINY, obs=True)
+    assert "obs" not in artifact.to_dict(include_timings=False)
+    assert "obs" in artifact.to_dict(include_timings=True)
+
+
+def test_caller_supplied_hub_is_used_and_populated():
+    hub = MetricsHub()
+    artifact = run(TINY, obs=hub)
+    assert artifact.obs == hub.summary()
+
+
+@pytest.mark.parametrize("kwargs", [{"workers": 2}, {"executor": "queue"}])
+def test_executors_byte_identical_with_obs_enabled(tmp_path, monkeypatch,
+                                                   kwargs):
+    if "executor" in kwargs:
+        kwargs = dict(kwargs, queue_dir=tmp_path / "q",
+                      out_dir=tmp_path / "artifacts")
+    monkeypatch.delenv(OBS_ENV, raising=False)
+    baseline = run_many(SWEEP, workers=1)
+    monkeypatch.setenv(OBS_ENV, "1")
+    observed = run_many(SWEEP, **kwargs)
+    assert _canonical(observed) == _canonical(baseline)
+
+
+def _loaded_net():
+    net = Network()
+    net.add_host("a")
+    net.add_host("b")
+    net.add_link("a", "b", 8 * MBPS, 0.0)
+    for _ in range(4):
+        net.inject_at(0.0, make_packet())
+    return net
+
+
+def test_sampler_entries_are_dropped_from_checkpoints():
+    samples: list[float] = []
+    observed, bare = Engine(), Engine()
+    for engine in (observed, bare):
+        engine.schedule(0.002, lambda: None)
+        engine.schedule(0.004, lambda: None)
+    observed.schedule_sample(0.001, lambda: samples.append(observed.now))
+    observed.schedule_sample(0.003, lambda: samples.append(observed.now))
+    state = observed.checkpoint()
+    # Only the two simulation events survive, with heap keys untouched.
+    assert [entry[:2] for entry in state["heap"]] == \
+        [entry[:2] for entry in bare.checkpoint()["heap"]]
+    # The live engine still fires its samplers in time order.
+    observed.run()
+    assert samples == [0.001, 0.003]
+
+
+def test_branch_from_pickled_checkpoint_reports_into_the_live_hub():
+    base = _loaded_net()
+    base.run(until=0.001)
+    plain = restore_snapshot(snapshot_network(base))
+    plain.run()
+    baseline_events = plain.engine.events_processed
+
+    hub = MetricsHub()
+    with use_metrics_hub(hub):
+        warm = _loaded_net()
+        warm.run(until=0.001)
+        frozen = snapshot_to_bytes(snapshot_network(warm))
+        branch = restore_snapshot(snapshot_from_bytes(frozen))
+        assert branch is not warm  # an independent, unpickled copy
+        branch.run()
+    # The restored leg reports into the live hub yet counts identically.
+    assert branch.engine.events_processed == baseline_events
+    assert branch.obs is hub
+    assert hub.series_points("queue_depth:a->b")

@@ -1,0 +1,109 @@
+"""Unit tests for the sim-time metrics hub."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsHub, active_metrics_hub, use_metrics_hub
+from repro.sim.network import Network
+from repro.units import MBPS
+from tests.conftest import make_packet
+
+
+def _net():
+    net = Network()
+    net.add_host("a")
+    net.add_host("b")
+    net.add_router("SW")
+    net.add_link("a", "SW", 80 * MBPS, 0.0)
+    net.add_link("SW", "b", 8 * MBPS, 0.0)
+    return net
+
+
+def _run_traffic(hub: MetricsHub | None = None) -> MetricsHub | None:
+    with use_metrics_hub(hub):
+        net = _net()
+        for _ in range(5):
+            net.inject_at(0.0, make_packet())
+        net.run()
+    return hub
+
+
+def test_interval_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        MetricsHub(interval=0.0)
+
+
+def test_ambient_hub_attaches_to_networks_built_inside_the_block():
+    hub = MetricsHub()
+    with use_metrics_hub(hub):
+        assert active_metrics_hub() is hub
+        net = _net()
+        assert net.obs is hub
+    assert active_metrics_hub() is None
+    outside = _net()
+    assert outside.obs is None
+
+
+def test_counters_and_series_populate_during_a_run():
+    hub = _run_traffic(MetricsHub())
+    sent = hub.counters["tx_bytes:a->SW"]
+    assert sent > 0
+    assert hub.counters["tx_bytes:SW->b"] == sent  # all 5 packets relayed
+    points = hub.series_points("queue_depth:SW->b")
+    assert points, "periodic sampling never fired"
+    assert max(v for _, v in points) >= 1  # the 8 Mbps hop queues
+    util = hub.series_points("link_util:SW->b")
+    assert util and all(0.0 <= v <= 1.0 for _, v in util)
+
+
+def test_summary_is_deterministic_across_runs():
+    first = _run_traffic(MetricsHub()).summary()
+    second = _run_traffic(MetricsHub()).summary()
+    assert first == second
+    assert list(first["counters"]) == sorted(first["counters"])
+    assert list(first["series"]) == sorted(first["series"])
+
+
+def test_summary_series_digest_shape():
+    summary = _run_traffic(MetricsHub()).summary()
+    digest = summary["series"]["queue_depth:SW->b"]
+    assert set(digest) == {"samples", "t_last", "min", "max", "mean"}
+    assert digest["min"] <= digest["mean"] <= digest["max"]
+
+
+def test_run_without_hub_records_nothing_and_matches_event_count():
+    with use_metrics_hub(None):
+        bare = _net()
+        for _ in range(5):
+            bare.inject_at(0.0, make_packet())
+        bare.run()
+    hub = MetricsHub()
+    with use_metrics_hub(hub):
+        observed = _net()
+        for _ in range(5):
+            observed.inject_at(0.0, make_packet())
+        observed.run()
+    # Sampler events are excluded from accounting: identical counts.
+    assert observed.engine.events_processed == bare.engine.events_processed
+
+
+def test_attach_is_idempotent_per_network():
+    hub = MetricsHub()
+    net = _net()
+    hub.attach(net)
+    hub.attach(net)
+    assert len(hub._net_samplers) == 1
+
+
+def test_custom_sampler_called_each_tick():
+    hub = MetricsHub()
+    with use_metrics_hub(hub):
+        net = _net()
+        hub.add_sampler("queued_total", lambda now: float(net.engine.pending_events))
+        net.inject_at(0.0, make_packet())
+        net.run()
+    points = hub.series_points("queued_total")
+    assert points
+    assert hub.series["queue_depth:a->SW"][0][0] == pytest.approx(hub.interval)

@@ -60,6 +60,39 @@ def test_disabled_tracer_records_nothing():
     assert len(net.tracer) == 0
 
 
+def test_disabled_tracer_does_not_count_drops():
+    """A disabled tracer is a pure no-op — including the drops counter."""
+    from repro.sim.tracer import Tracer
+
+    tracer = Tracer(enabled=False)
+    tracer.on_drop(make_packet(), "SW")
+    assert tracer.drops == 0
+    enabled = Tracer()
+    enabled.on_drop(make_packet(), "SW")
+    assert enabled.drops == 1
+
+
+def test_hooks_tolerate_packets_without_a_trace_record():
+    """Packets created while disabled survive an enable mid-run.
+
+    Every hook must null-check ``packet.trace`` the same way: the packet
+    simply stays invisible, rather than crashing the simulation.
+    """
+    from repro.sim.tracer import Tracer
+
+    tracer = Tracer(enabled=False)
+    p = make_packet()
+    tracer.on_created(p, "a")  # disabled: no record, p.trace stays None
+    assert p.trace is None
+    tracer.enabled = True
+    tracer.on_hop(p, "SW")
+    tracer.on_tx_start(p, wait=0.0, now=0.0)
+    tracer.on_exit(p, now=1.0)
+    tracer.on_drop(p, "SW")
+    assert len(tracer) == 0
+    assert tracer.drops == 1  # the drop happened, even if unattributed
+
+
 def test_delivered_records_iterates_only_exited():
     net = _net()
     p1, p2 = make_packet(), make_packet()

@@ -33,7 +33,17 @@ DEFAULT_THRESHOLD = 0.90
 
 def load_run(path: Path, label_substring: str | None) -> dict:
     """The chosen run object of a BENCH document (last run by default)."""
-    data = json.loads(path.read_text())
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: {path} is not valid JSON: {exc}") from None
+    if not isinstance(data, dict):
+        raise SystemExit(
+            f"error: {path} is not a BENCH document (expected a JSON object, "
+            f"got {type(data).__name__})"
+        )
     runs = data.get("runs") or []
     if not runs:
         raise SystemExit(f"error: {path} has no runs")

@@ -32,6 +32,7 @@ from repro.experiments.perf import (
     ENGINE_BENCHES,
     OBS_MODES,
     REPLAY_STRATEGIES,
+    RESUME_STRATEGIES,
     SWEEP_EXECUTORS,
     bench_e2e_fig2_style,
     bench_obs_engine,
@@ -40,6 +41,7 @@ from repro.experiments.perf import (
     bench_sweep_branch,
     bench_sweep_executor,
     bench_sweep_replay,
+    bench_sweep_resume,
 )
 
 SCHEMA_VERSION = BENCH_SCHEMA_VERSION
@@ -60,6 +62,8 @@ def run_suite(events: int, packet_scales: list[int], schedulers: list[str],
               sweep_workers: int = 2, sweep_duration: float = 0.04,
               replay_modes: int = 3, branch_legs: int = 16,
               branch_warmup: float = 0.4, branch_duration: float = 0.005,
+              resume_legs: int = 16, resume_duration: float = 0.5,
+              resume_kill_after: int = 9,
               verbose: bool = True) -> list[dict]:
     benches: list[dict] = []
 
@@ -109,6 +113,17 @@ def run_suite(events: int, packet_scales: list[int], schedulers: list[str],
             duration=branch_duration, repeats=repeats,
         )
         note(bench_entry(f"sweep-branch-{strategy}", branch_legs, ops, seconds))
+    # Preempted sweep recovery (PR 9): every leg is SIGKILLed at ~90%
+    # progress (untimed), then the sweep is completed from scratch vs
+    # resumed from the mid-run snapshots the corpses left behind.  The
+    # resumed/scratch ops-per-sec ratio is the preemption-safe-resume
+    # speedup.
+    for strategy in RESUME_STRATEGIES:
+        ops, seconds = bench_sweep_resume(
+            strategy, legs=resume_legs, duration=resume_duration,
+            kill_after=resume_kill_after, repeats=repeats,
+        )
+        note(bench_entry(f"sweep-resume-{strategy}", resume_legs, ops, seconds))
     # Telemetry overhead (PR 8): the engine chain and the queue sweep
     # with observability off vs on.  The off/on ops-per-sec ratio is
     # what full telemetry costs; the off modes must track the
@@ -171,6 +186,17 @@ def main(argv=None) -> int:
     parser.add_argument("--branch-duration", type=float, default=0.005,
                         dest="branch_duration", metavar="S",
                         help="per-leg simulated seconds past the warm-up")
+    parser.add_argument("--resume-legs", type=int, default=16,
+                        dest="resume_legs", metavar="N",
+                        help="legs per sweep-resume bench (preempted sweep "
+                             "recovered from scratch vs from snapshots)")
+    parser.add_argument("--resume-duration", type=float, default=0.5,
+                        dest="resume_duration", metavar="S",
+                        help="simulated seconds per sweep-resume leg")
+    parser.add_argument("--resume-kill-after", type=int, default=9,
+                        dest="resume_kill_after", metavar="N",
+                        help="snapshots before each pre-pass leg is "
+                             "SIGKILLed (progress = N/(N+1))")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny preset for CI schema checks")
     parser.add_argument("--label", default="local")
@@ -188,6 +214,8 @@ def main(argv=None) -> int:
         args.replay_modes = 2
         args.branch_legs, args.branch_warmup = 2, 0.02
         args.branch_duration = 0.005
+        args.resume_legs, args.resume_duration = 2, 0.05
+        args.resume_kill_after = 2
 
     print(f"running perf suite (repeats={args.repeats}) ...", file=sys.stderr)
     benches = run_suite(args.events, args.packets, args.schedulers,
@@ -198,7 +226,10 @@ def main(argv=None) -> int:
                         replay_modes=args.replay_modes,
                         branch_legs=args.branch_legs,
                         branch_warmup=args.branch_warmup,
-                        branch_duration=args.branch_duration)
+                        branch_duration=args.branch_duration,
+                        resume_legs=args.resume_legs,
+                        resume_duration=args.resume_duration,
+                        resume_kill_after=args.resume_kill_after)
     document = {
         "schema_version": SCHEMA_VERSION,
         "config": {
@@ -214,6 +245,9 @@ def main(argv=None) -> int:
             "branch_legs": args.branch_legs,
             "branch_warmup": args.branch_warmup,
             "branch_duration": args.branch_duration,
+            "resume_legs": args.resume_legs,
+            "resume_duration": args.resume_duration,
+            "resume_kill_after": args.resume_kill_after,
             "python": platform.python_version(),
             "platform": platform.platform(),
         },

@@ -20,6 +20,10 @@ Four checks, all cheap enough for every CI run:
    -m repro`` (``run``, ``gc``, ``checkpoint``, …) must be mentioned as
    ``repro <verb>`` somewhere in the documentation corpus, so a new
    verb cannot ship undocumented.
+5. **Run flags × docs** — every long option of ``repro run`` (the
+   experiment-facing surface: ``--out``, ``--checkpoint-every``, …)
+   must appear verbatim somewhere in the corpus, so a new runner knob
+   cannot ship undocumented either.
 
 Usage::
 
@@ -140,6 +144,34 @@ def check_cli_verbs(paths: list[Path]) -> list[str]:
     return problems
 
 
+def check_run_flags(paths: list[Path]) -> list[str]:
+    """Every long option of ``repro run`` appears verbatim in the docs."""
+    import argparse
+
+    from repro.cli import build_parser
+
+    subparsers = next(
+        action for action in build_parser()._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    run_parser = subparsers.choices["run"]
+    flags = sorted(
+        opt
+        for action in run_parser._actions
+        for opt in action.option_strings
+        if opt.startswith("--") and opt != "--help"
+    )
+    corpus = "\n".join(path.read_text() for path in paths)
+    problems = []
+    for flag in flags:
+        if flag not in corpus:
+            problems.append(
+                f"run flag {flag!r} is not documented: it appears nowhere "
+                f"in docs/*.md or README.md"
+            )
+    return problems
+
+
 def main() -> int:
     """Run all checks; print problems; 0 iff the docs are clean."""
     markdown = sorted(DOCS.glob("*.md")) + [REPO / "README.md"]
@@ -147,13 +179,14 @@ def main() -> int:
     problems += check_paper_map(DOCS / "paper-map.md")
     problems += check_rule_table(DOCS / "determinism.md")
     problems += check_cli_verbs(markdown)
+    problems += check_run_flags(markdown)
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:
         print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
         return 1
     print(f"docs OK: {len(markdown)} files, links + paper map + rule "
-          f"table + CLI verbs verified")
+          f"table + CLI verbs + run flags verified")
     return 0
 
 

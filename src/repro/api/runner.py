@@ -46,6 +46,7 @@ from repro.obs.hub import MetricsHub, use_metrics_hub
 from repro.obs.spans import SPANS
 from repro.sim.checkpoint import CheckpointStore, use_checkpoint_store
 from repro.sim.engine import ENGINE_PERF
+from repro.sim.resume import CheckpointPolicy, ResumeSession, use_resume_session
 
 __all__ = ["EXECUTORS", "cached_artifact", "obs_enabled_from_env", "run",
            "run_many"]
@@ -110,6 +111,7 @@ def run(
     schedule_dir: str | Path | None = None,
     checkpoint_dir: str | Path | None = None,
     obs: "bool | MetricsHub | None" = None,
+    checkpoint_policy: "CheckpointPolicy | str | None" = None,
 ) -> RunArtifact:
     """Execute one spec and return its artifact.
 
@@ -143,6 +145,15 @@ def run(
     active its deterministic summary lands on ``artifact.obs`` — next to
     the timing section, excluded from the canonical JSON, so artifacts
     stay byte-identical with telemetry on or off.
+
+    ``checkpoint_policy`` (a :class:`~repro.sim.resume.CheckpointPolicy`
+    or its ``--checkpoint-every`` string form) arms preemption-safe
+    resume: the run writes periodic mid-flight snapshots into the
+    checkpoint store and, if an earlier attempt of the same spec was
+    killed, fast-forwards through the newest valid snapshot it left
+    behind.  Needs a durable store (``out_dir`` or ``checkpoint_dir``).
+    The policy never reaches the artifact — resumed and straight runs
+    are byte-identical (the fault-injection suite proves it).
     """
     entry = (registry or REGISTRY).get(spec.experiment)
     unknown = [key for key, _ in spec.options if key not in entry.options]
@@ -164,13 +175,23 @@ def run(
     ckpt_store = (
         CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
     )
+    if isinstance(checkpoint_policy, str):
+        checkpoint_policy = CheckpointPolicy.parse(checkpoint_policy)
+    session = None
+    if checkpoint_policy is not None:
+        if ckpt_store is None:
+            raise ConfigurationError(
+                "checkpoint_policy needs a durable checkpoint store to "
+                "write snapshots into — pass out_dir= or checkpoint_dir="
+            )
+        session = ResumeSession(spec_run_id(spec), checkpoint_policy, ckpt_store)
     hub = _resolve_obs(obs)
     reset_packet_ids()
     ENGINE_PERF.reset()
     start = time.perf_counter()
     try:
         with use_schedule_store(store), use_checkpoint_store(ckpt_store), \
-                use_metrics_hub(hub), \
+                use_metrics_hub(hub), use_resume_session(session), \
                 SPANS.span("simulate", experiment=spec.experiment,
                            run_id=spec_run_id(spec)):
             output = entry.fn(spec)
@@ -196,6 +217,10 @@ def run(
         artifact.obs = hub.summary()
     if out_dir is not None:
         artifact.save(out_dir)
+    if session is not None:
+        # Success: the snapshot trail has served its purpose.  (A killed
+        # run never gets here — its snapshots survive for the retry.)
+        session.finish()
     return artifact
 
 
@@ -443,6 +468,7 @@ def run_many(
     queue_dir: str | Path | None = None,
     batch_size: int | None = None,
     checkpoint_dir: str | Path | None = None,
+    checkpoint_policy: "CheckpointPolicy | str | None" = None,
 ) -> list[RunArtifact]:
     """Execute several specs under one of three executors.
 
@@ -493,9 +519,18 @@ def run_many(
     queue executor the store always lives in the queue's shared
     ``artifacts/checkpoints`` — where the workers look — so an override
     is rejected there.
+
+    ``checkpoint_policy`` arms preemption-safe resume for every leg (see
+    :func:`run`): each leg writes periodic mid-flight snapshots and a
+    retried leg resumes from the newest valid one instead of t=0.  With
+    the queue executor the policy is handed to the spawned drain
+    workers; otherwise it needs a durable store (``out_dir`` or
+    ``checkpoint_dir``).
     """
     spec_list: Sequence[ExperimentSpec] = list(specs)
     require_positive_int(workers, "workers")
+    if isinstance(checkpoint_policy, str):
+        checkpoint_policy = CheckpointPolicy.parse(checkpoint_policy)
     if executor is None:
         executor = (
             "queue" if queue_dir is not None
@@ -520,7 +555,16 @@ def run_many(
                 "artifacts/checkpoints store"
             )
         return _run_many_queue(
-            spec_list, workers, queue_dir, out_dir, force, batch_size
+            spec_list, workers, queue_dir, out_dir, force, batch_size,
+            checkpoint_policy,
+        )
+    if checkpoint_policy is not None and out_dir is None \
+            and checkpoint_dir is None:
+        raise ConfigurationError(
+            "checkpoint_policy needs a durable checkpoint store to write "
+            "snapshots into — pass out_dir= or checkpoint_dir= (a "
+            "sweep-scoped temporary store would die with the process the "
+            "policy is guarding against)"
         )
     if queue_dir is not None:
         raise ConfigurationError(
@@ -545,12 +589,13 @@ def run_many(
         if executor == "serial" or workers == 1 or len(spec_list) <= 1:
             return [
                 run(spec, out_dir=out_dir, force=force,
-                    schedule_dir=schedule_dir, checkpoint_dir=ckpt_dir)
+                    schedule_dir=schedule_dir, checkpoint_dir=ckpt_dir,
+                    checkpoint_policy=checkpoint_policy)
                 for spec in spec_list
             ]
         worker = functools.partial(
             run, out_dir=out_dir, force=force, schedule_dir=schedule_dir,
-            checkpoint_dir=ckpt_dir,
+            checkpoint_dir=ckpt_dir, checkpoint_policy=checkpoint_policy,
         )
         with _pool(min(workers, len(spec_list))) as pool:
             return pool.map(worker, spec_list)
@@ -563,6 +608,7 @@ def _run_many_queue(
     out_dir: str | Path | None,
     force: bool,
     batch_size: int | None,
+    checkpoint_policy: "CheckpointPolicy | None" = None,
 ) -> list[RunArtifact]:
     """Queue-executor backend: submit, spawn drain workers, gather.
 
@@ -630,7 +676,8 @@ def _run_many_queue(
             context.Process(
                 target=drain_queue,
                 args=(str(queue_dir),),
-                kwargs={"batch_size": batch_size, "poll_s": 0.05},
+                kwargs={"batch_size": batch_size, "poll_s": 0.05,
+                        "checkpoint_policy": checkpoint_policy},
             )
             for _ in range(min(workers, batches))
         ]

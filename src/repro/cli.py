@@ -165,6 +165,14 @@ def _add_experiment_args(parser: argparse.ArgumentParser, with_rows: bool) -> No
                              "warm-ups from (simulate once, branch many; "
                              "serial/process executors — queue workers use "
                              "the queue's own store)")
+    parser.add_argument("--checkpoint-every", default=None, metavar="POLICY",
+                        dest="checkpoint_every",
+                        help="take mid-run snapshots so a killed run resumes "
+                             "instead of restarting: comma-separated "
+                             "'<seconds>[s]' (simulated seconds), '<n>ev' "
+                             "(engine events), 'keep=<n>' (rolling depth), "
+                             "e.g. '0.05s,5000ev,keep=3'; needs --out or "
+                             "--branch-from for a durable store")
 
 
 def spec_from_args(experiment: str, args: argparse.Namespace) -> ExperimentSpec:
@@ -240,6 +248,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             _sweep_specs(spec), workers=args.workers, out_dir=args.out,
             force=args.force, executor=args.executor, queue_dir=args.queue,
             batch_size=args.batch_size, checkpoint_dir=args.branch_from,
+            checkpoint_policy=args.checkpoint_every,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -291,7 +300,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     try:
         queue = JobQueue(args.queue)
         worker = Worker(queue, worker_id=args.id, lease_s=args.lease,
-                        poll_s=args.poll, batch_size=args.batch_size)
+                        poll_s=args.poll, batch_size=args.batch_size,
+                        checkpoint_policy=args.checkpoint_every)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -386,9 +396,16 @@ def _cmd_tail(args: argparse.Namespace) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    printed = 0
     for event in read_events(args.queue, limit=args.lines):
         print(format_event(event))
+        printed += 1
     if args.once:
+        if not printed:
+            # A queue that exists but has not logged yet (no events.jsonl,
+            # or an empty one) is not an error — say so instead of exiting
+            # in silence that looks like a crash.
+            print(f"no events in {args.queue}")
         return 0
     try:
         for event in follow_events(args.queue):
@@ -725,6 +742,11 @@ def build_parser() -> argparse.ArgumentParser:
                         f"{DEFAULT_BATCH_SIZE}; 1 = the per-job protocol)")
     p.add_argument("--id", default=None, metavar="NAME",
                    help="worker identity (default host:pid)")
+    p.add_argument("--checkpoint-every", default=None, metavar="POLICY",
+                   dest="checkpoint_every",
+                   help="take mid-run snapshots while executing jobs so a "
+                        "preempted worker's retry resumes mid-run (same "
+                        "grammar as `repro run --checkpoint-every`)")
     p.set_defaults(fn=_cmd_worker)
 
     p = sub.add_parser(

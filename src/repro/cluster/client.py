@@ -71,9 +71,11 @@ class QueueStatus:
     #: dict per worker with ``worker`` / ``registered_at`` /
     #: ``lease_expires_at`` / ``running`` (jobs currently held).
     workers: list[dict] = field(default_factory=list)
-    #: Warm-up checkpoints in the queue's store: one dict per entry with
-    #: ``key`` and ``in_use`` (a pending/running job still branches from
-    #: it — the ``repro gc`` keep criterion).
+    #: Checkpoints in the queue's store: one dict per entry with ``key``,
+    #: ``kind`` (``warmup`` — a branchable warm-up prefix — or ``resume``
+    #: — a mid-run snapshot a preempted job's retry would fast-forward
+    #: from), and ``in_use`` (a pending/running job still needs it — the
+    #: ``repro gc`` keep criterion).
     checkpoints: list[dict] = field(default_factory=list)
     #: Tail of the queue's structured event log (``repro status
     #: --events N``); empty unless ``status(..., events=N)`` asked.
@@ -125,7 +127,7 @@ class QueueStatus:
         text = self.table().render()
         if self.checkpoints:
             lines = [
-                f"  {ckpt['key']}  "
+                f"  {ckpt['key']}  [{ckpt.get('kind', 'warmup')}]  "
                 f"{'in use' if ckpt['in_use'] else 'unreferenced'}"
                 for ckpt in self.checkpoints
             ]
@@ -324,15 +326,53 @@ def _checkpoint_keys_in_use(queue: JobQueue) -> set[str]:
     return keys
 
 
+def _resume_prefixes_in_use(queue: JobQueue) -> set[str]:
+    """Key prefixes of mid-run resume snapshots live jobs may still need.
+
+    Resume snapshots (:mod:`repro.sim.resume`) are keyed
+    ``resume-<run_id>-p<phase>-<fingerprint>-n<index>``; a pending or
+    running job's retry fast-forwards from any snapshot under its run
+    id's prefix, so GC must keep them all.  Terminal jobs contribute
+    nothing: a done job never retries, a permanently failed one restarts
+    its attempt counter from scratch anyway.
+    """
+    from repro.cluster.jobs import PENDING, RUNNING
+
+    prefixes: set[str] = set()
+    for state in (PENDING, RUNNING):
+        for job in queue.jobs(state=state):
+            prefixes.add(f"resume-{job.run_id}-")
+    return prefixes
+
+
+def _checkpoint_keep_set(queue: JobQueue, present: list[str]) -> set[str]:
+    """Of ``present`` store keys, the ones a live job still needs."""
+    declared = _checkpoint_keys_in_use(queue)
+    prefixes = _resume_prefixes_in_use(queue)
+    keep = set()
+    for key in present:
+        if key in declared or any(key.startswith(p) for p in prefixes):
+            keep.add(key)
+    return keep
+
+
 def _checkpoint_rows(queue: JobQueue) -> list[dict]:
-    """The ``repro status`` checkpoint rows: every stored key, flagged
-    in-use when a live job still branches from it."""
+    """The ``repro status`` checkpoint rows: every stored key with its
+    kind (warm-up prefix vs mid-run resume snapshot), flagged in-use
+    when a live job still needs it."""
     store = _checkpoint_store(queue)
     present = store.keys()
     if not present:
         return []
-    in_use = _checkpoint_keys_in_use(queue)
-    return [{"key": key, "in_use": key in in_use} for key in present]
+    keep = _checkpoint_keep_set(queue, present)
+    return [
+        {
+            "key": key,
+            "kind": "resume" if key.startswith("resume-") else "warmup",
+            "in_use": key in keep,
+        }
+        for key in present
+    ]
 
 
 def checkpoint_keys_in_use(queue_dir: str | Path) -> set[str]:
@@ -352,20 +392,22 @@ def prune_checkpoints(
 ) -> tuple[list[str], list[str]]:
     """Garbage-collect a queue's checkpoint store (``repro gc``).
 
-    Removes every store entry whose key is not in
-    :func:`checkpoint_keys_in_use` and returns ``(removed, kept)`` key
-    lists.  Removal is atomic per entry (one ``unlink``), so a worker
-    racing the GC sees either a complete checkpoint or a clean miss it
-    rebuilds from scratch — never a torn file.  ``dry_run=True`` only
-    reports what would go.
+    Removes every store entry no live job needs — neither declared via
+    :func:`checkpoint_keys_in_use` (warm-up prefixes) nor covered by a
+    pending/running job's resume-snapshot prefix (mid-run snapshots a
+    preempted retry would fast-forward from) — and returns ``(removed,
+    kept)`` key lists.  Removal is atomic per entry (one ``unlink``), so
+    a worker racing the GC sees either a complete checkpoint or a clean
+    miss it rebuilds from scratch — never a torn file.  ``dry_run=True``
+    only reports what would go.
     """
     queue = JobQueue(queue_dir, create=False)
-    in_use = _checkpoint_keys_in_use(queue)
     store = _checkpoint_store(queue)
+    present = store.keys()
+    keep = _checkpoint_keep_set(queue, present)
     if dry_run:
-        present = store.keys()
-        removed = sorted(k for k in present if k not in in_use)
-        kept = sorted(k for k in present if k in in_use)
+        removed = sorted(k for k in present if k not in keep)
+        kept = sorted(k for k in present if k in keep)
         return removed, kept
-    removed = store.prune(in_use)
-    return removed, sorted(set(store.keys()) & in_use)
+    removed = store.prune(keep)
+    return removed, sorted(set(store.keys()) & keep)

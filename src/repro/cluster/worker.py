@@ -57,6 +57,7 @@ from repro.errors import ConfigurationError, require_positive_int
 from repro.obs.flight import FlightRecorder
 from repro.obs.hub import MetricsHub
 from repro.obs.spans import append_span_record, span_record
+from repro.sim.resume import CheckpointPolicy
 
 __all__ = ["DEFAULT_BATCH_SIZE", "Worker", "drain_queue"]
 
@@ -80,8 +81,18 @@ class Worker:
         poll_s: float = 0.2,
         registry: ExperimentRegistry | None = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        checkpoint_policy: "CheckpointPolicy | str | None" = None,
     ) -> None:
-        """Bind a worker to ``queue``; ``batch_size`` caps jobs per claim."""
+        """Bind a worker to ``queue``; ``batch_size`` caps jobs per claim.
+
+        ``checkpoint_policy`` (a
+        :class:`~repro.sim.resume.CheckpointPolicy` or its
+        ``--checkpoint-every`` string form) makes every executed job
+        write periodic mid-run snapshots into the queue's shared
+        ``artifacts/checkpoints`` store — and *resume* from the newest
+        valid one when re-running a job a preempted worker left behind,
+        instead of starting over at t=0.
+        """
         self.queue = queue if isinstance(queue, JobQueue) else JobQueue(queue)
         self.worker_id = worker_id or f"{socket.gethostname()}:{os.getpid()}"
         self.lease_s = (
@@ -92,6 +103,9 @@ class Worker:
         self.batch_size = require_positive_int(batch_size, "batch_size")
         self.poll_s = float(poll_s)
         self.registry = registry
+        if isinstance(checkpoint_policy, str):
+            checkpoint_policy = CheckpointPolicy.parse(checkpoint_policy)
+        self.checkpoint_policy = checkpoint_policy
         self.jobs_run = 0
         self._stop = threading.Event()
         self._renew_at = float("-inf")  # idle-loop lease renewal deadline
@@ -184,6 +198,7 @@ class Worker:
                 out_dir=self.queue.artifact_dir,
                 force=job.force,
                 obs=obs,
+                checkpoint_policy=self.checkpoint_policy,
             )
         except ConfigurationError as exc:
             result = (job.id, self._failure(exc), False)
@@ -333,11 +348,13 @@ def drain_queue(
     lease_s: float | None = None,
     poll_s: float = 0.2,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    checkpoint_policy: "CheckpointPolicy | str | None" = None,
 ) -> int:
     """Module-level drain entry point (picklable for ``multiprocessing``).
 
-    ``lease_s`` / ``poll_s`` / ``batch_size`` configure the
-    :class:`Worker` exactly as its constructor does.  Installs the
+    ``lease_s`` / ``poll_s`` / ``batch_size`` / ``checkpoint_policy``
+    configure the :class:`Worker` exactly as its constructor does.
+    Installs the
     graceful-drain signal handlers: a parent that ``terminate()``\\ s
     this process (SIGTERM) lets the current batch finish and report
     instead of aborting it mid-run — which matters on a shared queue,
@@ -346,7 +363,7 @@ def drain_queue(
     """
     worker = Worker(
         JobQueue(queue_dir), lease_s=lease_s, poll_s=poll_s,
-        batch_size=batch_size,
+        batch_size=batch_size, checkpoint_policy=checkpoint_policy,
     )
     worker.install_signal_handlers()
     return worker.drain()

@@ -241,7 +241,13 @@ class ScheduleStore:
         cached = self.get(key)
         if cached is not None:
             return cached
-        schedule = recorder()
+        # Recorders run their own simulation, but only on a miss; were a
+        # resume session (repro.sim.resume) left active, the extra phases
+        # would shift later phase ordinals and orphan their snapshots.
+        from repro.sim.resume import suspended_resume  # local: avoids cycle
+
+        with suspended_resume():
+            schedule = recorder()
         self.put(key, schedule)
         self._log_recording(key)
         reloaded = self.get(key)

@@ -42,6 +42,7 @@ __all__ = [
     "ENGINE_BENCHES",
     "OBS_MODES",
     "REPLAY_STRATEGIES",
+    "RESUME_STRATEGIES",
     "SWEEP_EXECUTORS",
     "bench_e2e_fig2_style",
     "bench_engine_chain",
@@ -53,6 +54,7 @@ __all__ = [
     "bench_sweep_branch",
     "bench_sweep_executor",
     "bench_sweep_replay",
+    "bench_sweep_resume",
     "run_perf_bench",
 ]
 
@@ -402,6 +404,146 @@ def bench_sweep_branch(
         return len(specs)
 
     return _best_of(run_sweep, repeats)
+
+
+#: The two recovery strategies ``bench_sweep_resume`` prices against
+#: each other after a preemption: ``"scratch"`` re-simulates every
+#: killed leg from t=0 (the pre-policy cost model); ``"resumed"`` runs
+#: the same legs with a checkpoint policy armed, so each retry
+#: fast-forwards from the mid-run snapshot its killed attempt left
+#: behind.
+RESUME_STRATEGIES = ("scratch", "resumed")
+
+
+def _preempt_leg(spec: ExperimentSpec, out_dir: str, policy: str,
+                 kill_after: int) -> None:
+    """Child-process target: run one leg, SIGKILL it mid-simulation.
+
+    Snapshot recording is hooked so the process dies right after its
+    ``kill_after``-th mid-run snapshot lands — the same fault model the
+    resume test harness uses, here building the preempted state the
+    timed strategies recover from.  Module-level so multiprocessing can
+    pickle it.
+    """
+    import os
+    import signal
+
+    from repro.api.runner import run
+    from repro.sim import resume
+
+    original = resume.ResumeSession._record
+    state = {"count": 0}
+
+    def record_then_die(self, network, prefix, index):
+        original(self, network, prefix, index)
+        state["count"] += 1
+        if state["count"] >= kill_after:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    resume.ResumeSession._record = record_then_die
+    run(spec, out_dir=out_dir, checkpoint_policy=policy)
+
+
+def bench_sweep_resume(
+    strategy: str,
+    legs: int = 16,
+    duration: float = 0.5,
+    utilization: float = 0.2,
+    warmup: float = 0.05,
+    kill_after: int = 9,
+    repeats: int = 1,
+) -> tuple[int, float]:
+    """One preempted seed sweep, recovered from scratch or from snapshots
+    (the preemption-safe-resume tentpole).
+
+    The untimed pre-pass runs every leg in a real child process with a
+    checkpoint policy armed and SIGKILLs it at roughly
+    ``kill_after/(kill_after+1)`` progress (the snapshot cadence is
+    calibrated from the probe legs' deterministic event counts), leaving
+    a store full of near-complete mid-run snapshots and no artifacts.
+    The timed phase then completes the sweep: ``"scratch"`` without a
+    policy, so every leg re-simulates from t=0; ``"resumed"`` with the
+    policy, so every leg fast-forwards from its snapshot and only pays
+    the tail (plus the tail's own snapshot upkeep).  Ops are legs
+    completed, so the ``sweep-resume-resumed`` :
+    ``sweep-resume-scratch`` ops/sec ratio *is* what mid-run
+    checkpointing saves a preempted sweep.
+
+    The sweep shape is the ``branch`` experiment at a long horizon and
+    low utilization: lots of events over a *small* live graph, which is
+    exactly where resume pays — snapshot and restore cost scale with
+    state size, the saved work scales with events.  (It also makes the
+    preempted legs share a warm-up checkpoint, so the bench prices
+    resume composed with the simulate-once store, as shipped.)  Results
+    are byte-identical between strategies (guarded by
+    ``tests/cluster/test_resume_points.py``); this bench prices the
+    difference.
+    """
+    import multiprocessing
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.api.runner import run, run_many
+
+    if strategy not in RESUME_STRATEGIES:
+        raise ValueError(f"unknown sweep-resume strategy {strategy!r}")
+    specs = ExperimentSpec(
+        "branch",
+        duration=duration,
+        seeds=tuple(range(1, legs + 1)),
+        utilization=utilization,
+        schedulers=("fq",),
+        options={"warmup": warmup},
+    ).sweep()
+    # Calibrate a snapshot cadence *per leg* from untimed probes: events
+    # are deterministic per spec, so ``kill_after`` snapshots at
+    # ``total/(kill_after+1)`` land every kill at the same fractional
+    # progress regardless of how leg sizes vary.  (A shared cadence
+    # would kill the longest leg early and hand its timed retry a fat
+    # tail to re-simulate.)  Snapshot *discovery* is cadence-independent
+    # — keys carry run id and phase entry state, not the policy — so the
+    # timed run below still uses one policy for the whole sweep.
+    totals = [run(spec).metadata["engine_events"] for spec in specs]
+    intervals = [max(1, total // (kill_after + 1)) for total in totals]
+    policy = f"{max(intervals)}ev"
+
+    ctx = multiprocessing.get_context()
+    with tempfile.TemporaryDirectory() as tmp:
+        pre = Path(tmp) / "pre"
+        pre.mkdir()
+        for spec, every in zip(specs, intervals):
+            proc = ctx.Process(
+                target=_preempt_leg,
+                args=(spec, str(pre), f"{every}ev", kill_after),
+            )
+            proc.start()
+            proc.join(timeout=120.0)
+            if proc.is_alive():  # pragma: no cover - hung child backstop
+                proc.kill()
+                proc.join()
+        # A leg that outran its kill hook saved an artifact; drop any so
+        # neither timed strategy is answered from the cache.
+        for leftover in pre.glob("*.json"):
+            leftover.unlink()
+
+        # One pristine copy of the preempted state per repeat: the timed
+        # function must never run against a directory a previous repeat
+        # already healed (and pruned the snapshots of).
+        outs = [Path(tmp) / f"out{i}" for i in range(max(1, repeats))]
+        for out in outs:
+            shutil.copytree(pre, out)
+        remaining = iter(outs)
+
+        def run_sweep() -> int:
+            out = next(remaining)
+            kwargs: dict = {}
+            if strategy == "resumed":
+                kwargs["checkpoint_policy"] = policy
+            artifacts = run_many(specs, out_dir=out, **kwargs)
+            return len(artifacts)
+
+        return _best_of(run_sweep, repeats)
 
 
 # --- observability overhead --------------------------------------------------

@@ -173,6 +173,20 @@ class MetricsHub:
         self.attach(network)
         self._net_samplers[-1][1].ensure()
 
+    def reset_sampling(self, network: "Network") -> None:
+        """Forget any armed-tick state for ``network``.
+
+        Called after a snapshot restore replaced the network's engine:
+        checkpoints drop pending sampler entries, so a sampler that
+        believed its tick was queued would otherwise never re-arm.  The
+        next :meth:`ensure_sampling` arms a fresh tick on the restored
+        engine.
+        """
+        for seen, sampler in self._net_samplers:
+            if seen is network:
+                sampler.pending = False
+                return
+
     def add_sampler(self, name: str, fn: Callable[[float], float]) -> None:
         """Register a custom gauge: ``fn(now) -> value``, sampled each tick.
 

@@ -246,10 +246,13 @@ class CheckpointStore:
     the key is derived from the *warm-up inputs* (topology, scheduler,
     load, warm-up horizon, seed, …) so any leg of any sweep that shares
     the prefix addresses the same file.  The store also keeps an
-    append-only ``checkpoints.log`` — one line per *actual* build — which
+    append-only ``checkpoints.log`` audit trail — one
+    ``<op> <key> pid=<pid>`` line per store mutation, where the op is
+    ``put`` (an actual build), ``prune``/``roll`` (an entry retired), or
+    ``resume`` (a mid-run snapshot restored after a preemption) — which
     is how the test suite (and the ``sweep-branch`` bench) assert the
     build-once guarantee: a sweep over N legs with one shared prefix must
-    grow the log by exactly one line, not N.
+    grow the log by exactly one ``put`` line, not N.
 
     Every read re-verifies the payload hash and returns a *fresh*
     unpickled graph (no memo — consumers mutate what they restore); a
@@ -295,12 +298,18 @@ class CheckpointStore:
             return None
 
     def put(self, key: str, snapshot: Snapshot) -> Path:
-        """Persist ``snapshot`` under ``key`` atomically; returns the path.
+        """Persist ``snapshot`` under ``key`` atomically; returns the path."""
+        return self.put_bytes(key, snapshot_to_bytes(snapshot))
+
+    def put_bytes(self, key: str, data: bytes) -> Path:
+        """Write pre-serialised checkpoint bytes under ``key`` atomically.
 
         Temp file + ``os.replace`` in the store directory: concurrent
         readers see either no file or a complete, hash-verified one.
         Racing writers of the same key both succeed (last replace wins;
-        warm-ups are deterministic, so the contents agree anyway).
+        warm-ups are deterministic, so the contents agree anyway).  The
+        resume session serialises with its own anchor-aware pickler and
+        lands the bytes through this entry point.
         """
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path(key)
@@ -310,7 +319,7 @@ class CheckpointStore:
         fd = os.open(tmp_name, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o666)
         try:
             with os.fdopen(fd, "wb") as handle:
-                handle.write(snapshot_to_bytes(snapshot))
+                handle.write(data)
             os.replace(tmp_name, path)
         except BaseException:
             with contextlib.suppress(OSError):
@@ -332,7 +341,13 @@ class CheckpointStore:
         cached = self.get(key)
         if cached is not None:
             return cached
-        with ENGINE_PERF.paused():
+        # Builders run their own simulation phases; were a resume session
+        # (repro.sim.resume) left active, a cache miss would add phases a
+        # cache hit does not, shifting every later phase's ordinal and
+        # orphaning its snapshots.  Suspend it for the build.
+        from repro.sim.resume import suspended_resume  # local: avoids cycle
+
+        with ENGINE_PERF.paused(), suspended_resume():
             snapshot = builder()
         self.put(key, snapshot)
         self._log_build(key)
@@ -360,10 +375,10 @@ class CheckpointStore:
         Returns the removed keys, sorted.  Each removal is a single
         ``unlink`` — atomic, so a concurrent reader sees either the
         complete file or a miss it can rebuild from — and an entry
-        someone else already removed is skipped silently.  The
-        ``checkpoints.log`` audit trail is deliberately left intact: it
-        records history (how many warm-ups were ever paid for), not
-        current contents.
+        someone else already removed is skipped silently.  Removals are
+        appended to the ``checkpoints.log`` audit trail as ``prune``
+        lines, so the log reads as the store's full history: what was
+        paid for, and what was let go.
         """
         keep = set(in_use)
         removed = []
@@ -373,14 +388,40 @@ class CheckpointStore:
             with contextlib.suppress(FileNotFoundError):
                 self.path(key).unlink()
                 removed.append(key)
+                self.log("prune", key)
         return sorted(removed)
 
-    # -- the build-once audit trail ----------------------------------------
+    def discard(self, keys: Iterable[str], op: str = "prune") -> list[str]:
+        """Remove the named entries (missing ones skipped); audit as ``op``.
 
-    def _log_build(self, key: str) -> None:
-        """Append one line for an actual build (O_APPEND: atomic for short
-        lines, so concurrent workers interleave but never tear)."""
-        line = f"{key} pid={os.getpid()}\n"
+        The targeted sibling of :meth:`prune`: the resume session uses it
+        with ``op="roll"`` to retire superseded mid-run snapshots and
+        with ``op="prune"`` when a finished run clears its trail.
+        Returns the keys actually removed, in input order.
+        """
+        removed = []
+        for key in keys:
+            try:
+                self.path(key).unlink()
+            except FileNotFoundError:
+                continue
+            removed.append(key)
+            self.log(op, key)
+        return removed
+
+    # -- the audit trail ---------------------------------------------------
+
+    #: Operations the audit log records.  Legacy lines (written before the
+    #: log carried an op column) have no leading op and parse as ``put``.
+    LOG_OPS = ("put", "prune", "roll", "resume")
+
+    def log(self, op: str, key: str) -> None:
+        """Append one ``<op> <key> pid=<pid>`` audit line (O_APPEND:
+        atomic for short lines, so concurrent workers interleave but
+        never tear)."""
+        if op not in self.LOG_OPS:
+            raise ValueError(f"unknown checkpoint log op {op!r}")
+        line = f"{op} {key} pid={os.getpid()}\n"
         fd = os.open(
             str(self.root / self.LOG_NAME),
             os.O_WRONLY | os.O_CREAT | os.O_APPEND,
@@ -391,18 +432,42 @@ class CheckpointStore:
         finally:
             os.close(fd)
 
-    def built_keys(self) -> list[str]:
-        """Keys actually built into this store, in build order.
+    def _log_build(self, key: str) -> None:
+        """Append one line for an actual build."""
+        self.log("put", key)
 
-        Reads ``checkpoints.log``; a key appears once per build, so
-        ``len(store.built_keys())`` is the number of warm-up simulations
-        the store paid for — the quantity the build-once tests assert on.
+    def log_entries(self) -> list[tuple[str, str]]:
+        """The audit trail as ``(op, key)`` pairs, in append order.
+
+        Legacy lines — ``<key> pid=<pid>``, from before the log carried
+        an op column — parse as ``("put", key)``, so old stores keep
+        counting correctly.
         """
         try:
             text = (self.root / self.LOG_NAME).read_text()
         except OSError:
             return []
-        return [line.split()[0] for line in text.splitlines() if line.strip()]
+        entries = []
+        for line in text.splitlines():
+            tokens = line.split()
+            if not tokens:
+                continue
+            if tokens[0] in self.LOG_OPS:
+                entries.append((tokens[0], tokens[1] if len(tokens) > 1 else ""))
+            else:
+                entries.append(("put", tokens[0]))
+        return entries
+
+    def built_keys(self) -> list[str]:
+        """Keys actually built into this store, in build order.
+
+        Reads the ``put`` lines of ``checkpoints.log``; a key appears
+        once per build, so ``len(store.built_keys())`` is the number of
+        warm-up simulations the store paid for — the quantity the
+        build-once tests assert on.  Prune/roll/resume audit lines are
+        history of a different kind and are not counted here.
+        """
+        return [key for op, key in self.log_entries() if op == "put"]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<CheckpointStore {self.root}>"

@@ -343,6 +343,82 @@ class Engine:
         if until is not None and self.now < until:
             self.now = until
 
+    def run_bounded(self, until: float | None = None,
+                    max_events: int | None = None) -> None:
+        """Process events like :meth:`run`, but stop at a safe slice boundary.
+
+        This is the primitive behind periodic mid-run checkpointing
+        (:mod:`repro.sim.resume`): a phase of simulation is executed as a
+        sequence of bounded slices with a snapshot taken between slices.
+        Two properties make slice boundaries invisible to the simulation,
+        which is what keeps resumed runs byte-identical to straight runs:
+
+        * the clock is **never** pinned to ``until`` — only the caller
+          pins it, once, when the whole phase is done — so splitting a
+          horizon into sub-horizons cannot perturb event times;
+        * the loop only breaks with an **empty deferred queue** (the
+          ``max_events`` budget is not honoured while same-instant
+          decisions are pending, and the horizon break is only reachable
+          with the deferred queue drained, exactly as in :meth:`run`), so
+          a snapshot never has to serialise mid-instant decision
+          closures.
+
+        Unlike :meth:`run` the stop flag is *not* reset on entry — a
+        phase spans many slices and its owner resets the flag once.
+        Accounting is identical to :meth:`run`: processed events land in
+        :attr:`events_processed` and :data:`ENGINE_PERF`; cancelled
+        entries and sampler ticks stay invisible.  Cold path: one loop
+        copy serves both flight modes.
+        """
+        heap = self._heap
+        deferred = self._deferred
+        flight = self._flight
+        limit = inf if until is None else until
+        now = self.now
+        cancellable = _CANCELLABLE
+        sampler = _SAMPLER
+        budget = inf if max_events is None else max_events
+        processed = 0
+        start = perf_counter()  # repro: allow(DET-WALLCLOCK) ENGINE_PERF accounting, never feeds simulation state
+        try:
+            while heap or deferred:
+                if processed >= budget and not deferred:
+                    break
+                if deferred and (not heap or heap[0][0] > now):
+                    deferred.popleft()()
+                    if self._stopped:
+                        break
+                    continue
+                entry = heappop(heap)
+                time = entry[0]
+                if time > limit:
+                    heappush(heap, entry)
+                    break
+                callback = entry[2]
+                args = entry[3]
+                if args is cancellable:
+                    if callback._callback is None:  # cancelled: skip
+                        continue
+                    self.now = now = time
+                    processed += 1
+                    if flight is not None:
+                        flight.note(time, callback._callback)
+                    callback._fire()
+                elif args is sampler:
+                    self.now = now = time
+                    callback()
+                else:
+                    self.now = now = time
+                    processed += 1
+                    if flight is not None:
+                        flight.note(time, callback)
+                    callback(*args)
+                if self._stopped:
+                    break
+        finally:
+            self._events_processed += processed
+            ENGINE_PERF.record(processed, perf_counter() - start)  # repro: allow(DET-WALLCLOCK) ENGINE_PERF accounting, never feeds simulation state
+
     def stop(self) -> None:
         """Stop :meth:`run` after the currently executing event returns."""
         self._stopped = True

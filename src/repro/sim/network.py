@@ -269,6 +269,19 @@ class Network:
         self.engine.schedule_at(time, host.inject, packet)
 
     def run(self, until: float | None = None) -> None:
+        """Run the simulation (one *phase* of the hosting experiment).
+
+        With a resume session active (:mod:`repro.sim.resume`) the phase
+        executes as snapshot-separated slices — same event sequence, same
+        final clock — and may fast-forward through a snapshot a killed
+        attempt left behind.  Otherwise it is a plain ``Engine.run``.
+        """
+        from repro.sim.resume import active_resume_session  # local: avoids cycle
+
+        session = active_resume_session()
+        if session is not None:
+            session.run_phase(self, until=until)
+            return
         if self.obs is not None:
             self.obs.ensure_sampling(self)
         self.engine.run(until=until)

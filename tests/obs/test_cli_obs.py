@@ -97,6 +97,18 @@ def test_tail_rejects_a_nonexistent_queue(tmp_path, capsys):
     assert "error:" in capsys.readouterr().err
 
 
+def test_tail_once_without_events_reports_and_exits_zero(tmp_path, capsys):
+    # A queue that exists but has produced no events.jsonl yet is a
+    # state, not an error: say so and exit 0 (scripts probe with it).
+    queue_dir = tmp_path / "q"
+    JobQueue(queue_dir)
+    (queue_dir / "events.jsonl").unlink(missing_ok=True)
+    assert main(["tail", str(queue_dir), "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "no events" in out
+    assert str(queue_dir) in out
+
+
 def test_status_events_flag(tmp_path, capsys):
     queue_dir = tmp_path / "q"
     JobQueue(queue_dir).submit([TINY])

@@ -1,0 +1,157 @@
+"""Units for the resume layer: policy grammar, slice primitive, audit log.
+
+The end-to-end resume contract (kill a real process, resume, compare
+bytes) lives in ``tests/cluster/test_resume_points.py``; this file locks
+the small parts it is built from — :class:`CheckpointPolicy` parsing and
+validation, :meth:`Engine.run_bounded` slice-boundary semantics, and the
+``checkpoints.log`` audit-line schema that the build-once and
+resumed-at-all assertions read.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.checkpoint import CheckpointStore
+from repro.sim.engine import Engine
+from repro.sim.resume import CheckpointPolicy
+
+
+class TestCheckpointPolicyParse:
+    def test_bare_number_is_sim_seconds(self):
+        policy = CheckpointPolicy.parse("0.05")
+        assert policy.every_sim_s == 0.05
+        assert policy.every_events is None
+        assert policy.keep == 2
+
+    def test_seconds_suffix(self):
+        assert CheckpointPolicy.parse("0.05s").every_sim_s == 0.05
+
+    def test_events_suffix(self):
+        policy = CheckpointPolicy.parse("5000ev")
+        assert policy.every_events == 5000
+        assert policy.every_sim_s is None
+
+    def test_full_combo(self):
+        policy = CheckpointPolicy.parse("0.05s,5000ev,keep=3")
+        assert policy == CheckpointPolicy(
+            every_sim_s=0.05, every_events=5000, keep=3)
+
+    def test_blank_terms_are_ignored(self):
+        assert CheckpointPolicy.parse("0.05s, ,5000ev") == \
+            CheckpointPolicy.parse("0.05s,5000ev")
+
+    @pytest.mark.parametrize("text", ["bogus", "12ms", "keep=lots", "evev"])
+    def test_unparseable_term_is_a_configuration_error(self, text):
+        with pytest.raises(ConfigurationError, match="checkpoint policy"):
+            CheckpointPolicy.parse(text)
+
+    def test_no_trigger_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="trigger"):
+            CheckpointPolicy.parse("keep=3")
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(every_sim_s=0.0),
+        dict(every_sim_s=-1.0),
+        dict(every_events=0),
+        dict(every_sim_s=0.05, keep=0),
+    ])
+    def test_invalid_values_are_configuration_errors(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CheckpointPolicy(**kwargs)
+
+
+class _Log:
+    """Picklable event log for slice tests."""
+
+    def __init__(self) -> None:
+        self.seen: list[tuple[float, int]] = []
+
+    def note(self, engine: Engine, tag: int) -> None:
+        self.seen.append((engine.now, tag))
+
+    def decide(self, engine: Engine, tag: int) -> None:
+        engine.defer(lambda: self.seen.append((engine.now, -tag)))
+
+
+class TestRunBounded:
+    def _build(self) -> tuple[Engine, _Log]:
+        engine, log = Engine(), _Log()
+        for tag in range(8):
+            engine.schedule_at(tag * 0.01, log.note, engine, tag)
+            engine.schedule_at(tag * 0.01, log.decide, engine, tag + 100)
+        return engine, log
+
+    def test_slices_replay_the_straight_run(self):
+        straight_engine, straight = self._build()
+        straight_engine.run(until=0.2)
+
+        engine, log = self._build()
+        while engine._heap:
+            engine.run_bounded(until=0.2, max_events=3)
+        engine.now = 0.2  # the phase owner pins the clock, once
+        assert log.seen == straight.seen
+        assert engine.events_processed == straight_engine.events_processed
+
+    def test_never_pins_the_clock(self):
+        engine, _ = self._build()
+        engine.run_bounded(until=5.0)
+        assert engine.now == pytest.approx(0.07)
+
+    def test_only_breaks_with_deferred_queue_empty(self):
+        engine, _ = self._build()
+        while engine._heap:
+            engine.run_bounded(max_events=1)
+            # a snapshot taken here must never have to serialise
+            # mid-instant decision closures
+            assert not engine._deferred
+
+
+class TestAuditLogSchema:
+    """Lock the ``checkpoints.log`` line format other layers parse."""
+
+    def test_known_ops(self):
+        assert CheckpointStore.LOG_OPS == ("put", "prune", "roll", "resume")
+
+    def test_line_format_is_op_key_pid(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.log("resume", "resume-r1-p0-abcd1234-n000002")
+        line = (tmp_path / CheckpointStore.LOG_NAME).read_text().strip()
+        assert line == (
+            f"resume resume-r1-p0-abcd1234-n000002 pid={os.getpid()}"
+        )
+
+    def test_unknown_op_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown checkpoint log op"):
+            CheckpointStore(tmp_path).log("evict", "some-key")
+
+    def test_legacy_opless_lines_parse_as_put(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        (tmp_path / CheckpointStore.LOG_NAME).write_text(
+            "warmup-old-key pid=123\n")
+        store.log("roll", "resume-r1-p0-abcd1234-n000000")
+        assert store.log_entries() == [
+            ("put", "warmup-old-key"),
+            ("roll", "resume-r1-p0-abcd1234-n000000"),
+        ]
+        # roll/prune/resume history never inflates the build count
+        assert store.built_keys() == ["warmup-old-key"]
+
+    def test_prune_logs_each_pruned_hash(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for key in ("keep-me", "drop-a", "drop-b"):
+            store.put_bytes(key, b"payload-" + key.encode())
+        removed = store.prune({"keep-me"})
+        assert sorted(removed) == ["drop-a", "drop-b"]
+        pruned = [key for op, key in store.log_entries() if op == "prune"]
+        assert sorted(pruned) == ["drop-a", "drop-b"]
+        assert store.keys() == ["keep-me"]
+
+    def test_discard_logs_under_the_callers_op(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.put_bytes("resume-r1-p0-abcd1234-n000000", b"x")
+        store.discard(["resume-r1-p0-abcd1234-n000000"], op="roll")
+        assert ("roll", "resume-r1-p0-abcd1234-n000000") in store.log_entries()

@@ -225,6 +225,38 @@ def test_gc_on_a_nonexistent_queue_is_an_error(tmp_path, capsys):
     assert "not a job queue" in capsys.readouterr().err
 
 
+def test_status_and_gc_know_mid_run_resume_snapshots(tmp_path, capsys):
+    """Resume snapshots are tagged ``[resume]`` in ``repro status`` and
+    survive ``repro gc`` exactly while a pending/running job could still
+    adopt them — an orphaned trail (its run finished or was never
+    enqueued) is collected like any other unreferenced entry."""
+    from repro.api import ExperimentSpec
+    from repro.api.results import spec_run_id
+    from repro.sim.checkpoint import CheckpointStore
+
+    queue_dir = str(tmp_path / "q")
+    assert main(["submit", "table1", "--rows", "0", "--duration", "0.04",
+                 "--queue", queue_dir]) == 0
+    capsys.readouterr()
+    spec = ExperimentSpec("table1", duration=0.04,
+                          options={"rows": (0,)}).sweep()[0]
+    store = CheckpointStore(tmp_path / "q" / "artifacts" / "checkpoints")
+    live_key = f"resume-{spec_run_id(spec)}-p0-deadbeef-n000003"
+    orphan_key = "resume-table1-0000000000-p0-deadbeef-n000001"
+    store.put_bytes(live_key, b"snapshot-bytes")
+    store.put_bytes(orphan_key, b"snapshot-bytes")
+
+    assert main(["status", "--queue", queue_dir]) == 0
+    out = capsys.readouterr().out
+    assert f"{live_key}  [resume]  in use" in out
+    assert f"{orphan_key}  [resume]  unreferenced" in out
+
+    # gc: the pending job's trail survives, the orphan is collected
+    assert main(["gc", "--queue", queue_dir]) == 0
+    assert "removed 1 checkpoint(s), kept 1" in capsys.readouterr().out
+    assert store.keys() == [live_key]
+
+
 def test_record_exports_a_standalone_verified_trace(tmp_path, capsys):
     """``repro record`` writes a trace ``load_schedule`` verifies."""
     from repro.core.trace_io import load_schedule

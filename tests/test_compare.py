@@ -1,0 +1,155 @@
+"""Edge cases of the bench-diff gate (``benchmarks/perf/compare.py``).
+
+The comparer is a CI gate: its classification rules (new benches never
+fail, removed benches are reported, the threshold is strict-less-than)
+and its error paths (malformed or missing BENCH files must die with a
+readable message, not a traceback) are contract, so they get locked
+here.  The script is not a package module — it is loaded by file path.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[1] / "benchmarks/perf/compare.py"
+_spec = importlib.util.spec_from_file_location("bench_compare", _SCRIPT)
+compare = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare)
+
+
+def _bench(name: str, ops_per_sec: float, scale: int = 1000) -> dict:
+    seconds = scale / ops_per_sec if ops_per_sec else 0.0
+    return {"name": name, "scale": scale, "ops": scale,
+            "seconds": seconds, "ops_per_sec": ops_per_sec}
+
+
+def _write(tmp_path: Path, filename: str, *runs: dict) -> Path:
+    path = tmp_path / filename
+    path.write_text(json.dumps({"schema_version": 1, "runs": list(runs)}))
+    return path
+
+
+def _run(label: str, *benches: dict) -> dict:
+    return {"label": label, "benches": list(benches)}
+
+
+class TestClassification:
+    def test_new_bench_is_reported_but_never_fails(self, tmp_path, capsys):
+        before = _write(tmp_path, "a.json", _run("b", _bench("old", 100.0)))
+        after = _write(tmp_path, "b.json",
+                       _run("c", _bench("old", 100.0),
+                            _bench("fresh", 50.0)))
+        assert compare.main([str(before), str(after)]) == 0
+        out = capsys.readouterr().out
+        assert "fresh@1000" in out and "new" in out
+
+    def test_removed_bench_is_listed_not_compared(self, tmp_path, capsys):
+        before = _write(tmp_path, "a.json",
+                        _run("b", _bench("keep", 100.0),
+                             _bench("gone", 100.0)))
+        after = _write(tmp_path, "b.json", _run("c", _bench("keep", 100.0)))
+        assert compare.main([str(before), str(after)]) == 0
+        assert "removed, not compared: gone@1000" in capsys.readouterr().out
+
+    def test_renamed_bench_is_new_plus_removed(self, tmp_path, capsys):
+        # a rename has no matching key, so it must classify as one new
+        # and one removed — never as a regression of either
+        before = _write(tmp_path, "a.json",
+                        _run("b", _bench("sweep-serial", 100.0)))
+        after = _write(tmp_path, "b.json",
+                       _run("c", _bench("sweep-scratch", 10.0)))
+        assert compare.main([str(before), str(after)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep-scratch@1000" in out and "new" in out
+        assert "removed, not compared: sweep-serial@1000" in out
+
+    def test_same_name_different_scale_does_not_match(self, tmp_path):
+        before = _write(tmp_path, "a.json",
+                        _run("b", _bench("x", 100.0, scale=1000)))
+        after = _write(tmp_path, "b.json",
+                       _run("c", _bench("x", 1.0, scale=2000)))
+        # no shared key, candidate's is new → passes
+        assert compare.main([str(before), str(after)]) == 0
+
+    def test_no_shared_and_no_new_keys_is_an_error(self, tmp_path):
+        before = _write(tmp_path, "a.json", _run("b", _bench("x", 100.0)))
+        after = _write(tmp_path, "b.json", _run("c", _bench("y", 100.0)))
+        with pytest.raises(SystemExit, match="share no bench keys"):
+            compare.main([str(before), str(after), "--only", "z-"])
+
+
+class TestThresholdBoundary:
+    def test_ratio_exactly_at_threshold_passes(self, tmp_path):
+        before = _write(tmp_path, "a.json", _run("b", _bench("x", 1000.0)))
+        after = _write(tmp_path, "b.json", _run("c", _bench("x", 900.0)))
+        # regression is strict: ratio < threshold, so 0.90 == 0.90 is OK
+        assert compare.main(
+            [str(before), str(after), "--threshold", "0.90"]) == 0
+
+    def test_ratio_just_below_threshold_fails(self, tmp_path):
+        before = _write(tmp_path, "a.json", _run("b", _bench("x", 1000.0)))
+        after = _write(tmp_path, "b.json", _run("c", _bench("x", 899.0)))
+        assert compare.main(
+            [str(before), str(after), "--threshold", "0.90"]) == 1
+
+    def test_zero_baseline_never_divides(self, tmp_path):
+        before = _write(tmp_path, "a.json", _run("b", _bench("x", 0.0)))
+        after = _write(tmp_path, "b.json", _run("c", _bench("x", 1.0)))
+        assert compare.main([str(before), str(after)]) == 0
+
+
+class TestMalformedInput:
+    def test_missing_file_is_a_readable_error(self, tmp_path):
+        ok = _write(tmp_path, "a.json", _run("b", _bench("x", 1.0)))
+        with pytest.raises(SystemExit, match="cannot read"):
+            compare.main([str(tmp_path / "nope.json"), str(ok)])
+
+    def test_invalid_json_is_a_readable_error(self, tmp_path):
+        ok = _write(tmp_path, "a.json", _run("b", _bench("x", 1.0)))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            compare.main([str(ok), str(bad)])
+
+    def test_non_object_document_is_a_readable_error(self, tmp_path):
+        ok = _write(tmp_path, "a.json", _run("b", _bench("x", 1.0)))
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2, 3]")
+        with pytest.raises(SystemExit, match="not a BENCH document"):
+            compare.main([str(bad), str(ok)])
+
+    def test_empty_runs_is_a_readable_error(self, tmp_path):
+        ok = _write(tmp_path, "a.json", _run("b", _bench("x", 1.0)))
+        empty = _write(tmp_path, "empty.json")
+        with pytest.raises(SystemExit, match="has no runs"):
+            compare.main([str(empty), str(ok)])
+
+    def test_unknown_run_label_lists_available(self, tmp_path):
+        before = _write(tmp_path, "a.json", _run("pr7", _bench("x", 1.0)))
+        after = _write(tmp_path, "b.json", _run("pr8", _bench("x", 1.0)))
+        with pytest.raises(SystemExit, match="available.*pr7"):
+            compare.main(
+                [str(before), str(after), "--run-before", "pr99"])
+
+
+class TestRunSelection:
+    def test_last_run_is_the_default(self, tmp_path, capsys):
+        doc = _write(tmp_path, "a.json",
+                     _run("pr7", _bench("x", 100.0)),
+                     _run("pr8", _bench("x", 200.0)))
+        assert compare.main([str(doc), str(doc)]) == 0
+        out = capsys.readouterr().out
+        assert "run 'pr8'" in out
+
+    def test_label_substring_picks_the_run(self, tmp_path):
+        doc = _write(tmp_path, "a.json",
+                     _run("pr7", _bench("x", 1000.0)),
+                     _run("pr8", _bench("x", 100.0)))
+        # pr8 vs pr7 inside one file: a 10x drop must trip the gate
+        assert compare.main(
+            [str(doc), str(doc), "--run-before", "pr7",
+             "--run-after", "pr8"]) == 1

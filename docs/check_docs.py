@@ -24,6 +24,10 @@ Four checks, all cheap enough for every CI run:
    experiment-facing surface: ``--out``, ``--checkpoint-every``, …)
    must appear verbatim somewhere in the corpus, so a new runner knob
    cannot ship undocumented either.
+6. **Scenario catalogue × registry** — the first column of the
+   catalogue table in ``docs/scenarios.md`` must equal the names
+   ``repro list --scenarios`` prints, so a newly registered scenario
+   cannot ship undocumented and the docs cannot name ghosts.
 
 Usage::
 
@@ -47,6 +51,10 @@ _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _MAP_ROW = re.compile(r"^\|[^|]*\|\s*`([a-z0-9_-]+)`\s*\|")
 #: A determinism.md table row whose first cell is a backticked rule id.
 _RULE_ROW = re.compile(r"^\|\s*`([A-Z]+(?:-[A-Z]+)+)`\s*\|")
+#: A scenarios.md catalogue row whose first cell is a backticked name.
+_SCENARIO_ROW = re.compile(r"^\|\s*`([a-z0-9_-]+)`\s*\|")
+#: The heading that opens the scenario catalogue table.
+_CATALOGUE_HEADING = "## The built-in catalogue"
 
 
 def check_links(paths: list[Path]) -> list[str]:
@@ -172,6 +180,46 @@ def check_run_flags(paths: list[Path]) -> list[str]:
     return problems
 
 
+def check_scenarios(doc_path: Path) -> list[str]:
+    """scenarios.md's catalogue table == the scenario registry, exactly.
+
+    Only the table under the catalogue heading counts — the pattern
+    table earlier in the page also backticks its first column.
+    """
+    from repro.scenarios import scenario_names
+
+    documented = set()
+    in_catalogue = False
+    for line in doc_path.read_text().splitlines():
+        stripped = line.strip()
+        if stripped.startswith("## "):
+            in_catalogue = stripped == _CATALOGUE_HEADING
+            continue
+        if in_catalogue:
+            match = _SCENARIO_ROW.match(stripped)
+            if match:
+                documented.add(match.group(1))
+    registered = set(scenario_names())
+    problems = []
+    for ghost in sorted(documented - registered):
+        problems.append(
+            f"{doc_path.relative_to(REPO)}: documents unregistered "
+            f"scenario {ghost!r} (repro list --scenarios knows: "
+            f"{sorted(registered)})"
+        )
+    for missing in sorted(registered - documented):
+        problems.append(
+            f"{doc_path.relative_to(REPO)}: registered scenario "
+            f"{missing!r} is missing from the catalogue table"
+        )
+    if not documented:
+        problems.append(
+            f"{doc_path.relative_to(REPO)}: no catalogue rows found under "
+            f"{_CATALOGUE_HEADING!r}"
+        )
+    return problems
+
+
 def main() -> int:
     """Run all checks; print problems; 0 iff the docs are clean."""
     markdown = sorted(DOCS.glob("*.md")) + [REPO / "README.md"]
@@ -180,13 +228,14 @@ def main() -> int:
     problems += check_rule_table(DOCS / "determinism.md")
     problems += check_cli_verbs(markdown)
     problems += check_run_flags(markdown)
+    problems += check_scenarios(DOCS / "scenarios.md")
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:
         print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
         return 1
     print(f"docs OK: {len(markdown)} files, links + paper map + rule "
-          f"table + CLI verbs + run flags verified")
+          f"table + CLI verbs + run flags + scenario catalogue verified")
     return 0
 
 

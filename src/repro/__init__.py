@@ -31,7 +31,13 @@ rebuilds their entire evaluation stack in pure Python:
   network state checkpoint/restore, warm-up snapshots as hash-verified
   content-addressed artifacts in a shared :class:`CheckpointStore`, and
   a ``run_many`` pre-pass that warms each ``branch`` sweep's shared
-  prefix exactly once (see ``docs/checkpointing.md``).
+  prefix exactly once (see ``docs/checkpointing.md``),
+* declarative scenarios (:mod:`repro.scenarios`): registry-enumerable
+  (topology × traffic pattern × flow-size distribution × impairments)
+  bundles whose flow lists are deterministic functions of the seed, a
+  ``scenarios`` sweep axis on :class:`ExperimentSpec`, and the
+  ``scenario-matrix`` experiment reporting Jain fairness and link
+  utilisation per leg (see ``docs/scenarios.md``).
 
 Quick taste (see ``examples/quickstart.py`` for the narrated version)::
 
@@ -119,6 +125,14 @@ from repro.obs import (
     active_metrics_hub,
     use_metrics_hub,
 )
+from repro.scenarios import (
+    Scenario,
+    build_scenario_network,
+    get_scenario,
+    register_scenario,
+    scenario_flows,
+    scenario_names,
+)
 from repro.schedulers import (
     DrrScheduler,
     EdfScheduler,
@@ -170,7 +184,9 @@ from repro.workload.distributions import (
     EmpiricalCdf,
     ExponentialSize,
     datacenter_distribution,
+    distribution_names,
     internet_distribution,
+    make_distribution,
     web_search_distribution,
 )
 from repro.workload.flows import PoissonWorkload, long_lived_flows, poisson_flows
@@ -219,6 +235,7 @@ __all__ = [
     "RocketFuelConfig",
     "RoutingError",
     "RunArtifact",
+    "Scenario",
     "ScheduleStore",
     "Scheduler",
     "SchedulerError",
@@ -240,8 +257,11 @@ __all__ = [
     "build_linear",
     "build_parking_lot",
     "build_rocketfuel",
+    "build_scenario_network",
     "build_single_switch",
     "datacenter_distribution",
+    "distribution_names",
+    "get_scenario",
     "initialize_replay_slack",
     "install_tcp_flows",
     "install_udp_flows",
@@ -250,11 +270,13 @@ __all__ = [
     "load_checkpoint",
     "load_schedule",
     "long_lived_flows",
+    "make_distribution",
     "make_scheduler",
     "parse_slack_policy",
     "poisson_flows",
     "record_schedule",
     "register_experiment",
+    "register_scenario",
     "replay_schedule",
     "replay_slack",
     "restore_snapshot",
@@ -262,6 +284,8 @@ __all__ = [
     "run_many",
     "save_checkpoint",
     "save_schedule",
+    "scenario_flows",
+    "scenario_names",
     "scheduler_names",
     "snapshot_network",
     "use_checkpoint_store",

@@ -72,6 +72,13 @@ class ExperimentSpec:
     sweep reuses the same recorded original schedule through the shared
     schedule store (see :mod:`repro.core.trace_io`), so an M-mode sweep
     pays for each unique recording once, not M times.
+
+    ``scenarios`` is the declarative-workload sweep axis: each entry
+    names a registered :class:`repro.scenarios.Scenario` and
+    :meth:`sweep` expands the tuple outermost, so an N-scenario ×
+    M-seed spec fans into N × M legs.  Scenario-driven drivers read
+    :attr:`scenario` (the first entry; ``"websearch-incast"`` when the
+    tuple is empty).
     """
 
     experiment: str
@@ -84,6 +91,7 @@ class ExperimentSpec:
     bandwidth_scale: float = 0.01
     slack_policy: str | None = None
     replay_modes: tuple[str, ...] = ()
+    scenarios: tuple[str, ...] = ()
     options: tuple[tuple[str, Any], ...] = field(default=())
 
     def __post_init__(self) -> None:
@@ -115,6 +123,17 @@ class ExperimentSpec:
                     f"choose from {REPLAY_MODES}"
                 )
         object.__setattr__(self, "replay_modes", modes)
+        scens = tuple(str(s) for s in self.scenarios)
+        if scens:
+            from repro.scenarios import SCENARIOS
+
+            unknown_scens = [s for s in scens if s not in SCENARIOS]
+            if unknown_scens:
+                raise ConfigurationError(
+                    f"unknown scenario(s) {unknown_scens}; "
+                    f"choose from {list(SCENARIOS.names())}"
+                )
+        object.__setattr__(self, "scenarios", scens)
         raw = self.options
         if isinstance(raw, Mapping):
             pairs: Iterable[tuple[str, object]] = raw.items()
@@ -153,6 +172,16 @@ class ExperimentSpec:
         """
         return self.replay_modes[0] if self.replay_modes else "lstf"
 
+    @property
+    def scenario(self) -> str:
+        """The first (often only) scenario name; the default when unset.
+
+        Mirrors :attr:`seed`: scenario-driven drivers run this scenario,
+        and a multi-scenario spec is expanded into single-scenario specs
+        by :meth:`sweep` before it reaches a driver.
+        """
+        return self.scenarios[0] if self.scenarios else "websearch-incast"
+
     def option(self, key: str, default: object = None) -> object:
         """The value of experiment-specific option ``key`` (or ``default``)."""
         for k, v in self.options:
@@ -171,19 +200,21 @@ class ExperimentSpec:
         seeds: Iterable[int] | None = None,
         schedulers: Iterable[str] | None = None,
         replay_modes: Iterable[str] | None = None,
+        scenarios: Iterable[str] | None = None,
     ) -> list["ExperimentSpec"]:
-        """Expand into one spec per (seed, scheduler, replay-mode) leg.
+        """Expand into one spec per (scenario, seed, scheduler, mode) leg.
 
-        With no arguments this expands :attr:`seeds` and
-        :attr:`replay_modes` (each multi-valued axis becomes one spec per
-        value); pass ``schedulers`` to also split the scheduler sweep
+        With no arguments this expands :attr:`scenarios`, :attr:`seeds`
+        and :attr:`replay_modes` (each multi-valued axis becomes one spec
+        per value); pass ``schedulers`` to also split the scheduler sweep
         into per-scheduler specs (for experiments whose drivers loop over
         schemes, splitting lets :func:`~repro.api.runner.run_many`
         parallelise across them).
 
-        Replay-mode legs are emitted innermost — adjacent in the output —
-        so the legs sharing one recorded schedule sit next to each other
-        and the runner's record-once pre-pass (see
+        Scenario legs are emitted outermost — each scenario's whole
+        seed × scheduler × mode block is contiguous — and replay-mode
+        legs innermost, so the legs sharing one recorded schedule sit
+        next to each other and the runner's record-once pre-pass (see
         :func:`~repro.api.runner.run_many`) simulates each unique
         original schedule exactly once for all of them.
         """
@@ -200,18 +231,26 @@ class ExperimentSpec:
         mode_axis: tuple[tuple[str, ...], ...] = (
             tuple((m,) for m in mode_source) if mode_source else (self.replay_modes,)
         )
+        scen_source = (
+            tuple(scenarios) if scenarios is not None else self.scenarios
+        )
+        scen_axis: tuple[tuple[str, ...], ...] = (
+            tuple((s,) for s in scen_source) if scen_source else (self.scenarios,)
+        )
         out = []
-        for seed in seed_axis:
-            for scheds in sched_axis:
-                for modes in mode_axis:
-                    out.append(
-                        replace(
-                            self,
-                            seeds=(seed,),
-                            schedulers=scheds,
-                            replay_modes=modes,
+        for scens in scen_axis:
+            for seed in seed_axis:
+                for scheds in sched_axis:
+                    for modes in mode_axis:
+                        out.append(
+                            replace(
+                                self,
+                                seeds=(seed,),
+                                schedulers=scheds,
+                                replay_modes=modes,
+                                scenarios=scens,
+                            )
                         )
-                    )
         return out
 
     # -- serialisation ----------------------------------------------------
@@ -229,6 +268,7 @@ class ExperimentSpec:
             "bandwidth_scale": self.bandwidth_scale,
             "slack_policy": self.slack_policy,
             "replay_modes": list(self.replay_modes),
+            "scenarios": list(self.scenarios),
             "options": {
                 k: (list(v) if isinstance(v, tuple) else v)
                 for k, v in self.options
@@ -245,7 +285,7 @@ class ExperimentSpec:
                 f"unknown spec fields {sorted(unknown)}; known: {sorted(known)}"
             )
         kwargs = dict(data)
-        for key in ("schedulers", "seeds", "replay_modes"):
+        for key in ("schedulers", "seeds", "replay_modes", "scenarios"):
             if key in kwargs:
                 kwargs[key] = tuple(kwargs[key])
         options = kwargs.get("options")

@@ -36,12 +36,15 @@ requested duration runs as-is, and an unworkably small one fails with a
 clean error.)
 
 Shared flags: ``--duration`` (workload horizon, seconds), ``--seed`` /
-``--seeds`` (a sweep), ``--scale`` (bandwidth scale; 0.01 default, 1.0 =
-the paper's full bandwidths — expect long runtimes), ``--schedulers``
-(override an experiment's scheme sweep), ``--replay-modes`` (a
-replay-mode sweep: one run per candidate UPS, all legs sharing each
-recorded original schedule — record once, replay many; see
-``docs/replay.md``), ``--workers`` (parallel seed sweeps via
+``--seeds`` (a sweep; accepts ``1..8`` ranges and comma lists),
+``--scale`` (bandwidth scale; 0.01 default, 1.0 = the paper's full
+bandwidths — expect long runtimes), ``--schedulers`` (override an
+experiment's scheme sweep), ``--replay-modes`` (a replay-mode sweep: one
+run per candidate UPS, all legs sharing each recorded original schedule
+— record once, replay many; see ``docs/replay.md``), ``--scenarios`` (a
+declarative-scenario sweep for scenario-driven experiments; enumerate
+with ``repro list --scenarios``, semantics in ``docs/scenarios.md``),
+``--workers`` (parallel seed sweeps via
 multiprocessing), ``--json`` / ``--csv`` (emit the RunArtifact or a CSV
 table instead of ASCII), and ``--out DIR`` (persist artifacts as JSON
 files).  ``--out`` doubles as a content-addressed cache keyed by the
@@ -92,7 +95,38 @@ _FLAG_TO_PARAM = {
     "schedulers": "schedulers",
     "slack": "slack_policy",
     "replay_modes": "replay_modes",
+    "scenarios": "scenarios",
 }
+
+
+def _expand_seeds(tokens: Sequence[object]) -> tuple[int, ...]:
+    """Expand seed tokens: ``7``, ``"3"``, ``"1..8"`` (inclusive), ``"1,5"``.
+
+    ``--seeds 1 2 3``, ``--seeds 1..8`` and ``--seeds 1,2,5..7`` all work;
+    ranges keep sweep invocations readable at scale.
+    """
+    seeds: list[int] = []
+    for token in tokens:
+        for part in str(token).split(","):
+            if not part:
+                continue
+            lo, sep, hi = part.partition("..")
+            try:
+                if sep:
+                    first, last = int(lo), int(hi)
+                    if last < first:
+                        raise ConfigurationError(
+                            f"seed range {part!r} runs backwards"
+                        )
+                    seeds.extend(range(first, last + 1))
+                else:
+                    seeds.append(int(part))
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad seed token {part!r}: expected an integer, "
+                    f"'A..B', or a comma list"
+                ) from None
+    return tuple(seeds)
 
 
 def _add_spec_args(parser: argparse.ArgumentParser, with_rows: bool) -> None:
@@ -102,8 +136,10 @@ def _add_spec_args(parser: argparse.ArgumentParser, with_rows: bool) -> None:
                              "(default 0.2)")
     parser.add_argument("--seed", type=int, default=None,
                         help="workload RNG seed (default 1)")
-    parser.add_argument("--seeds", type=int, nargs="+", default=None,
-                        help="seed sweep (one run per seed; overrides --seed)")
+    parser.add_argument("--seeds", nargs="+", default=None, metavar="SEED",
+                        help="seed sweep (one run per seed; overrides "
+                             "--seed); accepts integers, 'A..B' inclusive "
+                             "ranges, and comma lists, e.g. --seeds 1..8")
     parser.add_argument("--scale", type=float, default=None,
                         help="bandwidth scale (default 0.01; 1.0 = paper's "
                              "full scale)")
@@ -117,6 +153,11 @@ def _add_spec_args(parser: argparse.ArgumentParser, with_rows: bool) -> None:
                         help="replay-mode sweep (one run per mode, sharing "
                              "each recorded schedule): lstf, lstf-preemptive, "
                              "edf, edf-preemptive, priority, omniscient")
+    parser.add_argument("--scenarios", nargs="+", default=None, metavar="NAME",
+                        help="scenario sweep (one run per registered "
+                             "scenario; see `repro list --scenarios`); "
+                             "accepts comma lists, e.g. "
+                             "--scenarios websearch-incast,datamining-a2a")
     if with_rows:
         parser.add_argument("--rows", type=int, nargs="*", default=None,
                             help="row/scheme indices (0-based) to run, for "
@@ -178,13 +219,19 @@ def _add_experiment_args(parser: argparse.ArgumentParser, with_rows: bool) -> No
 def spec_from_args(experiment: str, args: argparse.Namespace) -> ExperimentSpec:
     """Build the declarative spec an invocation describes."""
     if args.seeds:
-        seeds = tuple(args.seeds)
+        seeds = _expand_seeds(args.seeds)
     else:
         seeds = (args.seed,) if args.seed is not None else (1,)
     options: dict[str, object] = {}
     rows = getattr(args, "rows", None)
     if rows:  # a bare `--rows` (no indices) means "all rows", like before
         options["rows"] = tuple(rows)
+    scenarios = tuple(
+        name
+        for token in (getattr(args, "scenarios", None) or ())
+        for name in token.split(",")
+        if name
+    )
     return ExperimentSpec(
         experiment=experiment,
         schedulers=tuple(args.schedulers) if args.schedulers else (),
@@ -193,6 +240,7 @@ def spec_from_args(experiment: str, args: argparse.Namespace) -> ExperimentSpec:
         bandwidth_scale=args.scale if args.scale is not None else 0.01,
         slack_policy=args.slack,
         replay_modes=tuple(args.replay_modes) if args.replay_modes else (),
+        scenarios=scenarios,
         options=options,
     )
 
@@ -222,8 +270,9 @@ def _emit_artifacts(args: argparse.Namespace, artifacts: list) -> None:
 
 
 def _sweep_specs(spec: ExperimentSpec) -> list[ExperimentSpec]:
-    """Expand multi-valued seed / replay-mode axes into one spec per leg."""
-    if len(spec.seeds) > 1 or len(spec.replay_modes) > 1:
+    """Expand multi-valued scenario/seed/replay-mode axes, one spec per leg."""
+    if (len(spec.seeds) > 1 or len(spec.replay_modes) > 1
+            or len(spec.scenarios) > 1):
         return spec.sweep()
     return [spec]
 
@@ -677,7 +726,17 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_list(_args: argparse.Namespace) -> int:
+def _cmd_list(args: argparse.Namespace) -> int:
+    if getattr(args, "scenarios", False):
+        from repro.scenarios import SCENARIOS
+
+        table = Table(["scenario", "pattern", "distribution", "topology"],
+                      title="Registered scenarios")
+        for scenario in SCENARIOS.entries():
+            table.add_row([scenario.name, scenario.pattern,
+                           scenario.distribution, scenario.topology])
+        print(table.render())
+        return 0
     table = Table(["experiment", "description"], title="Registered experiments")
     for entry in REGISTRY.entries():
         table.add_row([entry.name, entry.help])
@@ -692,7 +751,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("list", help="list every registered experiment")
+    p = sub.add_parser("list",
+                       help="list registered experiments (or scenarios)")
+    p.add_argument("--scenarios", action="store_true",
+                   help="list registered scenarios instead of experiments")
     p.set_defaults(fn=_cmd_list)
 
     p = sub.add_parser("run", help="run any registered experiment by name")

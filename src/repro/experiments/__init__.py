@@ -24,6 +24,9 @@ preferred entry point is now::
 * :mod:`repro.experiments.gadgets` — the appendix counter-examples.
 * :mod:`repro.experiments.branch` — branch-from-checkpoint sweeps
   (simulate-once-branch-many; see ``docs/checkpointing.md``).
+* :mod:`repro.experiments.scenario_matrix` — declarative scenarios ×
+  schedulers × seeds with fairness/utilisation summaries (see
+  ``docs/scenarios.md``).
 """
 
 from repro.experiments.replayability import (
@@ -54,6 +57,7 @@ from repro.experiments.branch import (
     get_branch_network,
     prefix_from_spec,
 )
+from repro.experiments.scenario_matrix import run_scenario_leg
 
 __all__ = [
     "BranchPrefix",
@@ -75,6 +79,7 @@ __all__ = [
     "run_information_experiment",
     "run_perf_bench",
     "run_replay",
+    "run_scenario_leg",
     "run_tail_experiment",
     "run_weighted_fairness_experiment",
     "scenario_from_spec",

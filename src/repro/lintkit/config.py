@@ -6,7 +6,8 @@ Scopes are directory names matched against a file's path segments, so
 principle, from strict to lax:
 
 * **Simulation-facing code** (:data:`SIM_SCOPE`: sim, core, schedulers,
-  experiments, workload, topology, transport, theory, metrics) gets the
+  experiments, workload, topology, transport, theory, metrics,
+  scenarios) gets the
   full determinism family — these modules produce the bytes the
   byte-identity suite compares, so a wall-clock read or an unseeded RNG
   there is an artifact-corrupting bug, not a style issue.
@@ -41,6 +42,7 @@ SIM_SCOPE = (
     "transport",
     "theory",
     "metrics",
+    "scenarios",
 )
 
 #: Directories holding the distributed queue/worker machinery.

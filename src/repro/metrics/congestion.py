@@ -9,12 +9,18 @@ a live tracer.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Mapping, Union
 
 from repro.core.replay import RecordedSchedule
+from repro.metrics.fairness import ARTIFACT_DIGITS
+from repro.sim.link import Link
 from repro.sim.tracer import Tracer
 
-__all__ = ["congestion_point_histogram", "max_congestion_points"]
+__all__ = [
+    "congestion_point_histogram",
+    "link_utilisation",
+    "max_congestion_points",
+]
 
 _Source = Union[Tracer, RecordedSchedule]
 
@@ -32,6 +38,36 @@ def congestion_point_histogram(source: _Source, epsilon: float = 1e-12) -> dict[
         c = sum(1 for w in waits if w > epsilon)
         hist[c] = hist.get(c, 0) + 1
     return dict(sorted(hist.items()))
+
+
+def link_utilisation(
+    tracer: Tracer,
+    links: Mapping[tuple[str, str], Link],
+    window: float,
+) -> dict[str, float]:
+    """Fraction of each link's capacity used over ``[0, window]``.
+
+    Every delivered packet's bytes are attributed to each directed link
+    its recorded path crossed, then divided by what the link could have
+    carried in ``window`` seconds.  Keys are ``"src->dst"`` strings
+    (sorted) so the mapping drops straight into artifact metadata;
+    values carry :data:`~repro.metrics.fairness.ARTIFACT_DIGITS`
+    decimals, matching the fairness embedding.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    nbytes: dict[tuple[str, str], int] = {key: 0 for key in links}
+    for rec in tracer.delivered_records():
+        if rec.exit > window:
+            continue
+        for hop in zip(rec.path, rec.path[1:]):
+            if hop in nbytes:
+                nbytes[hop] += rec.size
+    return {
+        f"{u}->{v}": round(links[u, v].utilisation(nbytes[u, v], window),
+                           ARTIFACT_DIGITS)
+        for u, v in sorted(nbytes)
+    }
 
 
 def max_congestion_points(source: _Source, epsilon: float = 1e-12) -> int:

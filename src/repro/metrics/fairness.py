@@ -14,7 +14,19 @@ import numpy as np
 
 from repro.sim.tracer import Tracer
 
-__all__ = ["fairness_timeseries", "jain_index", "throughput_timeseries"]
+__all__ = [
+    "ARTIFACT_DIGITS",
+    "artifact_fairness",
+    "fairness_timeseries",
+    "flow_throughputs",
+    "jain_index",
+    "throughput_timeseries",
+]
+
+#: Decimal places used when a fairness/utilisation figure is embedded in
+#: a :class:`~repro.api.results.RunArtifact` — fixed so artifact bytes
+#: are identical across platforms and the golden tests can pin values.
+ARTIFACT_DIGITS = 6
 
 
 def jain_index(rates: Iterable[float]) -> float:
@@ -57,6 +69,44 @@ def throughput_timeseries(
             bytes_per_bin[b, col] += rec.size
     times = (np.arange(num_bins) + 1) * interval
     return times, bytes_per_bin * 8.0 / interval
+
+
+def flow_throughputs(
+    tracer: Tracer,
+    flow_ids: Sequence[int],
+    horizon: float,
+    data_only: bool = True,
+) -> dict[int, float]:
+    """Average delivered bits/second per flow over ``[0, horizon]``.
+
+    The whole-run analogue of :func:`throughput_timeseries`: one rate per
+    flow id (0.0 when nothing was delivered), which is what per-leg
+    fairness summaries feed to :func:`artifact_fairness`.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    delivered = {fid: 0 for fid in flow_ids}
+    for rec in tracer.delivered_records():
+        if rec.flow_id not in delivered or (data_only and rec.size <= 64):
+            continue
+        if rec.exit <= horizon:
+            delivered[rec.flow_id] += rec.size
+    return {fid: nbytes * 8.0 / horizon for fid, nbytes in delivered.items()}
+
+
+def artifact_fairness(rates: Iterable[float]) -> float:
+    """Jain's index rounded for artifact embedding; 0.0 for no flows.
+
+    Unlike :func:`jain_index` (which raises on an empty input so analysis
+    code can't silently average over nothing), this is the total function
+    drivers embed in :class:`~repro.api.results.RunArtifact` metadata:
+    zero flows map to 0.0 and the result carries exactly
+    :data:`ARTIFACT_DIGITS` decimals.
+    """
+    x = list(rates)
+    if not x:
+        return 0.0
+    return round(jain_index(x), ARTIFACT_DIGITS)
 
 
 def fairness_timeseries(

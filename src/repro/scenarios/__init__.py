@@ -1,0 +1,35 @@
+"""Declarative scenarios: named (topology × pattern × workload) bundles.
+
+A :class:`Scenario` is the frozen, JSON-round-trippable description of
+one evaluation setting; the registry makes scenarios enumerable by name
+(``repro list --scenarios``) and the pattern generators turn a
+(scenario, seed, duration) triple into a byte-identical flow list.  The
+``scenarios`` sweep axis on :class:`repro.api.spec.ExperimentSpec` fans
+those names across cluster legs next to ``seeds``.
+"""
+
+from repro.scenarios.patterns import SEED_FID_STRIDE, scenario_flows
+from repro.scenarios.registry import (
+    SCENARIOS,
+    ScenarioRegistry,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.spec import PATTERNS, SCENARIO_TOPOLOGIES, Scenario
+from repro.scenarios.topology import build_scenario_network, scenario_hosts
+
+__all__ = [
+    "PATTERNS",
+    "SCENARIOS",
+    "SCENARIO_TOPOLOGIES",
+    "SEED_FID_STRIDE",
+    "Scenario",
+    "ScenarioRegistry",
+    "build_scenario_network",
+    "get_scenario",
+    "register_scenario",
+    "scenario_flows",
+    "scenario_hosts",
+    "scenario_names",
+]

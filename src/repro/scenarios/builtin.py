@@ -1,0 +1,88 @@
+"""The built-in scenario catalogue.
+
+Five scenarios spanning the (pattern × distribution × topology) space
+the mininet methodology evaluates: synchronized incast, shuffle-stage
+all-to-all, permutation traffic, a staggered burst, and a degraded-path
+variant exercising the impairment knobs.  Each is a plain
+:func:`~repro.scenarios.registry.register_scenario` factory, so this
+module doubles as the reference for defining new ones.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.registry import register_scenario
+from repro.scenarios.spec import Scenario
+
+__all__: list[str] = []
+
+
+@register_scenario
+def websearch_incast() -> Scenario:
+    """Web-search flows fanning into one switch port — the classic incast."""
+    return Scenario(
+        "websearch-incast",
+        pattern="incast",
+        distribution="web-search",
+        topology="single-switch",
+        hosts=6,
+        flows_per_host=2,
+        size_cap=200_000,
+    )
+
+
+@register_scenario
+def datamining_a2a() -> Scenario:
+    """Data-mining shuffle: every sender spreads flows across all receivers."""
+    return Scenario(
+        "datamining-a2a",
+        pattern="all-to-all",
+        distribution="data-mining",
+        topology="dumbbell",
+        hosts=4,
+        flows_per_host=3,
+        size_cap=500_000,
+    )
+
+
+@register_scenario
+def internet_permutation() -> Scenario:
+    """Internet-mix permutation traffic: one receiver per sender per round."""
+    return Scenario(
+        "internet-permutation",
+        pattern="permutation",
+        distribution="internet",
+        topology="dumbbell",
+        hosts=6,
+        flows_per_host=2,
+        size_cap=300_000,
+    )
+
+
+@register_scenario
+def pareto_burst() -> Scenario:
+    """Heavy-tailed staggered bursts: the incast spike spread into a wave."""
+    return Scenario(
+        "pareto-burst",
+        pattern="staggered-burst",
+        distribution="pareto",
+        topology="single-switch",
+        hosts=8,
+        flows_per_host=2,
+        size_cap=200_000,
+    )
+
+
+@register_scenario
+def datamining_incast_slow() -> Scenario:
+    """Incast over a degraded parking-lot core: added delay, halved bottleneck."""
+    return Scenario(
+        "datamining-incast-slow",
+        pattern="incast",
+        distribution="data-mining",
+        topology="parking-lot",
+        hosts=3,
+        flows_per_host=2,
+        size_cap=300_000,
+        delay=0.001,
+        bottleneck_scale=0.5,
+    )

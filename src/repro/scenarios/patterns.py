@@ -1,0 +1,99 @@
+"""Deterministic traffic patterns: (scenario, seed, duration) → flows.
+
+Each pattern turns a :class:`~repro.scenarios.spec.Scenario` into a
+concrete flow list using one seeded ``numpy`` generator, drawn in a
+single canonical order (round → sender → flow), so the same triple
+always yields the byte-identical list — the property the scenario
+hypothesis suite locks down.
+
+Patterns (who talks to whom, and when):
+
+* ``incast`` — every sender bursts at the first receiver on each round
+  boundary: the synchronized fan-in that stresses one queue.
+* ``all-to-all`` — each sender spreads its round's flows across the
+  receiver set (the shuffle-stage shape).
+* ``permutation`` — one random cyclic shift per round pairs each sender
+  with a single receiver, so no receiver is oversubscribed by design.
+* ``staggered-burst`` — incast with each sender's burst offset evenly
+  within the round, turning the spike into a wave.
+
+Flow ids are disjoint across seeds: leg ``seed`` owns the id range
+``[seed * SEED_FID_STRIDE + 1, ...)``, so two legs' flows can never
+alias even when merged into one trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.flow import Flow
+from repro.errors import WorkloadError
+from repro.scenarios.spec import Scenario
+from repro.scenarios.topology import scenario_hosts
+from repro.workload.distributions import make_distribution
+
+__all__ = ["SEED_FID_STRIDE", "scenario_flows"]
+
+#: Each seed's flows live in their own id range: seed k owns
+#: ``(k * SEED_FID_STRIDE, (k + 1) * SEED_FID_STRIDE]``, so distinct
+#: seeds produce disjoint fid streams by construction.
+SEED_FID_STRIDE = 1_000_000
+
+
+def _destination(pattern: str, receivers: list[str], sender_idx: int,
+                 flow_idx: int, shift: int) -> str:
+    """The canonical receiver for one (pattern, sender, flow) slot."""
+    n = len(receivers)
+    if pattern in ("incast", "staggered-burst"):
+        return receivers[0]
+    if pattern == "all-to-all":
+        return receivers[(sender_idx + 1 + flow_idx) % n]
+    # permutation: the round's shared cyclic shift
+    return receivers[(sender_idx + shift) % n]
+
+
+def scenario_flows(scenario: Scenario, seed: int, duration: float) -> list[Flow]:
+    """The deterministic flow list for one (scenario, seed, duration) leg.
+
+    Rounds fire every ``scenario.interval`` seconds until ``duration``
+    is covered; each sender contributes ``scenario.flows_per_host``
+    flows per round, starts jittered by the seeded RNG and sizes drawn
+    from the scenario's named distribution (capped at ``size_cap``).
+    Same arguments ⇒ byte-identical list; distinct seeds ⇒ disjoint
+    flow-id ranges (:data:`SEED_FID_STRIDE`).
+    """
+    if duration <= 0:
+        raise WorkloadError(f"duration must be positive, got {duration!r}")
+    senders, receivers = scenario_hosts(scenario)
+    sizes = make_distribution(scenario.distribution)
+    rng = np.random.default_rng(seed)
+    rounds = max(1, int(np.ceil(duration / scenario.interval)))
+    stagger = (scenario.interval / len(senders)
+               if scenario.pattern == "staggered-burst" else 0.0)
+
+    fid = seed * SEED_FID_STRIDE
+    flows: list[Flow] = []
+    for r in range(rounds):
+        base = r * scenario.interval
+        if scenario.pattern == "permutation" and len(receivers) > 1:
+            shift = 1 + int(rng.integers(len(receivers) - 1))
+        else:
+            shift = 0
+        for i, src in enumerate(senders):
+            offset = base + i * stagger
+            for k in range(scenario.flows_per_host):
+                start = offset + float(rng.uniform(0.0, scenario.jitter))
+                size = min(sizes.sample(rng), scenario.size_cap)
+                fid += 1
+                flows.append(
+                    Flow(
+                        fid=fid,
+                        src=src,
+                        dst=_destination(scenario.pattern, receivers, i, k,
+                                         shift),
+                        size=size,
+                        start=start,
+                    )
+                )
+    flows.sort(key=lambda f: (f.start, f.fid))
+    return flows

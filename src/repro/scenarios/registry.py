@@ -1,0 +1,112 @@
+"""The scenario registry: named, enumerable, declarative workloads.
+
+Built-in scenarios live in :mod:`repro.scenarios.builtin` and register
+themselves with :func:`register_scenario` at import time; the registry
+loads that module lazily on first lookup, mirroring how the experiment
+registry (:mod:`repro.api.registry`) discovers its drivers.  Anything —
+a test, a plugin, a notebook — can register more::
+
+    @register_scenario
+    def my_burst() -> Scenario:
+        return Scenario("my-burst", pattern="staggered-burst")
+
+The decorated factory is called once at registration; what the registry
+stores (and :func:`get_scenario` hands back) is the frozen
+:class:`~repro.scenarios.spec.Scenario` value itself.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.scenarios.spec import Scenario
+
+__all__ = [
+    "SCENARIOS",
+    "ScenarioRegistry",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+]
+
+#: Modules imported on first lookup so built-ins self-register.
+_BUILTIN_MODULES = ("repro.scenarios.builtin",)
+
+
+class ScenarioRegistry:
+    """Name → :class:`Scenario` mapping with lazy built-in loading."""
+
+    def __init__(self) -> None:
+        self._scenarios: dict[str, Scenario] = {}
+        self._loaded = False
+
+    def _ensure_loaded(self) -> None:
+        if self._loaded:
+            return
+        self._loaded = True
+        for module in _BUILTIN_MODULES:
+            importlib.import_module(module)
+
+    def register(self, factory: Callable[[], Scenario]) -> Callable[[], Scenario]:
+        """Decorator: add ``factory()``'s scenario to the registry.
+
+        The factory runs immediately; duplicate names are an error so two
+        definitions can never shadow each other silently.
+        """
+        scenario = factory()
+        if not isinstance(scenario, Scenario):
+            raise ConfigurationError(
+                f"scenario factory {factory!r} must return a Scenario, "
+                f"got {type(scenario).__name__}"
+            )
+        if scenario.name in self._scenarios:
+            raise ConfigurationError(
+                f"scenario {scenario.name!r} is already registered"
+            )
+        self._scenarios[scenario.name] = scenario
+        return factory
+
+    def get(self, name: str) -> Scenario:
+        """The registered scenario called ``name``; unknown names raise."""
+        self._ensure_loaded()
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown scenario {name!r}; choose from {list(self.names())}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        """All registered scenario names, sorted."""
+        self._ensure_loaded()
+        return tuple(sorted(self._scenarios))
+
+    def entries(self) -> tuple[Scenario, ...]:
+        """All registered scenarios, sorted by name."""
+        self._ensure_loaded()
+        return tuple(self._scenarios[n] for n in self.names())
+
+    def __contains__(self, name: object) -> bool:
+        self._ensure_loaded()
+        return name in self._scenarios
+
+
+#: The process-wide registry every helper below delegates to.
+SCENARIOS = ScenarioRegistry()
+
+
+def register_scenario(factory: Callable[[], Scenario]) -> Callable[[], Scenario]:
+    """Register a zero-argument scenario factory with :data:`SCENARIOS`."""
+    return SCENARIOS.register(factory)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name (:meth:`ScenarioRegistry.get`)."""
+    return SCENARIOS.get(name)
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Names of every registered scenario, sorted."""
+    return SCENARIOS.names()

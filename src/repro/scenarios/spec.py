@@ -1,0 +1,148 @@
+"""The declarative scenario DSL: one dataclass describes one workload.
+
+A :class:`Scenario` bundles everything that defines a datacenter-style
+evaluation setting — a topology shape, a traffic pattern, a named
+flow-size distribution, and link impairments — into a frozen, hashable,
+JSON-round-trippable value, exactly like
+:class:`~repro.api.spec.ExperimentSpec` does for experiment runs::
+
+    s = Scenario("demo", pattern="incast", distribution="web-search")
+    assert Scenario.from_dict(s.to_dict()) == s
+
+Scenarios deliberately do *not* carry a seed or a duration: those are
+run-time axes owned by the experiment spec, so one scenario definition
+fans out over ``seeds=(1..8)`` without being rewritten per leg.  The
+deterministic flow list for a (scenario, seed, duration) triple comes
+from :func:`repro.scenarios.patterns.scenario_flows`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PATTERNS", "SCENARIO_TOPOLOGIES", "Scenario"]
+
+#: Traffic patterns :func:`~repro.scenarios.patterns.scenario_flows` knows.
+PATTERNS = ("incast", "all-to-all", "permutation", "staggered-burst")
+
+#: Topology shapes a scenario may name (the canonical gadgets of
+#: :mod:`repro.topology.simple`, sized by :attr:`Scenario.hosts`).
+SCENARIO_TOPOLOGIES = ("single-switch", "dumbbell", "parking-lot")
+
+
+def _require_number(name: str, value: object, *, minimum: float | None = None,
+                    positive: bool = False) -> None:
+    """One validator for the numeric knobs (bools are not numbers here)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(f"scenario {name} must be a number, got {value!r}")
+    if positive and value <= 0:
+        raise ConfigurationError(f"scenario {name} must be > 0, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise ConfigurationError(
+            f"scenario {name} must be >= {minimum}, got {value!r}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Scenario:
+    """One declarative traffic scenario.
+
+    ``pattern`` picks the communication structure (who talks to whom,
+    when), ``distribution`` names a flow-size law from
+    :func:`repro.workload.distributions.distribution_names`, and
+    ``topology``/``hosts`` shape the network the traffic crosses.
+
+    ``delay`` and ``bottleneck_scale`` are the impairment knobs: extra
+    per-link propagation (seconds) and a multiplier on the bottleneck
+    bandwidth (``0.5`` halves it — the degraded-path regime of the
+    mininet methodology this matrix reproduces).
+
+    ``flows_per_host`` flows per source per round, one round every
+    ``interval`` seconds until the run's duration is covered; starts are
+    jittered uniformly in ``[0, jitter]`` from the round boundary, and
+    sampled sizes are capped at ``size_cap`` bytes so laptop-scale
+    matrix legs stay bounded.
+    """
+
+    name: str
+    pattern: str = "incast"
+    distribution: str = "web-search"
+    topology: str = "dumbbell"
+    hosts: int = 6
+    flows_per_host: int = 2
+    size_cap: int = 500_000
+    interval: float = 0.005
+    jitter: float = 0.001
+    delay: float = 0.0
+    bottleneck_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("scenario needs a non-empty name")
+        if self.pattern not in PATTERNS:
+            raise ConfigurationError(
+                f"unknown traffic pattern {self.pattern!r}; "
+                f"choose from {PATTERNS}"
+            )
+        if self.topology not in SCENARIO_TOPOLOGIES:
+            raise ConfigurationError(
+                f"unknown scenario topology {self.topology!r}; "
+                f"choose from {SCENARIO_TOPOLOGIES}"
+            )
+        from repro.workload.distributions import distribution_names
+
+        if self.distribution not in distribution_names():
+            raise ConfigurationError(
+                f"unknown distribution {self.distribution!r}; choose from "
+                f"{list(distribution_names())}"
+            )
+        if isinstance(self.hosts, bool) or not isinstance(self.hosts, int):
+            raise ConfigurationError(
+                f"scenario hosts must be an integer, got {self.hosts!r}"
+            )
+        if self.hosts < 2:
+            raise ConfigurationError(
+                f"scenario needs at least 2 hosts, got {self.hosts!r}"
+            )
+        if (isinstance(self.flows_per_host, bool)
+                or not isinstance(self.flows_per_host, int)
+                or self.flows_per_host < 1):
+            raise ConfigurationError(
+                f"flows_per_host must be an integer >= 1, "
+                f"got {self.flows_per_host!r}"
+            )
+        if (isinstance(self.size_cap, bool)
+                or not isinstance(self.size_cap, int) or self.size_cap < 1):
+            raise ConfigurationError(
+                f"size_cap must be an integer >= 1, got {self.size_cap!r}"
+            )
+        _require_number("interval", self.interval, positive=True)
+        _require_number("jitter", self.jitter, minimum=0.0)
+        _require_number("delay", self.delay, minimum=0.0)
+        _require_number("bottleneck_scale", self.bottleneck_scale,
+                        positive=True)
+
+    def with_(self, **changes: object) -> "Scenario":
+        """A copy with fields replaced (scenarios are frozen)."""
+        return replace(self, **changes)
+
+    # -- serialisation ----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable dict; lossless under :meth:`from_dict`."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output (or hand JSON)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scenario fields {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        return cls(**dict(data))

@@ -1,0 +1,94 @@
+"""Scenario topologies: name → built network, with impairments applied.
+
+Scenarios reference the canonical gadget shapes of
+:mod:`repro.topology.simple` by name and size them with
+:attr:`~repro.scenarios.spec.Scenario.hosts`:
+
+* ``single-switch`` — ``hosts`` senders into one switch and one sink:
+  the classic incast bottleneck (one congestion point).
+* ``dumbbell`` — ``hosts`` sender/receiver pairs around one shared
+  bottleneck link (the ≤ 2 congestion point regime).
+* ``parking-lot`` — a chain of ``hosts`` switches with per-hop on/off
+  ramps (the ≥ 3 congestion point regime).
+
+Impairments map onto the builders directly: ``delay`` adds propagation
+to every link, ``bottleneck_scale`` multiplies the bottleneck/core
+bandwidth only — host access links keep their speed, so the bottleneck
+actually moves the way a degraded core path would.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.scenarios.spec import SCENARIO_TOPOLOGIES, Scenario
+from repro.sim.network import Network
+from repro.topology.simple import (
+    build_dumbbell,
+    build_parking_lot,
+    build_single_switch,
+)
+from repro.units import MBPS
+
+__all__ = ["build_scenario_network", "scenario_hosts"]
+
+#: Base link speeds before ``bandwidth_scale``: the familiar 100 Mbps
+#: access / slower shared core shape of the mininet fairness experiments.
+_HOST_BW = 100 * MBPS
+_BOTTLENECK_BW = {"single-switch": 10 * MBPS, "dumbbell": 50 * MBPS,
+                  "parking-lot": 10 * MBPS}
+_BASE_PROP = 1e-5
+
+
+def scenario_hosts(scenario: Scenario) -> tuple[list[str], list[str]]:
+    """The (senders, receivers) host names the scenario's topology owns.
+
+    The names match what :func:`build_scenario_network` creates, so the
+    pattern generators and the simulator can never disagree about who
+    exists.
+    """
+    n = scenario.hosts
+    if scenario.topology == "single-switch":
+        return [f"s_{i}" for i in range(n)], ["sink"]
+    if scenario.topology == "dumbbell":
+        return [f"s_{i}" for i in range(n)], [f"d_{i}" for i in range(n)]
+    if scenario.topology == "parking-lot":
+        return ([f"h_in_{i}" for i in range(n)],
+                [f"h_out_{i}" for i in range(n)])
+    raise ConfigurationError(
+        f"unknown scenario topology {scenario.topology!r}; "
+        f"choose from {SCENARIO_TOPOLOGIES}"
+    )
+
+
+def build_scenario_network(
+    scenario: Scenario, bandwidth_scale: float = 1.0
+) -> Network:
+    """Build the scenario's network, impairments included.
+
+    ``bandwidth_scale`` is the experiment-wide scale knob (the same one
+    every driver takes); the scenario's own ``bottleneck_scale``
+    impairment multiplies the bottleneck on top of it, and ``delay``
+    adds propagation to every link.
+    """
+    if bandwidth_scale <= 0:
+        raise ConfigurationError(
+            f"bandwidth_scale must be > 0, got {bandwidth_scale!r}"
+        )
+    host_bw = _HOST_BW * bandwidth_scale
+    bottleneck = (_BOTTLENECK_BW[scenario.topology] * bandwidth_scale
+                  * scenario.bottleneck_scale)
+    prop = _BASE_PROP + scenario.delay
+    if scenario.topology == "single-switch":
+        return build_single_switch(
+            num_senders=scenario.hosts, host_bw=host_bw,
+            bottleneck_bw=bottleneck, prop=prop,
+        )
+    if scenario.topology == "dumbbell":
+        return build_dumbbell(
+            num_pairs=scenario.hosts, host_bw=host_bw,
+            bottleneck_bw=bottleneck, prop=prop,
+        )
+    return build_parking_lot(
+        num_hops=scenario.hosts - 1, host_bw=host_bw,
+        core_bw=bottleneck, prop=prop,
+    )

@@ -11,9 +11,16 @@ i.e. measurement studies of wide-area and datacenter traffic.  We provide:
 
 All samplers draw from a caller-provided ``numpy`` generator so workloads
 are exactly reproducible, and all return integer byte counts ≥ 1.
+
+Every distribution is also a *named* registry entry, so declarative
+configs (notably :class:`repro.scenarios.Scenario`) can reference one by
+string: :func:`make_distribution` constructs by name and
+:func:`distribution_names` enumerates the catalogue.
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 import numpy as np
 
@@ -25,7 +32,9 @@ __all__ = [
     "ExponentialSize",
     "SizeDistribution",
     "datacenter_distribution",
+    "distribution_names",
     "internet_distribution",
+    "make_distribution",
     "web_search_distribution",
 ]
 
@@ -171,6 +180,61 @@ def datacenter_distribution() -> EmpiricalCdf:
     )
 
 
+#: The named-distribution catalogue: declarative configs (scenario specs,
+#: CLI flags) reference these keys instead of constructing classes.  Each
+#: entry is a zero-argument factory returning a fresh, stateless sampler.
+_NAMED: dict[str, Callable[[], SizeDistribution]] = {}
+
+
+def _named(name: str) -> Callable[[Callable[[], SizeDistribution]],
+                                  Callable[[], SizeDistribution]]:
+    """Decorator: register ``factory`` under ``name`` in the catalogue."""
+
+    def decorator(factory: Callable[[], SizeDistribution]):
+        if name in _NAMED:
+            raise WorkloadError(f"distribution {name!r} is already registered")
+        _NAMED[name] = factory
+        return factory
+
+    return decorator
+
+
+def distribution_names() -> tuple[str, ...]:
+    """Names accepted by :func:`make_distribution`, sorted."""
+    return tuple(sorted(_NAMED))
+
+
+def make_distribution(name: str) -> SizeDistribution:
+    """Construct a flow-size distribution by registry name.
+
+    ``name`` is one of :func:`distribution_names` (``"web-search"``,
+    ``"data-mining"``, ``"internet"``, ``"pareto"``, ``"exponential"``).
+
+    >>> make_distribution("web-search").name
+    'web-search'
+    """
+    try:
+        factory = _NAMED[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown distribution {name!r}; choose from "
+            f"{list(distribution_names())}"
+        ) from None
+    return factory()
+
+
+@_named("pareto")
+def _pareto_entry() -> BoundedPareto:
+    """The default heavy-tail model with its canonical parameters."""
+    return BoundedPareto()
+
+
+@_named("exponential")
+def _exponential_entry() -> ExponentialSize:
+    """The light-tailed ablation baseline with its default mean."""
+    return ExponentialSize()
+
+
 def internet_distribution() -> EmpiricalCdf:
     """Internet-like heavy-tailed mix for the Internet2 scenarios [4, 5].
 
@@ -193,3 +257,10 @@ def internet_distribution() -> EmpiricalCdf:
         ],
         name="internet",
     )
+
+
+# The empirical presets join the catalogue under the names their CDF
+# tables carry, so ``EmpiricalCdf.name`` and the registry key agree.
+_named("web-search")(web_search_distribution)
+_named("data-mining")(datacenter_distribution)
+_named("internet")(internet_distribution)

@@ -17,6 +17,7 @@ EXPECTED = {
     "table1", "fig1", "fig2", "fig3", "fig4", "gadgets", "info", "weighted",
     "bench",  # substrate micro-benchmarks (PR 2), not a paper artefact
     "branch",  # branch-from-checkpoint sweeps (PR 7), not a paper artefact
+    "scenario-matrix",  # declarative scenario sweeps (PR 10)
 }
 
 # Per-experiment overrides that keep each run to a fraction of a second
@@ -39,6 +40,9 @@ TINY = {
         options={"events": 500, "packets": 200, "repeats": 1},
     ),
     "branch": dict(duration=0.01, options={"warmup": 0.02}),
+    "scenario-matrix": dict(
+        duration=0.006, schedulers=("fifo",), scenarios=("websearch-incast",),
+    ),
 }
 
 

@@ -134,3 +134,46 @@ def test_replay_modes_round_trip():
     wire = json.loads(json.dumps(spec.to_dict()))
     assert ExperimentSpec.from_dict(wire) == spec
     assert ExperimentSpec.from_dict(wire).replay_modes == ("lstf", "edf-preemptive")
+
+
+def test_scenarios_round_trip():
+    spec = ExperimentSpec(
+        "scenario-matrix", scenarios=("websearch-incast", "datamining-a2a")
+    )
+    wire = json.loads(json.dumps(spec.to_dict()))
+    assert ExperimentSpec.from_dict(wire) == spec
+    assert ExperimentSpec.from_dict(wire).scenarios == (
+        "websearch-incast", "datamining-a2a",
+    )
+
+
+def test_sweep_expands_scenarios_outermost():
+    """Scenario legs group together so a sweep reads scenario-by-scenario."""
+    spec = ExperimentSpec(
+        "scenario-matrix",
+        seeds=(1, 2),
+        scenarios=("websearch-incast", "pareto-burst"),
+    )
+    legs = spec.sweep()
+    assert [(s.scenario, s.seed) for s in legs] == [
+        ("websearch-incast", 1), ("websearch-incast", 2),
+        ("pareto-burst", 1), ("pareto-burst", 2),
+    ]
+    assert all(len(s.scenarios) == 1 for s in legs)
+
+
+def test_scenario_accessor_defaults_to_websearch_incast():
+    assert ExperimentSpec("scenario-matrix").scenario == "websearch-incast"
+    assert ExperimentSpec("scenario-matrix").scenarios == ()
+    spec = ExperimentSpec(
+        "scenario-matrix", scenarios=("pareto-burst", "datamining-a2a")
+    )
+    assert spec.scenario == "pareto-burst"
+    assert spec.sweep(scenarios=("internet-permutation",))[0].scenario == (
+        "internet-permutation"
+    )
+
+
+def test_scenarios_validated_at_construction():
+    with pytest.raises(ConfigurationError, match="unknown scenario"):
+        ExperimentSpec("scenario-matrix", scenarios=("websearch-incast", "warp"))

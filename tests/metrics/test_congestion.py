@@ -2,8 +2,14 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.core.replay import record_schedule
-from repro.metrics.congestion import congestion_point_histogram, max_congestion_points
+from repro.metrics.congestion import (
+    congestion_point_histogram,
+    link_utilisation,
+    max_congestion_points,
+)
 from repro.sim.network import Network
 from repro.units import MBPS
 from tests.conftest import make_packet
@@ -40,3 +46,39 @@ def test_empty_source():
     net = Network()
     net.add_host("a")
     assert max_congestion_points(net.tracer) == 0
+
+
+class TestLinkUtilisation:
+    """Golden values locking the artifact-embedded utilisation map."""
+
+    def test_hand_computed_fixture(self):
+        net = _congested_net()  # a -> SW -> b, both links 8 Mbit/s
+        net.run()
+        # 3 x 1000 B cross both links; over a 10 ms window each link could
+        # have carried 8e6 * 0.01 bits, so utilisation = 24000/80000 = 0.3.
+        utils = link_utilisation(net.tracer, net.links, window=0.01)
+        assert utils == {"a->SW": 0.3, "SW->b": 0.3,
+                         "SW->a": 0.0, "b->SW": 0.0}
+        assert list(utils) == sorted(utils)  # embedding order is canonical
+
+    def test_rounding_locked_to_artifact_digits(self):
+        net = _congested_net()
+        net.run()
+        # 24000 bits / (8e6 * 0.007) = 3/7 = 0.428571428... -> 6 decimals.
+        utils = link_utilisation(net.tracer, net.links, window=0.007)
+        assert utils["a->SW"] == 0.428571
+
+    def test_zero_traffic_edge_case(self):
+        net = Network()
+        net.add_host("a")
+        net.add_host("b")
+        net.add_link("a", "b", 8 * MBPS, 0.0)
+        net.run()
+        assert link_utilisation(net.tracer, net.links, window=0.01) == {
+            "a->b": 0.0, "b->a": 0.0,
+        }
+
+    def test_rejects_bad_window(self):
+        net = _congested_net()
+        with pytest.raises(ValueError):
+            link_utilisation(net.tracer, net.links, window=0.0)

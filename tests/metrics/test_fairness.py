@@ -5,7 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.metrics.fairness import fairness_timeseries, jain_index, throughput_timeseries
+from repro.metrics.fairness import (
+    ARTIFACT_DIGITS,
+    artifact_fairness,
+    fairness_timeseries,
+    flow_throughputs,
+    jain_index,
+    throughput_timeseries,
+)
 from repro.sim.network import Network
 from repro.units import MBPS
 from tests.conftest import make_packet
@@ -62,3 +69,37 @@ def test_throughput_rejects_bad_intervals():
     net = _delivering_net()
     with pytest.raises(ValueError):
         throughput_timeseries(net.tracer, [1], 0.0, 1.0)
+
+
+def test_flow_throughputs_whole_run_rates():
+    net = _delivering_net()
+    for k in range(4):
+        net.inject_at(k * 0.001, make_packet(flow_id=1 + (k % 2), size=1000))
+    net.run()
+    rates = flow_throughputs(net.tracer, [1, 2, 3], horizon=0.01)
+    # two 1000 B packets per flow over 10 ms -> 1.6 Mbit/s; flow 3 unseen
+    assert rates == {1: pytest.approx(1.6e6), 2: pytest.approx(1.6e6), 3: 0.0}
+
+
+def test_flow_throughputs_rejects_bad_horizon():
+    net = _delivering_net()
+    with pytest.raises(ValueError):
+        flow_throughputs(net.tracer, [1], horizon=0.0)
+
+
+class TestArtifactFairness:
+    """Golden values locking the exact rounding embedded in artifacts."""
+
+    def test_hand_computed_jain(self):
+        # Jain([1,2,3]) = (1+2+3)^2 / (3 * (1+4+9)) = 36/42 = 6/7.
+        assert artifact_fairness([1.0, 2.0, 3.0]) == 0.857143
+        assert ARTIFACT_DIGITS == 6
+
+    def test_zero_flows_edge_case(self):
+        assert artifact_fairness([]) == 0.0
+
+    def test_single_flow_edge_case(self):
+        assert artifact_fairness([123.4]) == 1.0
+
+    def test_equal_allocations_are_exactly_one(self):
+        assert artifact_fairness([7.5] * 9) == 1.0

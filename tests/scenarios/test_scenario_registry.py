@@ -1,0 +1,124 @@
+"""Scenario DSL + registry: validation, round-trips, completeness.
+
+The completeness tests mirror ``tests/api/test_registry.py``: every
+built-in scenario must JSON-round-trip losslessly, names must be unique,
+and nothing can rot behind the registry unnoticed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import (
+    PATTERNS,
+    SCENARIOS,
+    SCENARIO_TOPOLOGIES,
+    Scenario,
+    ScenarioRegistry,
+    build_scenario_network,
+    get_scenario,
+    scenario_hosts,
+    scenario_names,
+)
+
+EXPECTED = {
+    "websearch-incast",
+    "datamining-a2a",
+    "internet-permutation",
+    "pareto-burst",
+    "datamining-incast-slow",
+}
+
+
+class TestScenarioSpec:
+    def test_round_trip_is_lossless(self):
+        s = Scenario("demo", pattern="permutation", distribution="internet",
+                     topology="parking-lot", hosts=3, flows_per_host=4,
+                     size_cap=123, interval=0.004, jitter=0.002,
+                     delay=0.001, bottleneck_scale=0.25)
+        assert Scenario.from_dict(json.loads(json.dumps(s.to_dict()))) == s
+
+    def test_with_replaces_fields(self):
+        s = get_scenario("websearch-incast").with_(hosts=9)
+        assert s.hosts == 9
+        assert s.name == "websearch-incast"
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            Scenario.from_dict({"name": "x", "nope": 1})
+
+    @pytest.mark.parametrize("bad", [
+        dict(name=""),
+        dict(name="x", pattern="broadcast"),
+        dict(name="x", topology="torus"),
+        dict(name="x", distribution="zipf"),
+        dict(name="x", hosts=1),
+        dict(name="x", hosts=2.0),
+        dict(name="x", hosts=True),
+        dict(name="x", flows_per_host=0),
+        dict(name="x", size_cap=0),
+        dict(name="x", interval=0.0),
+        dict(name="x", jitter=-0.001),
+        dict(name="x", delay=-1.0),
+        dict(name="x", bottleneck_scale=0.0),
+    ])
+    def test_validation_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            Scenario(**bad)
+
+
+class TestRegistry:
+    def test_builtin_catalogue(self):
+        assert set(scenario_names()) == EXPECTED
+        assert scenario_names() == tuple(sorted(EXPECTED))  # unique + sorted
+
+    def test_every_registered_scenario_round_trips(self):
+        for scenario in SCENARIOS.entries():
+            payload = json.loads(json.dumps(scenario.to_dict()))
+            assert Scenario.from_dict(payload) == scenario
+
+    def test_entries_align_with_names(self):
+        assert tuple(s.name for s in SCENARIOS.entries()) == scenario_names()
+
+    def test_contains_and_lookup(self):
+        assert "websearch-incast" in SCENARIOS
+        assert "nosuch" not in SCENARIOS
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            get_scenario("nosuch")
+
+    def test_duplicate_registration_rejected(self):
+        registry = ScenarioRegistry()
+        registry.register(lambda: Scenario("dup"))
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register(lambda: Scenario("dup"))
+
+    def test_factory_must_return_a_scenario(self):
+        registry = ScenarioRegistry()
+        with pytest.raises(ConfigurationError, match="must return a Scenario"):
+            registry.register(lambda: {"name": "not-a-scenario"})
+
+
+class TestTopologies:
+    @pytest.mark.parametrize("topology", SCENARIO_TOPOLOGIES)
+    def test_hosts_exist_in_the_built_network(self, topology):
+        scenario = Scenario("t", topology=topology, hosts=3)
+        network = build_scenario_network(scenario, bandwidth_scale=0.01)
+        senders, receivers = scenario_hosts(scenario)
+        node_names = {h.name for h in network.hosts}
+        assert set(senders) <= node_names
+        assert set(receivers) <= node_names
+        assert len(senders) == 3
+
+    def test_rejects_bad_bandwidth_scale(self):
+        with pytest.raises(ConfigurationError, match="bandwidth_scale"):
+            build_scenario_network(Scenario("t"), bandwidth_scale=0.0)
+
+    def test_every_pattern_and_topology_is_covered_by_a_builtin(self):
+        """The catalogue spans the DSL: each pattern and each topology
+        appears in at least one registered scenario."""
+        entries = SCENARIOS.entries()
+        assert {s.pattern for s in entries} == set(PATTERNS)
+        assert {s.topology for s in entries} == set(SCENARIO_TOPOLOGIES)

@@ -47,6 +47,17 @@ def test_list_command(capsys):
     out = capsys.readouterr().out
     for name in LEGACY_COMMANDS:
         assert name in out
+    assert "websearch-incast" not in out  # scenarios live behind --scenarios
+
+
+def test_list_scenarios_command(capsys):
+    from repro.scenarios import scenario_names
+
+    assert main(["list", "--scenarios"]) == 0
+    out = capsys.readouterr().out
+    for name in scenario_names():
+        assert name in out
+    assert "table1" not in out  # experiments live behind the plain list
 
 
 def test_gadgets_command(capsys):
@@ -124,6 +135,8 @@ def test_flags_an_experiment_ignores_are_rejected(capsys):
     assert "does not use --slack" in capsys.readouterr().err
     assert main(["run", "fig2", "--replay-modes", "lstf"]) == 2
     assert "does not use --replay-modes" in capsys.readouterr().err
+    assert main(["run", "table1", "--scenarios", "websearch-incast"]) == 2
+    assert "does not use --scenarios" in capsys.readouterr().err
 
 
 def test_replay_mode_sweep_emits_one_artifact_per_mode(capsys):
@@ -134,6 +147,46 @@ def test_replay_mode_sweep_emits_one_artifact_per_mode(capsys):
         ["lstf"], ["priority"]
     ]
     assert [a["metadata"]["mode"] for a in artifacts] == ["lstf", "priority"]
+
+
+def test_seed_range_syntax_expands_inclusively(capsys):
+    assert main(["run", "table1", "--rows", "0", "--duration", "0.03",
+                 "--seeds", "1..3", "--json"]) == 0
+    artifacts = json.loads(capsys.readouterr().out)
+    assert [a["spec"]["seeds"] for a in artifacts] == [[1], [2], [3]]
+
+
+def test_seed_comma_and_range_tokens_mix(capsys):
+    assert main(["run", "table1", "--rows", "0", "--duration", "0.03",
+                 "--seeds", "5,7..8", "--json"]) == 0
+    artifacts = json.loads(capsys.readouterr().out)
+    assert [a["spec"]["seeds"] for a in artifacts] == [[5], [7], [8]]
+
+
+def test_bad_seed_tokens_are_rejected_cleanly(capsys):
+    assert main(["run", "table1", "--rows", "0", "--seeds", "1..x"]) == 2
+    assert "bad seed token" in capsys.readouterr().err
+    assert main(["run", "table1", "--rows", "0", "--seeds", "8..1"]) == 2
+    assert "runs backwards" in capsys.readouterr().err
+
+
+def test_scenario_sweep_emits_one_artifact_per_scenario(capsys):
+    assert main(["run", "scenario-matrix", "--duration", "0.006",
+                 "--schedulers", "fifo",
+                 "--scenarios", "websearch-incast,datamining-a2a",
+                 "--json"]) == 0
+    artifacts = json.loads(capsys.readouterr().out)
+    assert [a["spec"]["scenarios"] for a in artifacts] == [
+        ["websearch-incast"], ["datamining-a2a"]
+    ]
+    assert [a["metadata"]["scenario"] for a in artifacts] == [
+        "websearch-incast", "datamining-a2a"
+    ]
+
+
+def test_unknown_scenario_is_rejected_cleanly(capsys):
+    assert main(["run", "scenario-matrix", "--scenarios", "nosuch"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
 
 
 def test_replay_modes_validated_before_simulation(capsys):

@@ -13,7 +13,9 @@ from repro.workload.distributions import (
     EmpiricalCdf,
     ExponentialSize,
     datacenter_distribution,
+    distribution_names,
     internet_distribution,
+    make_distribution,
     web_search_distribution,
 )
 
@@ -108,3 +110,54 @@ def test_property_bounded_pareto_always_in_range(alpha, low, span, seed):
     rng = np.random.default_rng(seed)
     for _ in range(20):
         assert low <= dist.sample(rng) <= low * span
+
+
+class TestNamedRegistry:
+    def test_catalogue_contents(self):
+        assert distribution_names() == (
+            "data-mining", "exponential", "internet", "pareto", "web-search",
+        )
+
+    def test_empirical_preset_names_match_registry_keys(self):
+        for name in ("web-search", "data-mining", "internet"):
+            assert make_distribution(name).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_distribution("zipf")
+
+
+# Every registered distribution, whatever its family, must uphold the
+# sampler contract the scenario generators rely on: integer sizes >= 1,
+# byte-identical streams per seed, and a mean() the samples agree with.
+
+_names = st.sampled_from(distribution_names())
+
+
+@settings(max_examples=30)
+@given(name=_names, seed=st.integers(min_value=0, max_value=2**31))
+def test_property_registered_sizes_positive_ints(name, seed):
+    dist = make_distribution(name)
+    rng = np.random.default_rng(seed)
+    for _ in range(20):
+        size = dist.sample(rng)
+        assert isinstance(size, int)
+        assert size >= 1
+
+
+@settings(max_examples=30)
+@given(name=_names, seed=st.integers(min_value=0, max_value=2**31))
+def test_property_registered_seeded_determinism(name, seed):
+    a = [make_distribution(name).sample(np.random.default_rng(seed))
+         for _ in range(10)]
+    b = [make_distribution(name).sample(np.random.default_rng(seed))
+         for _ in range(10)]
+    assert a == b
+
+
+@pytest.mark.parametrize("name", distribution_names())
+def test_registered_sample_mean_tracks_declared_mean(name):
+    dist = make_distribution(name)
+    rng = np.random.default_rng(11)
+    samples = [dist.sample(rng) for _ in range(60_000)]
+    assert np.mean(samples) == pytest.approx(dist.mean(), rel=0.1)
